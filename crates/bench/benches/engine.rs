@@ -1,0 +1,122 @@
+//! Microbenchmarks of the core engines: the fluid sandbox simulator, the
+//! Algorithm 1 predictor (§7 claims sub-millisecond prediction even with
+//! hundreds of threads), and PGP scheduling time (§7's scalability
+//! discussion).
+
+use chiron::model::{apps, PlatformConfig, RuntimeKind, Segment, SimDuration, SimTime};
+use chiron::predict::{predict_threads, Predictor, SimThread};
+use chiron::{PgpConfig, PgpScheduler};
+use chiron_deploy as deploy;
+use chiron_profiler::Profiler;
+use chiron_runtime::{execute_sandbox, ThreadTask, VirtualPlatform};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn thread_workload(n: usize) -> Vec<Vec<Segment>> {
+    (0..n)
+        .map(|i| {
+            vec![
+                Segment::cpu_ms(1 + (i as u64 % 7)),
+                Segment::block_ms(chiron::model::SyscallKind::NetIo, 2.0),
+                Segment::cpu_ms(1),
+            ]
+        })
+        .collect()
+}
+
+fn bench_fluid_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fluid_engine");
+    for n in [8usize, 64, 256] {
+        let tasks: Vec<ThreadTask> = thread_workload(n)
+            .into_iter()
+            .enumerate()
+            .map(|(i, segments)| ThreadTask {
+                process: i % 8,
+                start: SimTime::ZERO,
+                segments,
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &tasks, |b, tasks| {
+            b.iter(|| {
+                black_box(execute_sandbox(
+                    tasks,
+                    4,
+                    RuntimeKind::PseudoParallel,
+                    SimDuration::from_millis(5),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_algorithm1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1_predict_threads");
+    for n in [10usize, 100, 400] {
+        let threads: Vec<SimThread> = thread_workload(n)
+            .into_iter()
+            .map(|segments| SimThread { created_at: SimDuration::ZERO, segments })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &threads, |b, threads| {
+            b.iter(|| black_box(predict_threads(threads, SimDuration::from_millis(5))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_predictor_e2e(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predictor_workflow");
+    for wf in [apps::finra(50), apps::social_network()] {
+        let profile = Profiler::default().profile_workflow(&wf);
+        let plan = deploy::faastlane(&wf);
+        let predictor = Predictor::paper_calibrated();
+        group.bench_function(BenchmarkId::from_parameter(&wf.name), |b| {
+            b.iter(|| black_box(predictor.predict(&wf, &profile, &plan)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pgp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pgp_schedule");
+    group.sample_size(10);
+    for wf in [apps::finra(25), apps::slapp()] {
+        let profile = Profiler::default().profile_workflow(&wf);
+        let sched = PgpScheduler::paper_calibrated();
+        group.bench_function(BenchmarkId::from_parameter(&wf.name), |b| {
+            b.iter(|| {
+                black_box(sched.schedule(
+                    &wf,
+                    &profile,
+                    &PgpConfig::performance_first(),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_platform_request(c: &mut Criterion) {
+    let mut group = c.benchmark_group("platform_request");
+    let platform = VirtualPlatform::new(PlatformConfig::paper_calibrated());
+    for (label, wf, plan) in [
+        ("faastlane_finra50", apps::finra(50), deploy::faastlane(&apps::finra(50))),
+        ("openfaas_finra50", apps::finra(50), deploy::openfaas(&apps::finra(50))),
+        ("faastlane_sn", apps::social_network(), deploy::faastlane(&apps::social_network())),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(platform.execute(&wf, &plan, 0).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fluid_engine,
+    bench_algorithm1,
+    bench_predictor_e2e,
+    bench_pgp,
+    bench_platform_request
+);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Regenerates the paper's tables and figures on the virtual platform.
+//!
+//! ```text
+//! cargo run -p chiron-bench --release --bin figures -- all
+//! cargo run -p chiron-bench --release --bin figures -- fig6 fig13
+//! ```
+
+use chiron_bench as bench;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let targets: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec![
+            "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table1", "fig12", "fig13",
+            "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "ablations",
+        ]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for target in targets {
+        let report = match target {
+            "fig3" => bench::fig3(),
+            "fig4" => bench::fig4(),
+            "fig5" => bench::fig5(),
+            "fig6" => bench::fig6(),
+            "fig7" => bench::fig7(),
+            "fig8" => bench::fig8(),
+            "table1" => bench::table1(),
+            "fig12" => bench::fig12(),
+            "fig13" => bench::fig13(),
+            "fig14" => bench::fig14(),
+            "fig15" => bench::fig15(),
+            "fig16" => bench::fig16(),
+            "fig17" => bench::fig17(),
+            "fig18" => bench::fig18(),
+            "fig19" => bench::fig19(),
+            "ablations" => bench::ablations(),
+            other => {
+                eprintln!("unknown target: {other}");
+                std::process::exit(2);
+            }
+        };
+        println!("{report}");
+        println!("{}", "=".repeat(78));
+    }
+}

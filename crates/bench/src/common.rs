@@ -1,0 +1,142 @@
+//! Shared helpers for the figure-regeneration harness: system lists,
+//! workflow suites and a plain-text table formatter.
+
+use chiron::model::SystemKind;
+use chiron_model::{apps, Workflow};
+
+/// The nine systems of the headline latency comparison (Fig. 13).
+pub const FIG13_SYSTEMS: [SystemKind; 9] = [
+    SystemKind::Asf,
+    SystemKind::OpenFaas,
+    SystemKind::Sand,
+    SystemKind::Faastlane,
+    SystemKind::Chiron,
+    SystemKind::FaastlaneM,
+    SystemKind::ChironM,
+    SystemKind::FaastlaneP,
+    SystemKind::ChironP,
+];
+
+/// The eight systems of the memory/throughput/cost comparisons
+/// (Fig. 16/19).
+pub const FIG16_SYSTEMS: [SystemKind; 8] = [
+    SystemKind::OpenFaas,
+    SystemKind::Sand,
+    SystemKind::Faastlane,
+    SystemKind::Chiron,
+    SystemKind::FaastlaneM,
+    SystemKind::ChironM,
+    SystemKind::FaastlaneP,
+    SystemKind::ChironP,
+];
+
+/// The evaluation-suite workflows (Fig. 13/16/17/19 columns).
+pub fn suite() -> Vec<Workflow> {
+    apps::evaluation_suite()
+}
+
+/// A minimal fixed-width text table.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "column-count mismatch");
+        self.rows.push(cells);
+    }
+
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// `12.345` → `"12.3"` style compact formatting.
+pub fn ms(v: f64) -> String {
+    if v >= 1000.0 {
+        format!("{v:.0}")
+    } else if v >= 100.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+pub fn ratio(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["a", "1"]);
+        t.row(vec!["longer", "22"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[2].ends_with(" 1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "column-count mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ms(12.345), "12.35");
+        assert_eq!(ms(123.45), "123.5");
+        assert_eq!(ms(1234.5), "1234");
+        assert_eq!(ratio(2.5), "2.50x");
+        assert_eq!(pct(0.123), "12.3%");
+    }
+
+    #[test]
+    fn suite_is_the_paper_suite() {
+        assert_eq!(suite().len(), 8);
+    }
+}

@@ -1,0 +1,18 @@
+//! # chiron-bench
+//!
+//! The figure-regeneration harness: one function per table/figure of the
+//! paper's evaluation, shared by the `figures` binary and the Criterion
+//! benches. See EXPERIMENTS.md for the paper-vs-measured record.
+
+#![warn(missing_debug_implementations)]
+
+pub mod ablations;
+pub mod common;
+pub mod fig12;
+pub mod figs_eval;
+pub mod figs_motivation;
+
+pub use ablations::ablations;
+pub use fig12::fig12;
+pub use figs_eval::{fig13, fig14, fig15, fig16, fig17, fig18, fig19};
+pub use figs_motivation::{fig3, fig4, fig5, fig6, fig7, fig8, table1};

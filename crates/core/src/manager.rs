@@ -1,0 +1,245 @@
+//! The Chiron deployment manager — the pipeline of Fig. 9.
+//!
+//! ➊ the user submits a workflow definition and a latency SLO; ➋ the
+//! Profiler collects each function's execution behaviour; ➌ PGP explores
+//! the optimal wrap design with the Predictor; ➍ the Generator emits each
+//! wrap's orchestrator code; ➎ the platform spawns a sandbox per wrap;
+//! ➏ invocations are routed to wrap 1, which drives the rest.
+
+use chiron_deploy::{generate, GeneratedWrap};
+use chiron_model::{DeploymentPlan, PlanError, PlatformConfig, SimDuration, Workflow};
+use chiron_pgp::{PgpConfig, PgpMode, PgpScheduler, ScheduleOutcome};
+use chiron_predict::Predictor;
+use chiron_profiler::{Profiler, WorkflowProfile};
+use chiron_runtime::{RequestOutcome, VirtualPlatform};
+
+/// A deployed workflow: the artefacts of steps ➋–➎.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    pub profile: WorkflowProfile,
+    pub schedule: ScheduleOutcome,
+    pub wraps: Vec<GeneratedWrap>,
+}
+
+impl Deployment {
+    pub fn plan(&self) -> &DeploymentPlan {
+        &self.schedule.plan
+    }
+}
+
+/// The deployment manager.
+#[derive(Debug)]
+pub struct Chiron {
+    platform: VirtualPlatform,
+    profiler: Profiler,
+    scheduler: PgpScheduler,
+}
+
+impl Chiron {
+    pub fn new(config: PlatformConfig) -> Self {
+        let scheduler = PgpScheduler::new(Predictor::from_config(&config));
+        Chiron {
+            platform: VirtualPlatform::new(config),
+            profiler: Profiler::default(),
+            scheduler,
+        }
+    }
+
+    /// Replaces the Profiler (e.g. to add measurement noise).
+    pub fn with_profiler(mut self, profiler: Profiler) -> Self {
+        self.profiler = profiler;
+        self
+    }
+
+    pub fn platform(&self) -> &VirtualPlatform {
+        &self.platform
+    }
+
+    /// Steps ➋–➎: profile, schedule, generate.
+    pub fn deploy(
+        &self,
+        workflow: &Workflow,
+        slo: Option<SimDuration>,
+        mode: PgpMode,
+    ) -> Deployment {
+        let profile = self.profiler.profile_workflow(workflow);
+        let config = match slo {
+            Some(slo) => PgpConfig::with_slo(slo).with_mode(mode),
+            None => PgpConfig::performance_first().with_mode(mode),
+        };
+        let schedule = self.scheduler.schedule(workflow, &profile, &config);
+        let wraps = generate(workflow, &schedule.plan);
+        Deployment { profile, schedule, wraps }
+    }
+
+    /// Step ➏: routes one request through the deployed wraps.
+    pub fn invoke(
+        &self,
+        workflow: &Workflow,
+        deployment: &Deployment,
+        seed: u64,
+    ) -> Result<RequestOutcome, PlanError> {
+        self.platform.execute(workflow, deployment.plan(), seed)
+    }
+
+    /// §3.4's periodic re-profiling: refreshes the profile (with a new
+    /// measurement seed) and reschedules, letting the wraps adapt to
+    /// workload changes.
+    pub fn reprofile(
+        &self,
+        workflow: &Workflow,
+        deployment: &Deployment,
+        slo: Option<SimDuration>,
+        mode: PgpMode,
+        seed: u64,
+    ) -> Deployment {
+        let profiler = self.profiler.clone().with_seed(seed);
+        let profile = profiler.profile_workflow(workflow);
+        let config = match slo {
+            Some(slo) => PgpConfig::with_slo(slo).with_mode(mode),
+            None => PgpConfig::performance_first().with_mode(mode),
+        };
+        let schedule = self.scheduler.schedule(workflow, &profile, &config);
+        let wraps = generate(workflow, &schedule.plan);
+        let _ = deployment; // the previous deployment is superseded
+        Deployment { profile, schedule, wraps }
+    }
+}
+
+/// A dynamic workflow deployed variant-by-variant (§7's future-work
+/// scenario, implemented): PGP pre-plans every resolvable shape offline;
+/// requests are routed to the matching variant's wraps at invocation time.
+#[derive(Debug, Clone)]
+pub struct DynamicDeployment {
+    pub source: chiron_model::DynamicWorkflow,
+    /// `(choice vector, concrete workflow, its deployment)` per variant.
+    pub variants: Vec<(Vec<usize>, Workflow, Deployment)>,
+}
+
+impl Chiron {
+    /// Pre-plans every variant of a dynamic workflow (switch stages, §7).
+    pub fn deploy_dynamic(
+        &self,
+        workflow: &chiron_model::DynamicWorkflow,
+        slo: Option<SimDuration>,
+        mode: PgpMode,
+    ) -> DynamicDeployment {
+        let variants = workflow
+            .variants()
+            .into_iter()
+            .map(|(choices, wf)| {
+                let deployment = self.deploy(&wf, slo, mode);
+                (choices, wf, deployment)
+            })
+            .collect();
+        DynamicDeployment {
+            source: workflow.clone(),
+            variants,
+        }
+    }
+
+    /// Routes one request through a dynamic deployment: the switch
+    /// selectors pick the variant from the request's payload size, then the
+    /// variant's pre-deployed wraps serve it.
+    pub fn invoke_dynamic(
+        &self,
+        deployment: &DynamicDeployment,
+        request_bytes: u64,
+        seed: u64,
+    ) -> Result<(Vec<usize>, RequestOutcome), PlanError> {
+        let choices = deployment.source.route(request_bytes);
+        let (_, wf, dep) = deployment
+            .variants
+            .iter()
+            .find(|(c, _, _)| *c == choices)
+            .expect("every routable choice vector was pre-planned");
+        let outcome = self.invoke(wf, dep, seed)?;
+        Ok((choices, outcome))
+    }
+}
+
+impl Default for Chiron {
+    fn default() -> Self {
+        Chiron::new(PlatformConfig::paper_calibrated())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chiron_model::apps;
+
+    #[test]
+    fn deploy_and_invoke_roundtrip() {
+        let chiron = Chiron::default();
+        let wf = apps::finra(5);
+        let deployment = chiron.deploy(&wf, None, PgpMode::NativeThread);
+        assert_eq!(deployment.wraps.len(), deployment.plan().sandbox_count());
+        let outcome = chiron.invoke(&wf, &deployment, 0).unwrap();
+        assert!(!outcome.e2e.is_zero());
+        assert_eq!(outcome.timelines.len(), wf.function_count());
+    }
+
+    #[test]
+    fn slo_deployment_meets_slo_in_ground_truth() {
+        let chiron = Chiron::default();
+        let wf = apps::slapp();
+        // Derive a realistic SLO from a performance-first run.
+        let fast = chiron.deploy(&wf, None, PgpMode::NativeThread);
+        let slo = fast.schedule.predicted.mul_f64(1.5);
+        let deployment = chiron.deploy(&wf, Some(slo), PgpMode::NativeThread);
+        assert!(deployment.schedule.met_slo);
+        let outcome = chiron.invoke(&wf, &deployment, 0).unwrap();
+        assert!(
+            outcome.e2e <= slo,
+            "ground truth {} exceeded SLO {}",
+            outcome.e2e,
+            slo
+        );
+    }
+
+    #[test]
+    fn dynamic_workflow_routes_per_request() {
+        use chiron_model::{BranchSelector, DynStage, DynamicWorkflow, FunctionId};
+        use chiron_model::{FunctionSpec, Segment};
+        let f = |name: &str, ms: u64, out: u64| {
+            FunctionSpec::new(name, vec![Segment::cpu_ms(ms)]).with_output_bytes(out)
+        };
+        let dw = DynamicWorkflow {
+            name: "VideoFFmpeg".into(),
+            functions: vec![
+                f("upload", 5, 8 << 20),
+                f("simple_process", 20, 1 << 20),
+                f("split_a", 12, 2 << 20),
+                f("split_b", 12, 2 << 20),
+                f("merge", 8, 1 << 20),
+            ],
+            stages: vec![
+                DynStage::Static(vec![FunctionId(0)]),
+                DynStage::Switch {
+                    selector: BranchSelector::OutputBytesAbove { threshold: 4 << 20 },
+                    branches: vec![vec![FunctionId(1)], vec![FunctionId(2), FunctionId(3)]],
+                },
+                DynStage::Static(vec![FunctionId(4)]),
+            ],
+        };
+        let chiron = Chiron::default();
+        let deployment = chiron.deploy_dynamic(&dw, None, PgpMode::NativeThread);
+        assert_eq!(deployment.variants.len(), 2);
+        let (choices, outcome) = chiron.invoke_dynamic(&deployment, 1024, 0).unwrap();
+        // upload's 8MB output exceeds the 4MB threshold → the split branch.
+        assert_eq!(choices, vec![1]);
+        assert_eq!(outcome.timelines.len(), 4);
+        assert!(!outcome.e2e.is_zero());
+    }
+
+    #[test]
+    fn reprofile_supersedes_deployment() {
+        let chiron = Chiron::default();
+        let wf = apps::movie_reviewing();
+        let d1 = chiron.deploy(&wf, None, PgpMode::NativeThread);
+        let d2 = chiron.reprofile(&wf, &d1, None, PgpMode::NativeThread, 42);
+        // Identical workload → an equivalent plan (profiles are noiseless).
+        assert_eq!(d1.plan().stages, d2.plan().stages);
+    }
+}

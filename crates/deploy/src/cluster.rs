@@ -1,0 +1,306 @@
+//! Multi-node placement of wraps — the cluster dimension of §7.
+//!
+//! The paper evaluates on an 8-node cluster (Table 2) but schedules wraps
+//! centrally; §7 notes that with many wraps "the current centralized
+//! scheduling architecture of Chiron can lead to high real-time request
+//! scheduling overhead" and that decentralised scheduling is the remedy.
+//! This module supplies the placement substrate: bin-packing a plan's
+//! sandboxes onto worker nodes under CPU/memory capacity, pack-vs-spread
+//! policies, per-node utilisation, cluster-level throughput, and the
+//! centralised-vs-decentralised invocation-overhead comparison.
+
+use chiron_model::{CostModel, DeploymentPlan, SandboxId, SimDuration, Workflow};
+use chiron_metrics::plan_resources;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a worker node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// A homogeneous cluster of worker nodes (Table 2's testbed shape).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    pub nodes: u32,
+    /// Per-node capacity (CPU count / DRAM come from the cost model).
+    pub node: CostModel,
+    /// Extra latency of a wrap-to-wrap invocation that crosses nodes,
+    /// beyond the intra-node `T_RPC`.
+    pub cross_node_extra: SimDuration,
+}
+
+impl ClusterConfig {
+    /// The paper's testbed: 8 nodes, 40 CPUs / 128 GB each, 10 Gbps
+    /// full-bisection Ethernet (≈0.5 ms extra per cross-node hop).
+    pub fn paper_testbed() -> Self {
+        ClusterConfig {
+            nodes: 8,
+            node: CostModel::paper_calibrated(),
+            cross_node_extra: SimDuration::from_millis_f64(0.5),
+        }
+    }
+}
+
+/// How sandboxes are assigned to nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// First-fit onto the fewest nodes (locality: cheap wrap-to-wrap RPC).
+    Pack,
+    /// Round-robin across all nodes (balance: headroom per node).
+    Spread,
+}
+
+/// A placement of one deployment's sandboxes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    pub assignments: Vec<(SandboxId, NodeId)>,
+}
+
+/// Placement failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlacementError {
+    /// A single sandbox exceeds a node's CPU or memory capacity.
+    SandboxTooLarge(SandboxId),
+    /// The cluster cannot hold all sandboxes.
+    ClusterFull,
+}
+
+impl std::fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlacementError::SandboxTooLarge(id) => {
+                write!(f, "{id} exceeds single-node capacity")
+            }
+            PlacementError::ClusterFull => write!(f, "cluster capacity exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+impl Placement {
+    pub fn node_of(&self, sandbox: SandboxId) -> Option<NodeId> {
+        self.assignments
+            .iter()
+            .find(|(s, _)| *s == sandbox)
+            .map(|&(_, n)| n)
+    }
+
+    /// Number of distinct nodes used.
+    pub fn nodes_used(&self) -> usize {
+        let mut nodes: Vec<NodeId> = self.assignments.iter().map(|&(_, n)| n).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes.len()
+    }
+}
+
+/// Resource demand of one sandbox (its share of the plan's footprint).
+fn sandbox_demand(
+    plan: &DeploymentPlan,
+    workflow: &Workflow,
+    costs: &CostModel,
+    sandbox: SandboxId,
+) -> (u32, u64) {
+    // Build a single-sandbox sub-plan view: cpus from the sandbox plan,
+    // memory via the per-sandbox accounting of `plan_resources` applied to
+    // a filtered plan.
+    let sb = plan.sandbox(sandbox).expect("sandbox exists");
+    let filtered = DeploymentPlan {
+        sandboxes: vec![*sb],
+        stages: plan
+            .stages
+            .iter()
+            .map(|s| chiron_model::StagePlan {
+                wraps: s
+                    .wraps
+                    .iter()
+                    .filter(|w| w.sandbox == sandbox)
+                    .cloned()
+                    .collect(),
+            })
+            .filter(|s| !s.wraps.is_empty())
+            .collect(),
+        ..plan.clone()
+    };
+    if filtered.stages.is_empty() {
+        return (sb.cpus, costs.sandbox_base_bytes);
+    }
+    let usage = plan_resources(&filtered, workflow, costs);
+    (sb.cpus, usage.memory_bytes)
+}
+
+/// Places a plan's sandboxes onto the cluster.
+pub fn place(
+    plan: &DeploymentPlan,
+    workflow: &Workflow,
+    cluster: &ClusterConfig,
+    policy: PlacementPolicy,
+) -> Result<Placement, PlacementError> {
+    let mut free_cpu = vec![cluster.node.node_cpus; cluster.nodes as usize];
+    let mut free_mem = vec![cluster.node.node_memory_bytes; cluster.nodes as usize];
+    let mut assignments = Vec::with_capacity(plan.sandbox_count());
+    let mut rr_cursor = 0usize;
+    for sb in &plan.sandboxes {
+        let (cpus, mem) = sandbox_demand(plan, workflow, &cluster.node, sb.id);
+        if cpus > cluster.node.node_cpus || mem > cluster.node.node_memory_bytes {
+            return Err(PlacementError::SandboxTooLarge(sb.id));
+        }
+        let n = cluster.nodes as usize;
+        let order: Vec<usize> = match policy {
+            PlacementPolicy::Pack => (0..n).collect(),
+            PlacementPolicy::Spread => (0..n).map(|i| (rr_cursor + i) % n).collect(),
+        };
+        let slot = order
+            .into_iter()
+            .find(|&i| free_cpu[i] >= cpus && free_mem[i] >= mem)
+            .ok_or(PlacementError::ClusterFull)?;
+        free_cpu[slot] -= cpus;
+        free_mem[slot] -= mem;
+        assignments.push((sb.id, NodeId(slot as u32)));
+        rr_cursor = (slot + 1) % n;
+    }
+    Ok(Placement { assignments })
+}
+
+/// Extra per-request invocation latency this placement adds: each stage's
+/// remote wraps that land on a different node than the stage's primary
+/// wrap pay `cross_node_extra` on invocation and return.
+pub fn placement_overhead(
+    plan: &DeploymentPlan,
+    placement: &Placement,
+    cluster: &ClusterConfig,
+) -> SimDuration {
+    let mut extra = SimDuration::ZERO;
+    for stage in &plan.stages {
+        let primary = placement
+            .node_of(stage.wraps[0].sandbox)
+            .expect("placed plan");
+        let mut worst = SimDuration::ZERO;
+        for wrap in stage.wraps.iter().skip(1) {
+            if placement.node_of(wrap.sandbox) != Some(primary) {
+                worst = cluster.cross_node_extra * 2; // invoke + return
+            }
+        }
+        extra += worst;
+    }
+    extra
+}
+
+/// Centralised vs decentralised request scheduling (§7): a centralised
+/// scheduler interposes one extra gateway round trip per stage handled by
+/// a remote wrap; decentralised scheduling lets wraps invoke each other
+/// directly. Returns `(centralised, decentralised)` per-request overheads.
+pub fn scheduling_architectures(
+    plan: &DeploymentPlan,
+    costs: &CostModel,
+) -> (SimDuration, SimDuration) {
+    let mut central = SimDuration::ZERO;
+    let mut decentral = SimDuration::ZERO;
+    for stage in &plan.stages {
+        let remote_wraps = stage.wraps.len().saturating_sub(1) as u64;
+        if remote_wraps > 0 {
+            // Central: every remote invocation detours through the
+            // scheduler (one extra T_RPC each, serialised issuance).
+            central += (costs.rpc + costs.inv) * remote_wraps;
+            // Decentralised: wrap 1 invokes peers directly.
+            decentral += costs.inv * remote_wraps;
+        }
+    }
+    (central, decentral)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planners;
+    use chiron_model::apps;
+
+    #[test]
+    fn pack_uses_fewest_nodes() {
+        let wf = apps::finra(12);
+        let plan = planners::faastlane_plus(&wf); // 3 sandboxes × 5 CPUs
+        let cluster = ClusterConfig::paper_testbed();
+        let packed = place(&plan, &wf, &cluster, PlacementPolicy::Pack).unwrap();
+        assert_eq!(packed.nodes_used(), 1, "15 CPUs fit one 40-CPU node");
+        let spread = place(&plan, &wf, &cluster, PlacementPolicy::Spread).unwrap();
+        assert_eq!(spread.nodes_used(), 3);
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let wf = apps::finra(200);
+        let plan = planners::faastlane_plus(&wf); // 40 sandboxes × 5 CPUs
+        let cluster = ClusterConfig::paper_testbed();
+        let placed = place(&plan, &wf, &cluster, PlacementPolicy::Pack).unwrap();
+        // 200 CPUs over 40-CPU nodes: at least 5 nodes.
+        assert!(placed.nodes_used() >= 5);
+        // No node oversubscribed: recompute usage.
+        let mut used = std::collections::HashMap::new();
+        for (sb, node) in &placed.assignments {
+            *used.entry(*node).or_insert(0u32) += plan.sandbox(*sb).unwrap().cpus;
+        }
+        for (&node, &cpus) in &used {
+            assert!(cpus <= 40, "{node:?} has {cpus} CPUs");
+        }
+    }
+
+    #[test]
+    fn oversized_sandbox_rejected() {
+        let wf = apps::finra(50);
+        let mut plan = planners::faastlane(&wf);
+        plan.sandboxes[0].cpus = 64; // exceeds a 40-CPU node
+        let cluster = ClusterConfig::paper_testbed();
+        assert_eq!(
+            place(&plan, &wf, &cluster, PlacementPolicy::Pack).unwrap_err(),
+            PlacementError::SandboxTooLarge(plan.sandboxes[0].id)
+        );
+    }
+
+    #[test]
+    fn cluster_full_detected() {
+        let wf = apps::finra(200);
+        let plan = planners::faastlane_plus(&wf); // 200 CPUs demanded
+        let tiny = ClusterConfig { nodes: 2, ..ClusterConfig::paper_testbed() };
+        assert_eq!(
+            place(&plan, &wf, &tiny, PlacementPolicy::Pack).unwrap_err(),
+            PlacementError::ClusterFull
+        );
+    }
+
+    #[test]
+    fn packed_placement_avoids_cross_node_overhead() {
+        let wf = apps::finra(12);
+        let plan = planners::faastlane_plus(&wf);
+        let cluster = ClusterConfig::paper_testbed();
+        let packed = place(&plan, &wf, &cluster, PlacementPolicy::Pack).unwrap();
+        let spread = place(&plan, &wf, &cluster, PlacementPolicy::Spread).unwrap();
+        let packed_extra = placement_overhead(&plan, &packed, &cluster);
+        let spread_extra = placement_overhead(&plan, &spread, &cluster);
+        assert_eq!(packed_extra, SimDuration::ZERO);
+        assert!(spread_extra > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn decentralised_scheduling_is_cheaper() {
+        let wf = apps::finra(50);
+        let profile = chiron_profiler::Profiler::default().profile_workflow(&wf);
+        let out = planners::chiron_m(&wf, &profile, None);
+        let costs = CostModel::paper_calibrated();
+        let (central, decentral) = scheduling_architectures(&out.plan, &costs);
+        if out.plan.max_wraps_per_stage() > 1 {
+            assert!(decentral < central);
+        } else {
+            assert_eq!(central, decentral);
+        }
+    }
+
+    #[test]
+    fn single_sandbox_plan_places_trivially() {
+        let wf = apps::finra(5);
+        let plan = planners::faastlane(&wf);
+        let cluster = ClusterConfig::paper_testbed();
+        let placed = place(&plan, &wf, &cluster, PlacementPolicy::Spread).unwrap();
+        assert_eq!(placed.assignments.len(), 1);
+        assert_eq!(placement_overhead(&plan, &placed, &cluster), SimDuration::ZERO);
+    }
+}

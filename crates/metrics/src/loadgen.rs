@@ -1,0 +1,136 @@
+//! Load-generation validation of the throughput analysis.
+//!
+//! [`node_throughput`](crate::throughput::node_throughput) derives the
+//! node's capacity analytically (resident concurrency ÷ latency). This
+//! module *drives* that capacity: a FIFO multi-server queueing simulation
+//! where each resident deployment instance is a server and per-request
+//! service times come from measured latency samples. The saturation search
+//! finds the highest arrival rate whose sojourn time stays bounded — which
+//! must agree with the analytic figure.
+
+use crate::stats::LatencySamples;
+use chiron_model::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+
+/// Outcome of driving one arrival rate through the node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadReport {
+    pub offered_rps: f64,
+    pub completed: u64,
+    /// Mean time from arrival to completion (queueing + service).
+    pub mean_sojourn: SimDuration,
+    /// 99th-percentile sojourn.
+    pub p99_sojourn: SimDuration,
+}
+
+/// Simulates `n_requests` uniformly spaced arrivals at `rps` into
+/// `servers` parallel deployment instances whose service times cycle
+/// through `service_times`.
+pub fn drive_load(
+    servers: u32,
+    service_times: &[SimDuration],
+    rps: f64,
+    n_requests: u64,
+) -> LoadReport {
+    assert!(servers > 0, "need at least one server");
+    assert!(!service_times.is_empty(), "need service-time samples");
+    assert!(rps > 0.0, "arrival rate must be positive");
+    let spacing = SimDuration::from_nanos((1e9 / rps).round() as u64);
+    // Min-heap of server free times.
+    let mut free: BinaryHeap<Reverse<u64>> = (0..servers).map(|_| Reverse(0u64)).collect();
+    let mut sojourns = LatencySamples::new();
+    let mut arrival = SimDuration::ZERO;
+    for i in 0..n_requests {
+        let service = service_times[(i as usize) % service_times.len()];
+        let Reverse(earliest) = free.pop().expect("servers > 0");
+        let start = earliest.max(arrival.as_nanos());
+        let done = start + service.as_nanos();
+        free.push(Reverse(done));
+        sojourns.push(SimDuration::from_nanos(done - arrival.as_nanos()));
+        arrival += spacing;
+    }
+    LoadReport {
+        offered_rps: rps,
+        completed: n_requests,
+        mean_sojourn: sojourns.mean(),
+        p99_sojourn: sojourns.percentile(0.99),
+    }
+}
+
+/// Finds the maximum sustainable arrival rate: the largest `rps` whose
+/// p99 sojourn stays within `slack × mean service time` (binary search).
+pub fn saturation_rps(
+    servers: u32,
+    service_times: &[SimDuration],
+    slack: f64,
+    n_requests: u64,
+) -> f64 {
+    assert!(slack >= 1.0);
+    let mean_service = service_times
+        .iter()
+        .map(|d| d.as_secs_f64())
+        .sum::<f64>()
+        / service_times.len() as f64;
+    let bound = SimDuration::from_nanos((mean_service * slack * 1e9).round() as u64);
+    let ceiling = f64::from(servers) / mean_service; // work-conservation limit
+    let (mut lo, mut hi) = (ceiling * 0.01, ceiling * 1.5);
+    for _ in 0..40 {
+        let mid = (lo + hi) / 2.0;
+        let report = drive_load(servers, service_times, mid, n_requests);
+        if report.p99_sojourn <= bound {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn underload_has_no_queueing() {
+        let report = drive_load(4, &[ms(100)], 10.0, 200);
+        // 10 rps of 100ms work on 4 servers = 25% utilisation.
+        assert_eq!(report.mean_sojourn, ms(100));
+        assert_eq!(report.p99_sojourn, ms(100));
+    }
+
+    #[test]
+    fn overload_queues_unboundedly() {
+        // 4 servers × 100ms can serve 40 rps; offer 80.
+        let report = drive_load(4, &[ms(100)], 80.0, 2000);
+        assert!(report.p99_sojourn > ms(1000), "p99 {}", report.p99_sojourn);
+    }
+
+    #[test]
+    fn saturation_matches_analytic_capacity() {
+        // Deterministic service: capacity = servers / service = 40 rps.
+        let rps = saturation_rps(4, &[ms(100)], 2.0, 4000);
+        assert!(
+            (36.0..=42.0).contains(&rps),
+            "saturation {rps} vs analytic 40"
+        );
+    }
+
+    #[test]
+    fn heterogeneous_service_times() {
+        let samples = vec![ms(50), ms(150)]; // mean 100ms
+        let rps = saturation_rps(2, &samples, 3.0, 4000);
+        assert!((14.0..=22.0).contains(&rps), "saturation {rps} vs analytic 20");
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one server")]
+    fn zero_servers_rejected() {
+        drive_load(0, &[ms(1)], 1.0, 1);
+    }
+}

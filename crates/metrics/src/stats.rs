@@ -1,0 +1,218 @@
+//! Latency statistics: summaries, percentiles, CDFs, SLO accounting.
+
+use chiron_model::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// A batch of latency observations (e.g. one per request, or one per
+/// function as in Fig. 15's CDF).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencySamples {
+    samples: Vec<SimDuration>,
+}
+
+impl LatencySamples {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn from_vec(samples: Vec<SimDuration>) -> Self {
+        LatencySamples { samples }
+    }
+
+    pub fn push(&mut self, sample: SimDuration) {
+        self.samples.push(sample);
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = SimDuration> + '_ {
+        self.samples.iter().copied()
+    }
+
+    pub fn mean(&self) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let total: u128 = self.samples.iter().map(|d| d.as_nanos() as u128).sum();
+        SimDuration::from_nanos((total / self.samples.len() as u128) as u64)
+    }
+
+    pub fn min(&self) -> SimDuration {
+        self.samples.iter().copied().min().unwrap_or(SimDuration::ZERO)
+    }
+
+    pub fn max(&self) -> SimDuration {
+        self.samples.iter().copied().max().unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Sample standard deviation in milliseconds.
+    pub fn std_ms(&self) -> f64 {
+        let n = self.samples.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean().as_millis_f64();
+        let var: f64 = self
+            .samples
+            .iter()
+            .map(|d| {
+                let x = d.as_millis_f64() - mean;
+                x * x
+            })
+            .sum::<f64>()
+            / (n - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Linear-interpolated percentile, `q` in `[0, 1]`.
+    pub fn percentile(&self, q: f64) -> SimDuration {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let pos = q * (sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            return sorted[lo];
+        }
+        let frac = pos - lo as f64;
+        let lo_ns = sorted[lo].as_nanos() as f64;
+        let hi_ns = sorted[hi].as_nanos() as f64;
+        SimDuration::from_nanos((lo_ns + (hi_ns - lo_ns) * frac).round() as u64)
+    }
+
+    /// Empirical CDF as `(latency, cumulative fraction)` points, sorted by
+    /// latency — the exact series Fig. 15 plots.
+    pub fn cdf(&self) -> Vec<(SimDuration, f64)> {
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        sorted
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| (d, (i + 1) as f64 / n as f64))
+            .collect()
+    }
+
+    /// Fraction of samples strictly above the SLO (Fig. 14's metric).
+    pub fn violation_rate(&self, slo: SimDuration) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let violations = self.samples.iter().filter(|&&d| d > slo).count();
+        violations as f64 / self.samples.len() as f64
+    }
+}
+
+impl FromIterator<SimDuration> for LatencySamples {
+    fn from_iter<I: IntoIterator<Item = SimDuration>>(iter: I) -> Self {
+        LatencySamples {
+            samples: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Relative prediction error `(P̂ − P) / P` (§6.1).
+pub fn prediction_error(predicted: SimDuration, actual: SimDuration) -> f64 {
+    let actual_ms = actual.as_millis_f64();
+    assert!(actual_ms > 0.0, "actual latency must be positive");
+    (predicted.as_millis_f64() - actual_ms) / actual_ms
+}
+
+/// Mean absolute prediction error over paired samples.
+pub fn mean_abs_error(pairs: &[(SimDuration, SimDuration)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    pairs
+        .iter()
+        .map(|&(p, a)| prediction_error(p, a).abs())
+        .sum::<f64>()
+        / pairs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    fn samples(vals: &[u64]) -> LatencySamples {
+        vals.iter().map(|&v| ms(v)).collect()
+    }
+
+    #[test]
+    fn mean_min_max() {
+        let s = samples(&[10, 20, 30]);
+        assert_eq!(s.mean(), ms(20));
+        assert_eq!(s.min(), ms(10));
+        assert_eq!(s.max(), ms(30));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn empty_is_safe() {
+        let s = LatencySamples::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), SimDuration::ZERO);
+        assert_eq!(s.percentile(0.5), SimDuration::ZERO);
+        assert_eq!(s.violation_rate(ms(1)), 0.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let s = samples(&[10, 20, 30, 40]);
+        assert_eq!(s.percentile(0.0), ms(10));
+        assert_eq!(s.percentile(1.0), ms(40));
+        // median of 4 values: halfway between 20 and 30.
+        assert_eq!(s.percentile(0.5), ms(25));
+    }
+
+    #[test]
+    fn cdf_monotone() {
+        let s = samples(&[30, 10, 20]);
+        let cdf = s.cdf();
+        assert_eq!(cdf.len(), 3);
+        assert_eq!(cdf[0].0, ms(10));
+        assert!((cdf[2].1 - 1.0).abs() < 1e-12);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn violations_counted_strictly() {
+        let s = samples(&[10, 20, 30, 40]);
+        assert_eq!(s.violation_rate(ms(40)), 0.0);
+        assert_eq!(s.violation_rate(ms(25)), 0.5);
+        assert_eq!(s.violation_rate(ms(5)), 1.0);
+    }
+
+    #[test]
+    fn std_dev() {
+        let s = samples(&[10, 20]);
+        assert!((s.std_ms() - 7.0710678).abs() < 1e-5);
+        assert_eq!(samples(&[10]).std_ms(), 0.0);
+    }
+
+    #[test]
+    fn prediction_errors() {
+        assert!((prediction_error(ms(110), ms(100)) - 0.1).abs() < 1e-12);
+        assert!((prediction_error(ms(90), ms(100)) + 0.1).abs() < 1e-12);
+        let pairs = vec![(ms(110), ms(100)), (ms(80), ms(100))];
+        assert!((mean_abs_error(&pairs) - 0.15).abs() < 1e-12);
+        assert_eq!(mean_abs_error(&[]), 0.0);
+    }
+}

@@ -1,0 +1,22 @@
+//! # chiron-ml
+//!
+//! From-scratch learned baselines for the prediction-error evaluation
+//! (Fig. 12, §6.1): a CART-based random-forest regressor (the paper's RFR),
+//! an LSTM regressor trained with BPTT (the paper's LSTM, lr = 0.01,
+//! batch = 1), and a two-layer GCN regressor over the wrap relationship
+//! graph (the paper's GNN). No external ML dependencies.
+
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod features;
+pub mod forest;
+pub mod gnn;
+pub mod lstm;
+pub mod tree;
+
+pub use features::{plan_features, plan_graph, stage_sequence, NODE_FEATURE_DIM, PLAN_FEATURE_DIM};
+pub use forest::{ForestConfig, RandomForest};
+pub use gnn::{GnnConfig, GnnRegressor};
+pub use lstm::{LstmConfig, LstmRegressor};
+pub use tree::{RegressionTree, TreeConfig};

@@ -1,0 +1,34 @@
+//! # chiron-model
+//!
+//! Shared domain model for the Chiron (SC '23) reproduction: virtual time,
+//! function/workflow specifications, the **wrap** deployment abstraction,
+//! and the calibrated platform cost constants.
+//!
+//! Everything downstream — the virtual platform (`chiron-runtime`), the
+//! Profiler, the Predictor, PGP, and the deployment planners — speaks these
+//! types.
+
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod apps;
+pub mod dynamic;
+pub mod function;
+pub mod plan;
+pub mod platform;
+pub mod synthetic;
+pub mod time;
+pub mod workflow;
+
+pub use dynamic::{BranchSelector, DynStage, DynamicWorkflow};
+pub use function::{
+    FunctionId, FunctionSpec, LanguageRuntime, Segment, SyscallKind, WorkloadClass,
+};
+pub use plan::{
+    DeploymentPlan, IsolationKind, PlanError, ProcessPlan, ProcessSpawn, RuntimeKind, SandboxId,
+    SandboxPlan, SchedulingKind, StagePlan, SystemKind, TransferKind, WrapPlan,
+};
+pub use platform::{BillingModel, CostModel, JitterModel, PlatformConfig, SchedulingModel};
+pub use synthetic::{synthetic, SyntheticSpec};
+pub use time::{SimDuration, SimTime};
+pub use workflow::{Stage, Workflow, WorkflowError};

@@ -1,0 +1,165 @@
+//! The Kernighan–Lin element-swapping pass of PGP (Algorithm 2,
+//! lines 18–25).
+//!
+//! In PGP, "a set refers to the collection of functions contained within a
+//! process, while element swapping refers to the swapping of functions
+//! between two processes" (§3.4). The pass greedily finds the swap sequence
+//! that minimises a caller-supplied latency objective, records the gain of
+//! every swap, and finally applies the prefix of swaps with the largest
+//! cumulative gain.
+
+use chiron_model::FunctionId;
+
+/// Runs one Kernighan–Lin pass over function sets `a` and `b`.
+///
+/// `objective(a, b)` must return the predicted latency (lower = better) of
+/// executing the two candidate sets as two processes. On return, `a` and
+/// `b` hold the refined partition; the achieved latency improvement is
+/// returned (0.0 when no beneficial swap prefix exists).
+pub fn kernighan_lin(
+    a: &mut [FunctionId],
+    b: &mut [FunctionId],
+    mut objective: impl FnMut(&[FunctionId], &[FunctionId]) -> f64,
+) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    // Working copies that virtual swaps are applied to (line 19).
+    let mut wa = a.to_vec();
+    let mut wb = b.to_vec();
+    // Positions still eligible: each element is swapped at most once.
+    let mut free_a: Vec<usize> = (0..wa.len()).collect();
+    let mut free_b: Vec<usize> = (0..wb.len()).collect();
+
+    let initial = objective(&wa, &wb);
+    let mut current = initial;
+    let mut gains: Vec<f64> = Vec::new();
+    let mut swaps: Vec<(usize, usize)> = Vec::new();
+
+    // Line 20: until one working set is exhausted.
+    while !free_a.is_empty() && !free_b.is_empty() {
+        // Line 21: the swap that minimises the predicted latency.
+        let mut best: Option<(usize, usize, f64)> = None;
+        for &ia in &free_a {
+            for &ib in &free_b {
+                std::mem::swap(&mut wa[ia], &mut wb[ib]);
+                let score = objective(&wa, &wb);
+                std::mem::swap(&mut wa[ia], &mut wb[ib]);
+                let better = match best {
+                    Some((_, _, s)) => score < s,
+                    None => true,
+                };
+                if better {
+                    best = Some((ia, ib, score));
+                }
+            }
+        }
+        let (ia, ib, score) = best.expect("free sets are non-empty");
+        // Lines 22–23: record the benefit, lock the pair out.
+        std::mem::swap(&mut wa[ia], &mut wb[ib]);
+        gains.push(current - score);
+        current = score;
+        swaps.push((ia, ib));
+        free_a.retain(|&i| i != ia);
+        free_b.retain(|&i| i != ib);
+    }
+
+    // Lines 24–25: choose k maximising the cumulative gain and apply the
+    // first k swaps to the real sets.
+    let mut best_k = 0;
+    let mut best_sum = 0.0;
+    let mut acc = 0.0;
+    for (k, g) in gains.iter().enumerate() {
+        acc += g;
+        if acc > best_sum + 1e-12 {
+            best_sum = acc;
+            best_k = k + 1;
+        }
+    }
+    // Each position appears in at most one swap, so application order does
+    // not matter.
+    for &(ia, ib) in swaps.iter().take(best_k) {
+        std::mem::swap(&mut a[ia], &mut b[ib]);
+    }
+    best_sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fid(v: u32) -> FunctionId {
+        FunctionId(v)
+    }
+
+    /// Objective: |sum(weights A) − sum(weights B)| — balanced partitions
+    /// minimise the max process latency for CPU-bound functions.
+    fn imbalance(weights: &[f64]) -> impl FnMut(&[FunctionId], &[FunctionId]) -> f64 + '_ {
+        move |a, b| {
+            let wa: f64 = a.iter().map(|f| weights[f.index()]).sum();
+            let wb: f64 = b.iter().map(|f| weights[f.index()]).sum();
+            wa.max(wb)
+        }
+    }
+
+    #[test]
+    fn balances_heavy_and_light() {
+        // A holds both heavy functions; KL should split them.
+        let weights = [10.0, 10.0, 1.0, 1.0];
+        let mut a = vec![fid(0), fid(1)];
+        let mut b = vec![fid(2), fid(3)];
+        let gain = kernighan_lin(&mut a, &mut b, imbalance(&weights));
+        assert!(gain > 0.0);
+        let wa: f64 = a.iter().map(|f| weights[f.index()]).sum();
+        let wb: f64 = b.iter().map(|f| weights[f.index()]).sum();
+        assert_eq!(wa.max(wb), 11.0, "a={a:?} b={b:?}");
+    }
+
+    #[test]
+    fn no_gain_on_homogeneous_sets() {
+        let weights = [1.0; 6];
+        let mut a = vec![fid(0), fid(1), fid(2)];
+        let mut b = vec![fid(3), fid(4), fid(5)];
+        let before = (a.clone(), b.clone());
+        let gain = kernighan_lin(&mut a, &mut b, imbalance(&weights));
+        assert_eq!(gain, 0.0);
+        assert_eq!((a, b), before, "no swap should be applied");
+    }
+
+    #[test]
+    fn empty_set_is_noop() {
+        let mut a: Vec<FunctionId> = vec![];
+        let mut b = vec![fid(0)];
+        assert_eq!(kernighan_lin(&mut a, &mut b, |_, _| 0.0), 0.0);
+    }
+
+    #[test]
+    fn escapes_local_minimum_via_prefix_selection() {
+        // Hill-climbing on single swaps gets stuck; KL's look-ahead with
+        // cumulative-gain prefix can cross a neutral swap. Sets {9,1} vs
+        // {5,5}: any single swap worsens or keeps max=10; the two-swap
+        // sequence reaching {5,5} vs {9,1} is neutral overall — so KL must
+        // simply not regress here.
+        let weights = [9.0, 1.0, 5.0, 5.0];
+        let mut a = vec![fid(0), fid(1)];
+        let mut b = vec![fid(2), fid(3)];
+        let mut obj = imbalance(&weights);
+        let before = obj(&a, &b);
+        kernighan_lin(&mut a, &mut b, imbalance(&weights));
+        let after = imbalance(&weights)(&a, &b);
+        assert!(after <= before);
+    }
+
+    #[test]
+    fn multiset_preserved() {
+        let weights = [3.0, 7.0, 2.0, 8.0, 5.0];
+        let mut a = vec![fid(0), fid(1), fid(4)];
+        let mut b = vec![fid(2), fid(3)];
+        kernighan_lin(&mut a, &mut b, imbalance(&weights));
+        let mut all: Vec<u32> = a.iter().chain(b.iter()).map(|f| f.0).collect();
+        all.sort_unstable();
+        assert_eq!(all, [0, 1, 2, 3, 4]);
+        assert_eq!(a.len(), 3);
+        assert_eq!(b.len(), 2);
+    }
+}

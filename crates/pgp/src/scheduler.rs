@@ -1,0 +1,822 @@
+//! PGP: the prediction-based graph-partitioning scheduler (Algorithm 2).
+//!
+//! PGP answers three questions for every workflow stage: how many processes
+//! `n` to use, which functions share each process (threads), and how the
+//! processes are packed into wraps/sandboxes — then allocates the minimum
+//! CPUs that keep the predicted end-to-end latency within the SLO.
+//!
+//! The search is Algorithm 2's incremental-iterative structure:
+//!
+//! 1. for `n = 1..M` (max parallelism): round-robin the stage's functions
+//!    into `n` processes (line 9), refine every pair of processes with
+//!    Kernighan–Lin swapping guided by the Predictor (lines 10–11);
+//! 2. the first `n` whose conservatively predicted latency meets the SLO
+//!    wins (line 13); its processes are then packed into as few wraps as
+//!    possible (lines 14–16) and CPUs are trimmed greedily, both while the
+//!    prediction still meets the SLO;
+//! 3. with no SLO (performance-first mode) PGP instead keeps the plan with
+//!    the lowest predicted latency.
+//!
+//! §3.4's placement constraints are honoured: functions with conflicting
+//! language runtimes or overlapping output files are pinned into singleton
+//! wraps of their own.
+
+use crate::kl::kernighan_lin;
+use chiron_model::plan::{
+    DeploymentPlan, IsolationKind, ProcessPlan, RuntimeKind, SandboxId, SandboxPlan,
+    SchedulingKind, StagePlan, SystemKind, TransferKind, WrapPlan,
+};
+use chiron_model::{FunctionId, SimDuration, Workflow};
+use chiron_predict::{predict_threads, Predictor, SimThread};
+use chiron_profiler::WorkflowProfile;
+
+/// Which execution mechanism the generated wraps use (§4's variants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PgpMode {
+    /// Combined processes and native threads (plain Chiron).
+    NativeThread,
+    /// Threads isolated with Intel MPK for sequential functions; parallel
+    /// functions always fork (§4's fair-comparison configuration). Block
+    /// overhead is amortised by spreading processes over multiple wraps.
+    Mpk,
+    /// A pre-forked process pool in a single wrap (`n = 1` of the m-to-n
+    /// model), with CPU sharing via affinity (§4 "True Parallelism").
+    Pool,
+}
+
+/// PGP's inputs beyond the workflow itself.
+#[derive(Debug, Clone, Copy)]
+pub struct PgpConfig {
+    /// Latency SLO. `None` = performance-first: minimise predicted latency
+    /// and allocate CPUs for it.
+    pub slo: Option<SimDuration>,
+    pub mode: PgpMode,
+    /// Inflation applied to the Predictor's overhead parameters when
+    /// checking the SLO (§6.2). 1.0 disables it.
+    pub conservative_margin: f64,
+    /// Cap on the process-count search (the paper parallelises this search
+    /// for large workflows; we bound it).
+    pub max_process_search: usize,
+}
+
+impl PgpConfig {
+    pub fn with_slo(slo: SimDuration) -> Self {
+        PgpConfig {
+            slo: Some(slo),
+            mode: PgpMode::NativeThread,
+            conservative_margin: 1.25,
+            max_process_search: 32,
+        }
+    }
+
+    pub fn performance_first() -> Self {
+        PgpConfig {
+            slo: None,
+            mode: PgpMode::NativeThread,
+            conservative_margin: 1.0,
+            max_process_search: 32,
+        }
+    }
+
+    pub fn with_mode(mut self, mode: PgpMode) -> Self {
+        self.mode = mode;
+        self
+    }
+}
+
+/// What PGP decided.
+#[derive(Debug, Clone)]
+pub struct ScheduleOutcome {
+    pub plan: DeploymentPlan,
+    /// Conservatively predicted end-to-end latency of `plan`.
+    pub predicted: SimDuration,
+    /// Whether the SLO (if any) is met by the prediction.
+    pub met_slo: bool,
+    /// The chosen process count `n` for parallel stages.
+    pub processes: usize,
+}
+
+/// The PGP scheduler.
+#[derive(Debug, Clone)]
+pub struct PgpScheduler {
+    predictor: Predictor,
+}
+
+impl PgpScheduler {
+    pub fn new(predictor: Predictor) -> Self {
+        PgpScheduler { predictor }
+    }
+
+    pub fn paper_calibrated() -> Self {
+        PgpScheduler::new(Predictor::paper_calibrated())
+    }
+
+    /// Runs Algorithm 2 and returns the chosen deployment plan.
+    pub fn schedule(
+        &self,
+        workflow: &Workflow,
+        profile: &WorkflowProfile,
+        config: &PgpConfig,
+    ) -> ScheduleOutcome {
+        let check = self.predictor.conservative(config.conservative_margin);
+        match config.mode {
+            PgpMode::Pool => self.schedule_pool(workflow, profile, config, &check),
+            PgpMode::Mpk => self.schedule_mpk(workflow, profile, config, &check),
+            PgpMode::NativeThread => self.schedule_native(workflow, profile, config, &check),
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // Native-thread mode: the full Algorithm 2.
+    // ---------------------------------------------------------------------
+    fn schedule_native(
+        &self,
+        workflow: &Workflow,
+        profile: &WorkflowProfile,
+        config: &PgpConfig,
+        check: &Predictor,
+    ) -> ScheduleOutcome {
+        let max_n = workflow
+            .max_parallelism()
+            .min(config.max_process_search)
+            .max(1);
+        let mut best: Option<(DeploymentPlan, SimDuration, usize)> = None;
+        let mut stale_rounds = 0usize;
+
+        for n in 1..=max_n {
+            // Lines 6–11: initial partition + KL refinement per stage.
+            let partitions = self.partition_stages(workflow, profile, n);
+            // Lines 13–16 (and CPU minimisation): pack and trim under the
+            // SLO, or latency-optimally without one.
+            let plan = self.pack_and_allocate(
+                workflow,
+                profile,
+                &partitions,
+                config,
+                check,
+                IsolationKind::None,
+            );
+            let predicted = check.predict(workflow, profile, &plan);
+            let improved = best
+                .as_ref()
+                .map(|(_, p, _)| predicted < *p)
+                .unwrap_or(true);
+            if improved {
+                best = Some((plan, predicted, n));
+                stale_rounds = 0;
+            } else {
+                stale_rounds += 1;
+            }
+            if let Some(slo) = config.slo {
+                if predicted <= slo {
+                    let (plan, predicted, n) = best.expect("just inserted");
+                    return ScheduleOutcome { plan, predicted, met_slo: true, processes: n };
+                }
+            } else if stale_rounds >= 3 {
+                break; // latency stopped improving; stop widening.
+            }
+        }
+        let (plan, predicted, n) = best.expect("n = 1 always evaluated");
+        let met_slo = config.slo.map(|slo| predicted <= slo).unwrap_or(true);
+        ScheduleOutcome { plan, predicted, met_slo, processes: n }
+    }
+
+    /// Lines 6–11 of Algorithm 2 for every stage: round-robin into `n`
+    /// sets, then KL-refine every pair of sets.
+    fn partition_stages(
+        &self,
+        workflow: &Workflow,
+        profile: &WorkflowProfile,
+        n: usize,
+    ) -> Vec<Vec<Vec<FunctionId>>> {
+        let interval = self.predictor.costs.gil_switch_interval;
+        let clone_cost = self.predictor.costs.thread_clone;
+        let objective = |set: &[FunctionId]| -> f64 {
+            let threads: Vec<SimThread> = set
+                .iter()
+                .enumerate()
+                .map(|(ti, &fid)| SimThread {
+                    created_at: clone_cost * ti as u64,
+                    segments: profile.function(fid).segments(),
+                })
+                .collect();
+            predict_threads(&threads, interval).makespan.as_millis_f64()
+        };
+
+        workflow
+            .stages
+            .iter()
+            .map(|stage| {
+                let fns = &stage.functions;
+                let n_eff = n.min(fns.len()).max(1);
+                // Line 9: {f1, f_{n+1}, ...}, {f2, ...}, ..., {f_n, ...}.
+                let mut sets: Vec<Vec<FunctionId>> = vec![Vec::new(); n_eff];
+                for (i, &f) in fns.iter().enumerate() {
+                    sets[i % n_eff].push(f);
+                }
+                // Lines 10–11: KL over every pair; objective = the slower
+                // of the two candidate processes. §7 identifies KL as PGP's
+                // complexity bottleneck; we bound each pass to pairs whose
+                // swap space is tractable (large same-stage sets are nearly
+                // homogeneous round-robin splits, where KL's gain vanishes).
+                const MAX_SWAP_SPACE: usize = 256;
+                for i in 0..n_eff {
+                    for j in (i + 1)..n_eff {
+                        let (left, right) = sets.split_at_mut(j);
+                        if left[i].len() * right[0].len() > MAX_SWAP_SPACE {
+                            continue;
+                        }
+                        let mut a = std::mem::take(&mut left[i]);
+                        let mut b = std::mem::take(&mut right[0]);
+                        kernighan_lin(&mut a, &mut b, |x, y| objective(x).max(objective(y)));
+                        left[i] = a;
+                        right[0] = b;
+                    }
+                }
+                sets
+            })
+            .collect()
+    }
+
+    /// Packs each stage's processes into wraps and allocates CPUs
+    /// (lines 13–16 plus the resource-efficiency objective).
+    #[allow(clippy::too_many_arguments)]
+    fn pack_and_allocate(
+        &self,
+        workflow: &Workflow,
+        profile: &WorkflowProfile,
+        partitions: &[Vec<Vec<FunctionId>>],
+        config: &PgpConfig,
+        check: &Predictor,
+        isolation: IsolationKind,
+    ) -> DeploymentPlan {
+        // Start from the most co-located plan (1 wrap per stage) and widen
+        // the busiest stage until the SLO is met or wraps are singletons.
+        let max_procs = partitions.iter().map(Vec::len).max().unwrap_or(1);
+        let mut chosen: Option<DeploymentPlan> = None;
+        let mut best_lat = SimDuration::from_nanos(u64::MAX);
+        for wraps in 1..=max_procs {
+            let plan = self.build_plan(workflow, partitions, wraps, isolation, 0);
+            let lat = check.predict(workflow, profile, &plan);
+            match config.slo {
+                Some(slo) => {
+                    if lat <= slo {
+                        chosen = Some(plan);
+                        break; // fewest wraps meeting the SLO
+                    }
+                    // Keep the best-effort fallback.
+                    if lat < best_lat {
+                        best_lat = lat;
+                        chosen = Some(plan);
+                    }
+                }
+                None => {
+                    if lat < best_lat {
+                        best_lat = lat;
+                        chosen = Some(plan);
+                    }
+                }
+            }
+        }
+        let mut plan = chosen.expect("at least one packing evaluated");
+        self.trim_cpus(workflow, profile, &mut plan, config, check);
+        plan
+    }
+
+    /// Parallelised Algorithm 2 (§5: the Scheduler "can use multiple
+    /// processes to explore wrap partition under various number of
+    /// processes in parallel to improve scheduling efficiency"): every
+    /// candidate `n` is partitioned, packed and CPU-trimmed on its own
+    /// worker thread, then the selection rule of [`Self::schedule`] is applied
+    /// to the gathered results. Unlike the sequential search it evaluates
+    /// the full candidate range (no stale-round early stop), so in
+    /// latency-first mode it returns an equal-or-better plan.
+    ///
+    /// Only the native-thread mode has an `n` search to parallelise; the
+    /// MPK/pool modes fall back to the sequential path.
+    pub fn schedule_parallel(
+        &self,
+        workflow: &Workflow,
+        profile: &WorkflowProfile,
+        config: &PgpConfig,
+        workers: usize,
+    ) -> ScheduleOutcome {
+        if config.mode != PgpMode::NativeThread || workers <= 1 {
+            return self.schedule(workflow, profile, config);
+        }
+        let check = self.predictor.conservative(config.conservative_margin);
+        let max_n = workflow
+            .max_parallelism()
+            .min(config.max_process_search)
+            .max(1);
+        let candidates: Vec<usize> = (1..=max_n).collect();
+        let n_workers = workers.min(candidates.len()).max(1);
+        let mut results: Vec<(usize, DeploymentPlan, SimDuration)> =
+            std::thread::scope(|scope| {
+                let check = &check;
+                let candidates = &candidates;
+                let handles: Vec<_> = (0..n_workers)
+                    .map(|w| {
+                        scope.spawn(move || {
+                            let mut out = Vec::new();
+                            // Static striping keeps the work deterministic.
+                            for idx in (w..candidates.len()).step_by(n_workers) {
+                                let n = candidates[idx];
+                                let partitions =
+                                    self.partition_stages(workflow, profile, n);
+                                let plan = self.pack_and_allocate(
+                                    workflow,
+                                    profile,
+                                    &partitions,
+                                    config,
+                                    check,
+                                    IsolationKind::None,
+                                );
+                                let predicted = check.predict(workflow, profile, &plan);
+                                out.push((n, plan, predicted));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("pgp worker panicked"))
+                    .collect()
+            });
+        results.sort_by_key(|(n, _, _)| *n);
+        // Apply the sequential selection rule over the gathered candidates.
+        let mut best: Option<(DeploymentPlan, SimDuration, usize)> = None;
+        for (n, plan, predicted) in results {
+            if let Some(slo) = config.slo {
+                if predicted <= slo {
+                    // The sequential search returns the best plan seen up
+                    // to and including the first SLO-satisfying n.
+                    let better = best
+                        .as_ref()
+                        .map(|(_, p, _)| predicted < *p)
+                        .unwrap_or(true);
+                    if better {
+                        best = Some((plan, predicted, n));
+                    }
+                    let (plan, predicted, n) = best.expect("just considered");
+                    return ScheduleOutcome { plan, predicted, met_slo: true, processes: n };
+                }
+            }
+            let better = best
+                .as_ref()
+                .map(|(_, p, _)| predicted < *p)
+                .unwrap_or(true);
+            if better {
+                best = Some((plan, predicted, n));
+            }
+        }
+        let (plan, predicted, n) = best.expect("n = 1 always evaluated");
+        let met_slo = config.slo.map(|slo| predicted <= slo).unwrap_or(true);
+        ScheduleOutcome { plan, predicted, met_slo, processes: n }
+    }
+
+    /// Public access to the plan materialiser, used by the evaluation
+    /// harness to enumerate candidate wrap designs (Fig. 12 explores "all
+    /// possible wraps").
+    pub fn materialize(
+        &self,
+        workflow: &Workflow,
+        partitions: &[Vec<Vec<FunctionId>>],
+        wrap_count: usize,
+        isolation: IsolationKind,
+        pool_size: u32,
+    ) -> DeploymentPlan {
+        self.build_plan(workflow, partitions, wrap_count, isolation, pool_size)
+    }
+
+    /// Round-robin stage partitions into `n` processes followed by KL
+    /// refinement (Algorithm 2 lines 6–11), exposed for plan enumeration.
+    pub fn partitions(
+        &self,
+        workflow: &Workflow,
+        profile: &WorkflowProfile,
+        n: usize,
+    ) -> Vec<Vec<Vec<FunctionId>>> {
+        self.partition_stages(workflow, profile, n)
+    }
+
+    /// Materialises a plan: `wrap_count` wraps per parallel stage,
+    /// processes distributed round-robin, conflicting functions pinned to
+    /// singleton wraps, CPU allocations initialised to each sandbox's peak
+    /// process count.
+    fn build_plan(
+        &self,
+        workflow: &Workflow,
+        partitions: &[Vec<Vec<FunctionId>>],
+        wrap_count: usize,
+        isolation: IsolationKind,
+        pool_size: u32,
+    ) -> DeploymentPlan {
+        let pooled = pool_size > 0;
+        let mut stages = Vec::with_capacity(partitions.len());
+        let mut max_sandbox = 0u32;
+        // Pinned (conflicting) functions get sandboxes disjoint from every
+        // possible normal wrap id, across all stages: a conflicting runtime
+        // image can never share a sandbox with anything else.
+        let mut next_pinned = partitions.iter().map(Vec::len).max().unwrap_or(1) as u32;
+        for sets in partitions {
+            // §3.4: pin conflicting functions into singleton wraps.
+            let mut pinned: Vec<FunctionId> = Vec::new();
+            let mut normal: Vec<Vec<FunctionId>> = Vec::new();
+            for set in sets {
+                let mut keep = Vec::new();
+                for &f in set {
+                    let conflicts = sets
+                        .iter()
+                        .flatten()
+                        .any(|&g| g != f && conflicting(workflow, f, g));
+                    if conflicts {
+                        pinned.push(f);
+                    } else {
+                        keep.push(f);
+                    }
+                }
+                if !keep.is_empty() {
+                    normal.push(keep);
+                }
+            }
+
+            let w = wrap_count.min(normal.len()).max(1);
+            let mut wraps: Vec<WrapPlan> = (0..w)
+                .map(|k| WrapPlan {
+                    sandbox: SandboxId(k as u32),
+                    processes: Vec::new(),
+                })
+                .collect();
+            for (i, set) in normal.into_iter().enumerate() {
+                let spawn = if pooled {
+                    ProcessPlan::pooled(set)
+                } else {
+                    ProcessPlan::forked(set)
+                };
+                wraps[i % w].processes.push(spawn);
+            }
+            wraps.retain(|wrap| !wrap.processes.is_empty());
+            // Single-process wraps run on their orchestrator's threads
+            // (Fig. 9's `Thread(f1, req)` wrap form) unless pooled.
+            for wrap in &mut wraps {
+                if !pooled && wrap.processes.len() == 1 {
+                    wrap.processes[0] = ProcessPlan::main_reuse(
+                        std::mem::take(&mut wrap.processes[0].functions),
+                    );
+                }
+            }
+            // Pinned singleton wraps go to dedicated sandboxes.
+            for f in pinned {
+                wraps.push(WrapPlan {
+                    sandbox: SandboxId(next_pinned),
+                    processes: vec![ProcessPlan::main_reuse(vec![f])],
+                });
+                next_pinned += 1;
+            }
+            assert!(!wraps.is_empty(), "a stage always yields at least one wrap");
+            for wrap in &wraps {
+                max_sandbox = max_sandbox.max(wrap.sandbox.0);
+            }
+            stages.push(StagePlan { wraps });
+        }
+
+        // Initial CPU allocation: each sandbox's peak concurrent process
+        // count (one GIL-bound CPU per process). Only sandboxes actually
+        // referenced by some wrap are materialised.
+        let mut cpus = vec![0u32; max_sandbox as usize + 1];
+        for stage in &stages {
+            for wrap in &stage.wraps {
+                let demand = wrap.processes.len().max(1) as u32;
+                let slot = &mut cpus[wrap.sandbox.index()];
+                *slot = (*slot).max(demand);
+            }
+        }
+        let sandboxes: Vec<SandboxPlan> = cpus
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| SandboxPlan {
+                id: SandboxId(i as u32),
+                cpus: c,
+                pool_size: if i == 0 { pool_size } else { 0 },
+            })
+            .collect();
+
+        DeploymentPlan {
+            system: SystemKind::Chiron,
+            workflow: workflow.name.clone(),
+            runtime: RuntimeKind::PseudoParallel,
+            isolation,
+            transfer: TransferKind::RpcPayload,
+            scheduling: SchedulingKind::PreDeployed,
+            sandboxes,
+            stages,
+        }
+    }
+
+    /// Greedily removes CPUs (non-uniform allocation, Observation 4) while
+    /// the conservative prediction still meets the SLO. Without an SLO the
+    /// trim keeps the latency-optimal allocation (removing a CPU must not
+    /// increase the prediction).
+    fn trim_cpus(
+        &self,
+        workflow: &Workflow,
+        profile: &WorkflowProfile,
+        plan: &mut DeploymentPlan,
+        config: &PgpConfig,
+        check: &Predictor,
+    ) {
+        let budget = |p: &DeploymentPlan| check.predict(workflow, profile, p);
+        let limit = config.slo.unwrap_or_else(|| budget(plan));
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..plan.sandboxes.len() {
+                while plan.sandboxes[i].cpus > 1 {
+                    plan.sandboxes[i].cpus -= 1;
+                    if budget(plan) <= limit {
+                        changed = true;
+                    } else {
+                        plan.sandboxes[i].cpus += 1;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // MPK mode (§4): sequential stages as MPK threads, parallel stages as
+    // forked single-function processes, block overhead amortised across
+    // wraps.
+    // ---------------------------------------------------------------------
+    fn schedule_mpk(
+        &self,
+        workflow: &Workflow,
+        profile: &WorkflowProfile,
+        config: &PgpConfig,
+        check: &Predictor,
+    ) -> ScheduleOutcome {
+        // Every parallel function its own process: n = stage parallelism.
+        let partitions: Vec<Vec<Vec<FunctionId>>> = workflow
+            .stages
+            .iter()
+            .map(|s| s.functions.iter().map(|&f| vec![f]).collect())
+            .collect();
+        let plan = self.pack_and_allocate(
+            workflow,
+            profile,
+            &partitions,
+            config,
+            check,
+            IsolationKind::Mpk,
+        );
+        let mut plan = plan;
+        plan.system = SystemKind::ChironM;
+        let predicted = check.predict(workflow, profile, &plan);
+        let met_slo = config.slo.map(|slo| predicted <= slo).unwrap_or(true);
+        let processes = workflow.max_parallelism();
+        ScheduleOutcome { plan, predicted, met_slo, processes }
+    }
+
+    // ---------------------------------------------------------------------
+    // Pool mode (§4): one wrap, pre-forked workers, shared CPUs.
+    // ---------------------------------------------------------------------
+    fn schedule_pool(
+        &self,
+        workflow: &Workflow,
+        profile: &WorkflowProfile,
+        config: &PgpConfig,
+        check: &Predictor,
+    ) -> ScheduleOutcome {
+        let partitions: Vec<Vec<Vec<FunctionId>>> = workflow
+            .stages
+            .iter()
+            .map(|s| s.functions.iter().map(|&f| vec![f]).collect())
+            .collect();
+        let pool_size = workflow.max_parallelism() as u32;
+        let mut plan = self.build_plan(workflow, &partitions, usize::MAX, IsolationKind::None, pool_size);
+        // A pool is a single wrap: force everything into sandbox 0.
+        for stage in &mut plan.stages {
+            let processes: Vec<ProcessPlan> = stage
+                .wraps
+                .drain(..)
+                .flat_map(|w| w.processes)
+                .collect();
+            stage.wraps = vec![WrapPlan { sandbox: SandboxId(0), processes }];
+        }
+        plan.sandboxes = vec![SandboxPlan {
+            id: SandboxId(0),
+            cpus: workflow.max_parallelism() as u32,
+            pool_size,
+        }];
+        plan.system = SystemKind::ChironP;
+        self.trim_cpus(workflow, profile, &mut plan, config, check);
+        let predicted = check.predict(workflow, profile, &plan);
+        let met_slo = config.slo.map(|slo| predicted <= slo).unwrap_or(true);
+        ScheduleOutcome { plan, predicted, met_slo, processes: pool_size as usize }
+    }
+}
+
+/// §3.4's sharing constraints: conflicting language runtimes or overlapping
+/// written files forbid sandbox sharing.
+fn conflicting(workflow: &Workflow, a: FunctionId, b: FunctionId) -> bool {
+    let fa = workflow.function(a);
+    let fb = workflow.function(b);
+    !fa.runtime.compatible(fb.runtime) || fa.file_conflict(fb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chiron_model::{apps, FunctionSpec, LanguageRuntime, Segment};
+    use chiron_profiler::Profiler;
+
+    fn profile(wf: &Workflow) -> WorkflowProfile {
+        Profiler::default().profile_workflow(wf)
+    }
+
+    #[test]
+    fn finra5_prefers_threads() {
+        // Sub-millisecond-heavy FINRA-5 is best served by thread execution
+        // (Observation 3): PGP should choose few processes.
+        let wf = apps::finra(5);
+        let out = PgpScheduler::paper_calibrated().schedule(
+            &wf,
+            &profile(&wf),
+            &PgpConfig::performance_first(),
+        );
+        assert!(out.processes <= 2, "chose {} processes", out.processes);
+        assert!(out.met_slo);
+        let stage_sets: Vec<Vec<FunctionId>> =
+            wf.stages.iter().map(|s| s.functions.clone()).collect();
+        out.plan.validate(&stage_sets).unwrap();
+    }
+
+    #[test]
+    fn slapp_prefers_processes() {
+        // 36ms CPU-heavy functions serialised by the GIL: PGP must split
+        // them across processes.
+        let wf = apps::slapp();
+        let out = PgpScheduler::paper_calibrated().schedule(
+            &wf,
+            &profile(&wf),
+            &PgpConfig::performance_first(),
+        );
+        assert!(out.processes >= 2, "chose {} processes", out.processes);
+    }
+
+    #[test]
+    fn slo_mode_meets_slo_with_fewer_cpus() {
+        let wf = apps::finra(50);
+        let prof = profile(&wf);
+        let sched = PgpScheduler::paper_calibrated();
+        let fast = sched.schedule(&wf, &prof, &PgpConfig::performance_first());
+        // A relaxed SLO: 40% above the performance-first prediction.
+        let slo = fast.predicted.mul_f64(1.4);
+        let eff = sched.schedule(&wf, &prof, &PgpConfig::with_slo(slo));
+        assert!(eff.met_slo);
+        assert!(eff.predicted <= slo);
+        assert!(
+            eff.plan.total_cpus() <= fast.plan.total_cpus(),
+            "SLO mode must not use more CPUs: {} vs {}",
+            eff.plan.total_cpus(),
+            fast.plan.total_cpus()
+        );
+    }
+
+    #[test]
+    fn unsatisfiable_slo_reports_best_effort() {
+        let wf = apps::slapp();
+        let out = PgpScheduler::paper_calibrated().schedule(
+            &wf,
+            &profile(&wf),
+            &PgpConfig::with_slo(SimDuration::from_millis(1)),
+        );
+        assert!(!out.met_slo);
+        assert!(out.predicted > SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn plans_validate_for_all_benchmarks() {
+        let sched = PgpScheduler::paper_calibrated();
+        for wf in [apps::social_network(), apps::movie_reviewing(), apps::slapp_v()] {
+            let out = sched.schedule(&wf, &profile(&wf), &PgpConfig::performance_first());
+            let stage_sets: Vec<Vec<FunctionId>> =
+                wf.stages.iter().map(|s| s.functions.clone()).collect();
+            out.plan.validate(&stage_sets).unwrap();
+        }
+    }
+
+    #[test]
+    fn mpk_mode_forks_parallel_functions() {
+        let wf = apps::finra(5);
+        let out = PgpScheduler::paper_calibrated().schedule(
+            &wf,
+            &profile(&wf),
+            &PgpConfig::performance_first().with_mode(PgpMode::Mpk),
+        );
+        assert_eq!(out.plan.isolation, IsolationKind::Mpk);
+        // Parallel stage: single-function processes only. (Single-process
+        // wraps legitimately become thread execution under MPK.)
+        for wrap in &out.plan.stages[1].wraps {
+            for proc in &wrap.processes {
+                assert_eq!(proc.functions.len(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn pool_mode_uses_single_wrap_and_shared_cpus() {
+        let wf = apps::finra(50);
+        let out = PgpScheduler::paper_calibrated().schedule(
+            &wf,
+            &profile(&wf),
+            &PgpConfig::performance_first().with_mode(PgpMode::Pool),
+        );
+        assert_eq!(out.plan.sandbox_count(), 1);
+        assert_eq!(out.plan.sandboxes[0].pool_size, 50);
+        for stage in &out.plan.stages {
+            assert_eq!(stage.wraps.len(), 1);
+        }
+        let stage_sets: Vec<Vec<FunctionId>> =
+            wf.stages.iter().map(|s| s.functions.clone()).collect();
+        out.plan.validate(&stage_sets).unwrap();
+    }
+
+    #[test]
+    fn conflicting_runtimes_are_pinned() {
+        let fns = vec![
+            FunctionSpec::new("py3", vec![Segment::cpu_ms(5)]),
+            FunctionSpec::new("py2", vec![Segment::cpu_ms(5)])
+                .with_runtime(LanguageRuntime::Python2),
+            FunctionSpec::new("py3b", vec![Segment::cpu_ms(5)]),
+        ];
+        let wf = Workflow::new("mixed", fns, vec![vec![0, 1, 2]]).unwrap();
+        let prof = Profiler::default().profile_workflow(&wf);
+        let out = PgpScheduler::paper_calibrated().schedule(
+            &wf,
+            &prof,
+            &PgpConfig::performance_first(),
+        );
+        // The Python 2 function must sit alone in its wrap.
+        let wrap_of = |f: u32| {
+            out.plan.stages[0]
+                .wraps
+                .iter()
+                .position(|w| w.functions().any(|x| x == FunctionId(f)))
+                .unwrap()
+        };
+        let w1 = wrap_of(1);
+        assert_eq!(out.plan.stages[0].wraps[w1].function_count(), 1);
+        let stage_sets: Vec<Vec<FunctionId>> =
+            wf.stages.iter().map(|s| s.functions.clone()).collect();
+        out.plan.validate(&stage_sets).unwrap();
+    }
+
+    #[test]
+    fn parallel_search_matches_sequential() {
+        let sched = PgpScheduler::paper_calibrated();
+        for wf in [apps::finra(20), apps::slapp(), apps::slapp_v()] {
+            let prof = profile(&wf);
+            for config in [
+                PgpConfig::performance_first(),
+                PgpConfig::with_slo(SimDuration::from_millis(200)),
+            ] {
+                let seq = sched.schedule(&wf, &prof, &config);
+                let par = sched.schedule_parallel(&wf, &prof, &config, 4);
+                assert_eq!(seq.processes, par.processes, "{}", wf.name);
+                assert_eq!(seq.predicted, par.predicted, "{}", wf.name);
+                assert_eq!(seq.plan, par.plan, "{}", wf.name);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_search_single_worker_falls_back() {
+        let wf = apps::finra(5);
+        let prof = profile(&wf);
+        let sched = PgpScheduler::paper_calibrated();
+        let config = PgpConfig::performance_first();
+        let a = sched.schedule(&wf, &prof, &config);
+        let b = sched.schedule_parallel(&wf, &prof, &config, 1);
+        assert_eq!(a.plan, b.plan);
+    }
+
+    #[test]
+    fn cpu_trim_is_non_uniform_and_minimal() {
+        let wf = apps::slapp();
+        let prof = profile(&wf);
+        let sched = PgpScheduler::paper_calibrated();
+        let fast = sched.schedule(&wf, &prof, &PgpConfig::performance_first());
+        let generous = sched.schedule(
+            &wf,
+            &prof,
+            &PgpConfig::with_slo(fast.predicted.mul_f64(2.0)),
+        );
+        // With double the latency budget, fewer CPUs must suffice.
+        assert!(generous.plan.total_cpus() < fast.plan.total_cpus().max(2));
+    }
+}

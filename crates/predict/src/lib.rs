@@ -1,0 +1,17 @@
+//! # chiron-predict
+//!
+//! Chiron's white-box latency Predictor (§3.3): Algorithm 1's GIL-switching
+//! simulation for multi-thread execution inside a process, the
+//! work-conserving bound for truly parallel execution, and the Eq. 1–4
+//! composition from processes through wraps and stages to the workflow's
+//! end-to-end latency. Also provides the conservative (inflated-parameter)
+//! variant PGP uses to guarantee SLOs (§6.2, Fig. 14).
+
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod latency;
+pub mod threadsim;
+
+pub use latency::Predictor;
+pub use threadsim::{predict_threads, predict_true_parallel, SimOutcome, SimThread};

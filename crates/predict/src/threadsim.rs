@@ -1,0 +1,313 @@
+//! Algorithm 1: Multi-Threads Latency Prediction.
+//!
+//! Predicts the overall latency of multiple function threads inside one
+//! GIL-guarded process by simulating GIL switching over the profiled
+//! CPU/block periods: the running thread executes until the switch interval
+//! expires or a block operation occurs; blocked threads rejoin when their
+//! I/O completes; the next holder is the non-blocked thread with minimum
+//! accumulated CPU time (the CFS rule, Algorithm 1 line 17).
+//!
+//! This is the *model*, deliberately simpler than the ground-truth fluid
+//! simulation in `chiron-runtime`: it assumes a dedicated CPU for the
+//! process and constant-cost thread creation. The residual between the two
+//! (plus platform jitter) is Chiron's prediction error (Fig. 12).
+
+use chiron_model::{Segment, SimDuration};
+
+/// One thread's input to the simulation: when it is created (relative to
+/// process start) and the profiled segment list it executes.
+#[derive(Debug, Clone)]
+pub struct SimThread {
+    pub created_at: SimDuration,
+    pub segments: Vec<Segment>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum SimPhase {
+    Waiting,
+    Ready,
+    Blocked { until: SimDuration },
+    Done { at: SimDuration },
+}
+
+#[derive(Debug)]
+struct SimState {
+    created_at: SimDuration,
+    segments: Vec<Segment>,
+    seg_idx: usize,
+    offset: SimDuration,
+    phase: SimPhase,
+    cpu_used: SimDuration,
+}
+
+/// Output of the Algorithm 1 simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimOutcome {
+    /// `T_exec`: when the last thread finished.
+    pub makespan: SimDuration,
+    /// Total CPU time consumed by all threads.
+    pub cpu_time: SimDuration,
+}
+
+/// Runs Algorithm 1 over `threads` with GIL switch interval `interval`.
+pub fn predict_threads(threads: &[SimThread], interval: SimDuration) -> SimOutcome {
+    assert!(!interval.is_zero(), "switch interval must be positive");
+    if threads.is_empty() {
+        return SimOutcome { makespan: SimDuration::ZERO, cpu_time: SimDuration::ZERO };
+    }
+    let mut states: Vec<SimState> = threads
+        .iter()
+        .map(|t| SimState {
+            created_at: t.created_at,
+            segments: t.segments.clone(),
+            seg_idx: 0,
+            offset: SimDuration::ZERO,
+            phase: SimPhase::Waiting,
+            cpu_used: SimDuration::ZERO,
+        })
+        .collect();
+
+    let mut clock = SimDuration::ZERO;
+    let mut total_cpu = SimDuration::ZERO;
+    loop {
+        // Wake arrivals and completed I/O.
+        for s in states.iter_mut() {
+            match s.phase {
+                SimPhase::Waiting if s.created_at <= clock => enter(s, clock),
+                SimPhase::Blocked { until } if until <= clock => {
+                    s.seg_idx += 1;
+                    enter(s, clock);
+                }
+                _ => {}
+            }
+        }
+        if states.iter().all(|s| matches!(s.phase, SimPhase::Done { .. })) {
+            break;
+        }
+
+        // Line 17: minimum-CPU-time non-blocked thread holds the GIL.
+        let runnable = states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.phase == SimPhase::Ready)
+            .min_by_key(|(i, s)| (s.cpu_used, *i))
+            .map(|(i, _)| i);
+
+        let Some(i) = runnable else {
+            // Everyone is blocked or not yet created: advance to the next
+            // wake-up point.
+            let next = states
+                .iter()
+                .filter_map(|s| match s.phase {
+                    SimPhase::Waiting => Some(s.created_at),
+                    SimPhase::Blocked { until } => Some(until),
+                    _ => None,
+                })
+                .min()
+                .expect("not all done");
+            clock = clock.max(next);
+            continue;
+        };
+
+        let s = &mut states[i];
+        let Segment::Cpu(seg_dur) = s.segments[s.seg_idx] else {
+            unreachable!("ready thread always sits on a CPU segment")
+        };
+        let remaining = seg_dur - s.offset;
+        // Lines 8–16: run until the switch timeout or the next block op /
+        // completion, whichever comes first.
+        let slice = remaining.min(interval);
+        clock += slice;
+        s.offset += slice;
+        s.cpu_used += slice;
+        total_cpu += slice;
+        if s.offset >= seg_dur {
+            s.seg_idx += 1;
+            s.offset = SimDuration::ZERO;
+            enter(s, clock);
+        }
+        // Otherwise the quantum expired mid-segment; the thread returns to
+        // the ready set and line 17 picks the next holder.
+    }
+
+    let makespan = states
+        .iter()
+        .map(|s| match s.phase {
+            SimPhase::Done { at } => at,
+            _ => unreachable!("loop exits only when all threads are done"),
+        })
+        .max()
+        .unwrap_or(SimDuration::ZERO);
+    SimOutcome { makespan, cpu_time: total_cpu }
+}
+
+/// Positions a thread on its current segment at `clock`.
+fn enter(s: &mut SimState, clock: SimDuration) {
+    match s.segments.get(s.seg_idx) {
+        None => s.phase = SimPhase::Done { at: clock },
+        Some(Segment::Cpu(d)) if d.is_zero() => {
+            s.seg_idx += 1;
+            enter(s, clock);
+        }
+        Some(Segment::Cpu(_)) => {
+            s.offset = SimDuration::ZERO;
+            s.phase = SimPhase::Ready;
+        }
+        Some(Segment::Block { dur, .. }) => {
+            s.phase = SimPhase::Blocked { until: clock + *dur };
+        }
+    }
+}
+
+/// White-box latency model for truly parallel execution (process pool,
+/// Java threads, nogil) of tasks on `cpus` CPUs: the makespan is bounded
+/// below by the longest task and by the aggregate CPU demand divided by
+/// the CPU count; the model takes the larger bound.
+pub fn predict_true_parallel(tasks: &[Vec<Segment>], cpus: u32) -> SimOutcome {
+    assert!(cpus > 0);
+    let mut longest = SimDuration::ZERO;
+    let mut total_cpu = SimDuration::ZERO;
+    let mut longest_io = SimDuration::ZERO;
+    for segs in tasks {
+        let solo: SimDuration = segs.iter().map(|s| s.duration()).sum();
+        let cpu: SimDuration = segs
+            .iter()
+            .filter(|s| s.is_cpu())
+            .map(|s| s.duration())
+            .sum();
+        longest = longest.max(solo);
+        longest_io = longest_io.max(solo - cpu);
+        total_cpu += cpu;
+    }
+    // Work-conserving bound: all CPU demand squeezed onto `cpus` cores,
+    // overlapped with the longest blocking chain.
+    let packed = SimDuration::from_nanos(
+        (total_cpu.as_nanos() as f64 / f64::from(cpus)).ceil() as u64,
+    )
+    .max(longest_io);
+    SimOutcome {
+        makespan: longest.max(packed),
+        cpu_time: total_cpu,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chiron_model::SyscallKind;
+
+    const I: SimDuration = SimDuration::from_millis(5);
+
+    fn cpu(ms: u64) -> Segment {
+        Segment::cpu_ms(ms)
+    }
+
+    fn io(ms: u64) -> Segment {
+        Segment::Block { kind: SyscallKind::NetIo, dur: SimDuration::from_millis(ms) }
+    }
+
+    fn at(ms: u64, segments: Vec<Segment>) -> SimThread {
+        SimThread { created_at: SimDuration::from_millis(ms), segments }
+    }
+
+    #[test]
+    fn single_thread_is_solo_latency() {
+        let out = predict_threads(&[at(0, vec![cpu(10), io(5), cpu(3)])], I);
+        assert_eq!(out.makespan.as_millis_f64(), 18.0);
+        assert_eq!(out.cpu_time.as_millis_f64(), 13.0);
+    }
+
+    #[test]
+    fn gil_serialises_cpu() {
+        let out = predict_threads(&[at(0, vec![cpu(10)]), at(0, vec![cpu(10)])], I);
+        assert_eq!(out.makespan.as_millis_f64(), 20.0);
+    }
+
+    #[test]
+    fn io_overlaps_with_cpu() {
+        let out = predict_threads(&[at(0, vec![io(20)]), at(0, vec![cpu(20)])], I);
+        assert_eq!(out.makespan.as_millis_f64(), 20.0);
+    }
+
+    #[test]
+    fn min_cpu_time_selection() {
+        // Thread A blocks early; when it wakes it has less CPU time than B
+        // and must preempt at the next switch point.
+        let out = predict_threads(
+            &[at(0, vec![cpu(2), io(4), cpu(2)]), at(0, vec![cpu(20)])],
+            I,
+        );
+        assert_eq!(out.makespan.as_millis_f64(), 24.0);
+        assert_eq!(out.cpu_time.as_millis_f64(), 24.0);
+    }
+
+    #[test]
+    fn staggered_creation_delays_start() {
+        let out = predict_threads(&[at(10, vec![cpu(5)])], I);
+        assert_eq!(out.makespan.as_millis_f64(), 15.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out = predict_threads(&[], I);
+        assert_eq!(out.makespan, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn matches_runtime_fluid_on_cpu_workload() {
+        // Cross-check: the Algorithm 1 model and the ground-truth fluid
+        // engine agree exactly for a dedicated-CPU process.
+        use chiron_runtime::fluid::{execute_sandbox, ThreadTask};
+        use chiron_model::{RuntimeKind, SimTime};
+        let segs: Vec<Vec<Segment>> = vec![
+            vec![cpu(7), io(3), cpu(2)],
+            vec![cpu(4)],
+            vec![io(6), cpu(5)],
+        ];
+        let predicted = predict_threads(
+            &segs
+                .iter()
+                .map(|s| at(0, s.clone()))
+                .collect::<Vec<_>>(),
+            I,
+        );
+        let truth = execute_sandbox(
+            &segs
+                .iter()
+                .map(|s| ThreadTask { process: 0, start: SimTime::ZERO, segments: s.clone() })
+                .collect::<Vec<_>>(),
+            1,
+            RuntimeKind::PseudoParallel,
+            I,
+        );
+        let truth_end = truth
+            .iter()
+            .map(|r| r.end.as_millis_f64())
+            .fold(0.0, f64::max);
+        let diff = (predicted.makespan.as_millis_f64() - truth_end).abs();
+        assert!(diff < 0.5, "model {} vs truth {}", predicted.makespan, truth_end);
+    }
+
+    #[test]
+    fn true_parallel_longest_task_bound() {
+        let out = predict_true_parallel(&[vec![cpu(30)], vec![cpu(10)]], 4);
+        assert_eq!(out.makespan.as_millis_f64(), 30.0);
+        assert_eq!(out.cpu_time.as_millis_f64(), 40.0);
+    }
+
+    #[test]
+    fn true_parallel_capacity_bound() {
+        // 4 × 10ms CPU on 2 CPUs: 20ms of packed work.
+        let tasks: Vec<Vec<Segment>> = (0..4).map(|_| vec![cpu(10)]).collect();
+        let out = predict_true_parallel(&tasks, 2);
+        assert_eq!(out.makespan.as_millis_f64(), 20.0);
+    }
+
+    #[test]
+    fn true_parallel_io_does_not_consume_cpu() {
+        let tasks = vec![vec![io(30), cpu(2)], vec![cpu(10)]];
+        let out = predict_true_parallel(&tasks, 1);
+        assert_eq!(out.makespan.as_millis_f64(), 32.0);
+        assert_eq!(out.cpu_time.as_millis_f64(), 12.0);
+    }
+}

@@ -1,0 +1,16 @@
+//! # chiron-profiler
+//!
+//! The Profiler of Chiron's pipeline (Fig. 9 step ➋, §3.2): it observes each
+//! function in a solo run under an strace-style tracer, extracts the block
+//! periods from blocking syscalls, rescales them by the untraced solo
+//! latency to cancel the tracing overhead, and emits per-function profiles
+//! that the Predictor consumes.
+
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod profile;
+pub mod trace;
+
+pub use profile::{BlockPeriod, FunctionProfile, Profiler, WorkflowProfile};
+pub use trace::{strace_solo, StraceRecord, STRACE_OVERHEAD};

@@ -1,0 +1,564 @@
+//! The sandbox execution engine: a deterministic event-driven simulation of
+//! threads executing CPU and blocking segments inside one sandbox.
+//!
+//! Three mechanisms interact here, and each maps to a first-class rule:
+//!
+//! 1. **The GIL** (`RuntimeKind::PseudoParallel`): at most one thread per
+//!    process executes CPU work at a time. The holder is asked to drop the
+//!    GIL after the switch interval when other threads are waiting, and the
+//!    next holder is the runnable thread with the least accumulated CPU
+//!    time (the CFS-style rule Algorithm 1 uses). Blocking segments release
+//!    the GIL immediately (Fig. 2).
+//! 2. **CPU capacity** (cgroups): if more threads hold a CPU-executing slot
+//!    than the sandbox's CPU allocation, they progress at the fluid rate
+//!    `cpus / runnable` — the generalised-processor-sharing approximation
+//!    of the kernel scheduler.
+//! 3. **True parallelism** (`RuntimeKind::TrueParallel`, Java / process
+//!    pool): every runnable thread executes concurrently, subject only to
+//!    rule 2.
+//!
+//! The engine is exact for piecewise-constant rates: it advances from event
+//! to event (thread starts, segment completions, GIL switch expiries) and
+//! never time-steps.
+
+// Index loops are deliberate here: the engine mutates `threads[i]` while
+// consulting `holder`/`quantum_end`, which iterator forms cannot express.
+#![allow(clippy::needless_range_loop)]
+
+use crate::span::{Span, SpanKind};
+use chiron_model::{RuntimeKind, Segment, SimDuration, SimTime};
+
+/// One thread to execute: absolute start time plus its segment list
+/// (already stretched by isolation overheads and jittered by the caller).
+#[derive(Debug, Clone)]
+pub struct ThreadTask {
+    /// Process the thread belongs to (GIL domain).
+    pub process: usize,
+    /// When the thread exists and begins its first segment.
+    pub start: SimTime,
+    pub segments: Vec<Segment>,
+}
+
+/// Result of executing one thread.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadResult {
+    /// First instant the thread made progress (CPU granted or I/O issued).
+    pub exec_start: SimTime,
+    /// Instant the last segment finished.
+    pub end: SimTime,
+    /// Exec / Io / GilWait spans, ordered and non-overlapping.
+    pub spans: Vec<Span>,
+    /// Total CPU time consumed.
+    pub cpu_time: SimDuration,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    NotStarted,
+    /// Wants a CPU (and the GIL) but does not have it.
+    Ready,
+    /// Holds the GIL (pseudo) or a run slot (true) and burns CPU.
+    Running,
+    Io { until: SimTime },
+    Done,
+}
+
+#[derive(Debug)]
+struct ThreadState {
+    process: usize,
+    start: SimTime,
+    segments: Vec<Segment>,
+    seg_idx: usize,
+    /// Remaining nanoseconds of work in the current segment.
+    remaining: f64,
+    phase: Phase,
+    cpu_used: f64,
+    exec_start: Option<SimTime>,
+    end: SimTime,
+    spans: Vec<Span>,
+    open: Option<(SpanKind, SimTime)>,
+}
+
+impl ThreadState {
+    fn open_span(&mut self, kind: SpanKind, now: SimTime) {
+        debug_assert!(self.open.is_none(), "span already open");
+        self.open = Some((kind, now));
+    }
+
+    fn close_span(&mut self, now: SimTime) {
+        if let Some((kind, start)) = self.open.take() {
+            if now > start {
+                self.spans.push(Span { kind, start, end: now });
+            }
+        }
+    }
+}
+
+/// Executes `tasks` inside one sandbox with `cpus` CPUs.
+///
+/// `gil_interval` is the CPython switch interval; it is ignored under
+/// `RuntimeKind::TrueParallel`.
+pub fn execute_sandbox(
+    tasks: &[ThreadTask],
+    cpus: u32,
+    runtime: RuntimeKind,
+    gil_interval: SimDuration,
+) -> Vec<ThreadResult> {
+    assert!(cpus > 0, "sandbox needs at least one CPU");
+    assert!(
+        runtime == RuntimeKind::TrueParallel || !gil_interval.is_zero(),
+        "GIL switch interval must be positive"
+    );
+    let mut threads: Vec<ThreadState> = tasks
+        .iter()
+        .map(|t| ThreadState {
+            process: t.process,
+            start: t.start,
+            segments: t.segments.clone(),
+            seg_idx: 0,
+            remaining: 0.0,
+            phase: Phase::NotStarted,
+            cpu_used: 0.0,
+            exec_start: None,
+            end: t.start,
+            spans: Vec::new(),
+            open: None,
+        })
+        .collect();
+    if threads.is_empty() {
+        return Vec::new();
+    }
+
+    let n_procs = tasks.iter().map(|t| t.process).max().unwrap_or(0) + 1;
+    // Per process: the current GIL holder and when its quantum expires.
+    let mut holder: Vec<Option<usize>> = vec![None; n_procs];
+    let mut quantum_end: Vec<SimTime> = vec![SimTime::FAR_FUTURE; n_procs];
+
+    let mut now = threads.iter().map(|t| t.start).min().expect("non-empty");
+
+    loop {
+        // -- 1. Activate arrivals and I/O completions at `now`. -----------
+        for i in 0..threads.len() {
+            if threads[i].phase == Phase::NotStarted && threads[i].start <= now {
+                enter_segment(&mut threads[i], now);
+            }
+            if let Phase::Io { until } = threads[i].phase {
+                if until <= now {
+                    threads[i].close_span(now);
+                    advance_segment(&mut threads[i], now);
+                }
+            }
+        }
+
+        // -- 2. Preempt expired GIL quanta (pseudo-parallel only). --------
+        if runtime == RuntimeKind::PseudoParallel {
+            for p in 0..n_procs {
+                if let Some(h) = holder[p] {
+                    let waiter_exists = threads
+                        .iter()
+                        .enumerate()
+                        .any(|(i, t)| i != h && t.process == p && t.phase == Phase::Ready);
+                    if quantum_end[p] <= now && waiter_exists {
+                        // The holder is asked to drop the GIL (Fig. 2).
+                        threads[h].close_span(now);
+                        threads[h].phase = Phase::Ready;
+                        threads[h].open_span(SpanKind::GilWait, now);
+                        holder[p] = None;
+                    }
+                }
+            }
+        }
+
+        // -- 3. Grant the GIL / run slots. ---------------------------------
+        match runtime {
+            RuntimeKind::PseudoParallel => {
+                for p in 0..n_procs {
+                    let holder_running = holder[p]
+                        .map(|h| threads[h].phase == Phase::Running)
+                        .unwrap_or(false);
+                    if !holder_running {
+                        holder[p] = None;
+                        // CFS rule: the ready thread with minimum CPU time.
+                        let next = threads
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, t)| t.process == p && t.phase == Phase::Ready)
+                            .min_by(|(i, a), (j, b)| {
+                                a.cpu_used
+                                    .partial_cmp(&b.cpu_used)
+                                    .expect("cpu time is finite")
+                                    .then(i.cmp(j))
+                            })
+                            .map(|(i, _)| i);
+                        if let Some(i) = next {
+                            threads[i].close_span(now);
+                            threads[i].phase = Phase::Running;
+                            threads[i].exec_start.get_or_insert(now);
+                            threads[i].open_span(SpanKind::Exec, now);
+                            holder[p] = Some(i);
+                            quantum_end[p] = now + gil_interval;
+                        }
+                    }
+                }
+            }
+            RuntimeKind::TrueParallel => {
+                for t in threads.iter_mut() {
+                    if t.phase == Phase::Ready {
+                        t.close_span(now);
+                        t.phase = Phase::Running;
+                        t.exec_start.get_or_insert(now);
+                        t.open_span(SpanKind::Exec, now);
+                    }
+                }
+            }
+        }
+
+        // -- 4. Fluid rate for the running set. ----------------------------
+        let running = threads.iter().filter(|t| t.phase == Phase::Running).count();
+        let rate = if running == 0 {
+            0.0
+        } else {
+            (f64::from(cpus) / running as f64).min(1.0)
+        };
+
+        // -- 5. Find the next event. ---------------------------------------
+        let mut next = SimTime::FAR_FUTURE;
+        for t in &threads {
+            match t.phase {
+                Phase::NotStarted => next = next.min(t.start),
+                Phase::Io { until } => next = next.min(until),
+                Phase::Running => {
+                    let ns = (t.remaining / rate).ceil() as u64;
+                    next = next.min(now + SimDuration::from_nanos(ns));
+                }
+                _ => {}
+            }
+        }
+        if runtime == RuntimeKind::PseudoParallel {
+            for p in 0..n_procs {
+                if let Some(h) = holder[p] {
+                    let waiter_exists = threads
+                        .iter()
+                        .enumerate()
+                        .any(|(i, t)| i != h && t.process == p && t.phase == Phase::Ready);
+                    if waiter_exists {
+                        next = next.min(quantum_end[p]);
+                    }
+                }
+            }
+        }
+        if next == SimTime::FAR_FUTURE {
+            break; // every thread is Done
+        }
+        debug_assert!(next >= now, "time must advance monotonically");
+
+        // -- 6. Advance running threads by `dt`. ----------------------------
+        let dt = next.since(now).as_nanos() as f64;
+        if dt > 0.0 && rate > 0.0 {
+            for t in threads.iter_mut() {
+                if t.phase == Phase::Running {
+                    let progress = (dt * rate).min(t.remaining);
+                    t.remaining -= progress;
+                    t.cpu_used += progress;
+                }
+            }
+        }
+        now = next;
+
+        // -- 7. Complete finished CPU segments. -----------------------------
+        for i in 0..threads.len() {
+            if threads[i].phase == Phase::Running && threads[i].remaining <= 0.5 {
+                threads[i].close_span(now);
+                if let Some(h) = holder.get_mut(threads[i].process) {
+                    if *h == Some(i) {
+                        *h = None;
+                    }
+                }
+                advance_segment(&mut threads[i], now);
+                // A CPU segment followed directly by another CPU segment
+                // keeps the GIL: re-grant immediately in the next loop
+                // iteration (the thread is Ready with min cpu time unless a
+                // starved sibling takes over — which is exactly CFS).
+            }
+        }
+    }
+
+    threads
+        .into_iter()
+        .map(|t| {
+            debug_assert_eq!(t.phase, Phase::Done);
+            ThreadResult {
+                exec_start: t.exec_start.unwrap_or(t.end),
+                end: t.end,
+                spans: t.spans,
+                cpu_time: SimDuration::from_nanos(t.cpu_used.round() as u64),
+            }
+        })
+        .collect()
+}
+
+/// Starts the thread's current segment at `now` (or finishes the thread).
+fn enter_segment(t: &mut ThreadState, now: SimTime) {
+    match t.segments.get(t.seg_idx) {
+        None => {
+            t.phase = Phase::Done;
+            t.end = now;
+        }
+        Some(&Segment::Cpu(d)) => {
+            if d.is_zero() {
+                t.seg_idx += 1;
+                enter_segment(t, now);
+                return;
+            }
+            t.remaining = d.as_nanos() as f64;
+            t.phase = Phase::Ready;
+            t.open_span(SpanKind::GilWait, now);
+        }
+        Some(&Segment::Block { dur, .. }) => {
+            t.exec_start.get_or_insert(now);
+            if dur.is_zero() {
+                t.seg_idx += 1;
+                enter_segment(t, now);
+                return;
+            }
+            t.phase = Phase::Io { until: now + dur };
+            t.open_span(SpanKind::Io, now);
+        }
+    }
+}
+
+/// Moves to the next segment after the current one completed at `now`.
+fn advance_segment(t: &mut ThreadState, now: SimTime) {
+    t.seg_idx += 1;
+    enter_segment(t, now);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chiron_model::SyscallKind;
+
+    const GIL: SimDuration = SimDuration::from_millis(5);
+
+    fn cpu(ms: u64) -> Segment {
+        Segment::cpu_ms(ms)
+    }
+
+    fn io(ms: u64) -> Segment {
+        Segment::Block {
+            kind: SyscallKind::NetIo,
+            dur: SimDuration::from_millis(ms),
+        }
+    }
+
+    fn task(process: usize, start_ms: u64, segments: Vec<Segment>) -> ThreadTask {
+        ThreadTask {
+            process,
+            start: SimTime::from_nanos(start_ms * 1_000_000),
+            segments,
+        }
+    }
+
+    fn end_ms(r: &ThreadResult) -> f64 {
+        r.end.as_millis_f64()
+    }
+
+    #[test]
+    fn single_thread_runs_solo() {
+        let res = execute_sandbox(
+            &[task(0, 0, vec![cpu(10), io(5), cpu(5)])],
+            1,
+            RuntimeKind::PseudoParallel,
+            GIL,
+        );
+        assert_eq!(end_ms(&res[0]), 20.0);
+        assert_eq!(res[0].cpu_time.as_millis_f64(), 15.0);
+        assert_eq!(res[0].exec_start, SimTime::ZERO);
+    }
+
+    #[test]
+    fn gil_serialises_two_cpu_threads() {
+        // Two 10ms CPU threads, one process, 4 CPUs: the GIL forces ~20ms.
+        let res = execute_sandbox(
+            &[task(0, 0, vec![cpu(10)]), task(0, 0, vec![cpu(10)])],
+            4,
+            RuntimeKind::PseudoParallel,
+            GIL,
+        );
+        let finish = res.iter().map(end_ms).fold(0.0, f64::max);
+        assert_eq!(finish, 20.0);
+        // The first thread is preempted at every 5ms quantum, so both
+        // interleave rather than run-to-completion.
+        let first_done = res.iter().map(end_ms).fold(f64::MAX, f64::min);
+        assert!(first_done >= 15.0, "interleaving expected: {first_done}");
+    }
+
+    #[test]
+    fn true_parallelism_uses_both_cpus() {
+        let res = execute_sandbox(
+            &[task(0, 0, vec![cpu(10)]), task(0, 0, vec![cpu(10)])],
+            2,
+            RuntimeKind::TrueParallel,
+            GIL,
+        );
+        assert!(res.iter().all(|r| end_ms(r) == 10.0));
+    }
+
+    #[test]
+    fn separate_processes_run_in_parallel_under_gil() {
+        // Two processes, one thread each: the GIL does not serialise them.
+        let res = execute_sandbox(
+            &[task(0, 0, vec![cpu(10)]), task(1, 0, vec![cpu(10)])],
+            2,
+            RuntimeKind::PseudoParallel,
+            GIL,
+        );
+        assert!(res.iter().all(|r| end_ms(r) == 10.0));
+    }
+
+    #[test]
+    fn cpu_cap_slows_parallel_processes() {
+        // Two processes on one CPU: fluid sharing halves each one's rate.
+        let res = execute_sandbox(
+            &[task(0, 0, vec![cpu(10)]), task(1, 0, vec![cpu(10)])],
+            1,
+            RuntimeKind::PseudoParallel,
+            GIL,
+        );
+        assert!(res.iter().all(|r| end_ms(r) == 20.0));
+    }
+
+    #[test]
+    fn io_overlaps_with_gil_holder() {
+        // Fig. 2's key property: a blocked thread does not hold the GIL, so
+        // CPU work and I/O overlap fully.
+        let res = execute_sandbox(
+            &[task(0, 0, vec![io(20)]), task(0, 0, vec![cpu(20)])],
+            1,
+            RuntimeKind::PseudoParallel,
+            GIL,
+        );
+        assert_eq!(end_ms(&res[0]), 20.0);
+        assert_eq!(end_ms(&res[1]), 20.0);
+    }
+
+    #[test]
+    fn gil_wait_is_recorded() {
+        let res = execute_sandbox(
+            &[task(0, 0, vec![cpu(10)]), task(0, 0, vec![cpu(10)])],
+            4,
+            RuntimeKind::PseudoParallel,
+            GIL,
+        );
+        let wait: f64 = res
+            .iter()
+            .map(|r| {
+                r.spans
+                    .iter()
+                    .filter(|s| s.kind == SpanKind::GilWait)
+                    .map(|s| s.duration().as_millis_f64())
+                    .sum::<f64>()
+            })
+            .sum();
+        // Makespan 20ms: A waits 5ms (one preemption), B waits 10ms
+        // (initial grant + A's final quantum) ⇒ 15ms total GIL wait.
+        assert!((wait - 15.0).abs() < 0.1, "total GIL wait: {wait}");
+    }
+
+    #[test]
+    fn staggered_starts_respected() {
+        let res = execute_sandbox(
+            &[task(0, 0, vec![cpu(5)]), task(1, 7, vec![cpu(5)])],
+            2,
+            RuntimeKind::PseudoParallel,
+            GIL,
+        );
+        assert_eq!(end_ms(&res[0]), 5.0);
+        assert_eq!(res[1].exec_start.as_millis_f64(), 7.0);
+        assert_eq!(end_ms(&res[1]), 12.0);
+    }
+
+    #[test]
+    fn cfs_picks_least_served_thread() {
+        // Thread A: 5ms CPU, then IO, then 5ms CPU. Thread B: 20ms CPU.
+        // After A's IO completes, A has less CPU time than B, so A gets the
+        // GIL at the next switch point.
+        let res = execute_sandbox(
+            &[
+                task(0, 0, vec![cpu(5), io(3), cpu(5)]),
+                task(0, 0, vec![cpu(20)]),
+            ],
+            1,
+            RuntimeKind::PseudoParallel,
+            GIL,
+        );
+        // A must not be starved until B finishes (which would be 25+).
+        assert!(end_ms(&res[0]) < 25.0, "A finished at {}", end_ms(&res[0]));
+        let total = res.iter().map(end_ms).fold(0.0, f64::max);
+        assert_eq!(total, 30.0); // 30ms total CPU, fully serialised.
+    }
+
+    #[test]
+    fn spans_are_well_formed() {
+        let res = execute_sandbox(
+            &[
+                task(0, 0, vec![cpu(7), io(2), cpu(3)]),
+                task(0, 1, vec![cpu(4), io(1)]),
+                task(1, 2, vec![io(5), cpu(6)]),
+            ],
+            2,
+            RuntimeKind::PseudoParallel,
+            GIL,
+        );
+        for r in &res {
+            let mut cursor = SimTime::ZERO;
+            for s in &r.spans {
+                assert!(s.end >= s.start);
+                assert!(s.start >= cursor, "overlapping spans");
+                cursor = s.end;
+            }
+            let exec: f64 = r
+                .spans
+                .iter()
+                .filter(|s| s.kind == SpanKind::Exec)
+                .map(|s| s.duration().as_millis_f64())
+                .sum();
+            assert!((exec - r.cpu_time.as_millis_f64()).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        assert!(execute_sandbox(&[], 1, RuntimeKind::PseudoParallel, GIL).is_empty());
+    }
+
+    #[test]
+    fn zero_length_segments_skipped() {
+        let res = execute_sandbox(
+            &[task(0, 0, vec![cpu(0), io(0), cpu(5)])],
+            1,
+            RuntimeKind::PseudoParallel,
+            GIL,
+        );
+        assert_eq!(end_ms(&res[0]), 5.0);
+    }
+
+    #[test]
+    fn fluid_rate_partial_contention() {
+        // 3 truly parallel threads on 2 CPUs: rate 2/3 each, 10ms of work
+        // ⇒ 15ms completion for all three.
+        let res = execute_sandbox(
+            &[
+                task(0, 0, vec![cpu(10)]),
+                task(1, 0, vec![cpu(10)]),
+                task(2, 0, vec![cpu(10)]),
+            ],
+            2,
+            RuntimeKind::TrueParallel,
+            GIL,
+        );
+        for r in &res {
+            assert!((end_ms(r) - 15.0).abs() < 0.001, "end {}", end_ms(r));
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Deterministic random perturbation of platform costs.
+//!
+//! The Predictor models the platform with constant parameters; a real
+//! cluster does not behave that way. When a [`JitterModel`] is active, the
+//! virtual platform multiplies every cost by a lognormal factor with unit
+//! mean, seeded per request, so that prediction error (Fig. 12) and SLO
+//! violations (Fig. 14) are meaningful quantities.
+
+use chiron_model::{JitterModel, SimDuration};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded source of multiplicative noise.
+#[derive(Debug)]
+pub struct Jitter {
+    rng: StdRng,
+    model: JitterModel,
+}
+
+impl Jitter {
+    pub fn new(model: JitterModel, seed: u64) -> Self {
+        Jitter {
+            rng: StdRng::seed_from_u64(seed),
+            model,
+        }
+    }
+
+    /// Standard normal via Box–Muller (no extra dependency needed).
+    fn standard_normal(&mut self) -> f64 {
+        let u1: f64 = self.rng.random::<f64>().max(1e-12);
+        let u2: f64 = self.rng.random();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// A lognormal factor with mean 1 and the given relative spread.
+    fn factor(&mut self, rel_std: f64) -> f64 {
+        if rel_std == 0.0 {
+            return 1.0;
+        }
+        // For lognormal(μ, σ): mean = exp(μ + σ²/2); pick μ = −σ²/2.
+        let sigma = rel_std;
+        (sigma * self.standard_normal() - sigma * sigma / 2.0).exp()
+    }
+
+    pub fn startup(&mut self, d: SimDuration) -> SimDuration {
+        let s = self.model.startup_rel_std;
+        d.mul_f64(self.factor(s))
+    }
+
+    pub fn cpu(&mut self, d: SimDuration) -> SimDuration {
+        let s = self.model.cpu_rel_std;
+        d.mul_f64(self.factor(s))
+    }
+
+    pub fn io(&mut self, d: SimDuration) -> SimDuration {
+        let s = self.model.io_rel_std;
+        d.mul_f64(self.factor(s))
+    }
+
+    pub fn comm(&mut self, d: SimDuration) -> SimDuration {
+        let s = self.model.comm_rel_std;
+        d.mul_f64(self.factor(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_jitter_is_identity() {
+        let mut j = Jitter::new(JitterModel::NONE, 42);
+        let d = SimDuration::from_millis(10);
+        for _ in 0..10 {
+            assert_eq!(j.startup(d), d);
+            assert_eq!(j.cpu(d), d);
+            assert_eq!(j.io(d), d);
+            assert_eq!(j.comm(d), d);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = SimDuration::from_millis(10);
+        let run = |seed| {
+            let mut j = Jitter::new(JitterModel::cluster(), seed);
+            (0..5).map(|_| j.startup(d).as_nanos()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn mean_is_roughly_one() {
+        let mut j = Jitter::new(JitterModel::cluster(), 1);
+        let d = SimDuration::from_millis(100);
+        let n = 4000;
+        let total: f64 = (0..n).map(|_| j.startup(d).as_millis_f64()).sum();
+        let mean = total / f64::from(n);
+        assert!((95.0..105.0).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn jitter_never_negative() {
+        let mut j = Jitter::new(JitterModel::cluster(), 3);
+        for _ in 0..1000 {
+            assert!(j.io(SimDuration::from_millis(1)) > SimDuration::ZERO);
+        }
+    }
+}

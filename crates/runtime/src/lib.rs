@@ -1,0 +1,23 @@
+//! # chiron-runtime
+//!
+//! The virtual serverless platform of the Chiron reproduction: a
+//! deterministic event-driven simulation of sandboxes, processes, threads,
+//! the CPython GIL, fork block/startup semantics, RPC/IPC plumbing and
+//! object-store transfers — plus a real-OS-thread executor (`rt`) that runs
+//! wraps as actual threads with an emulated GIL to cross-check the model.
+
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod export;
+pub mod fluid;
+pub mod jitter;
+pub mod platform;
+pub mod rt;
+pub mod span;
+
+pub use export::to_chrome_trace;
+pub use fluid::{execute_sandbox, ThreadResult, ThreadTask};
+pub use platform::VirtualPlatform;
+pub use rt::{run_realtime, RtResult, RtTask};
+pub use span::{FunctionTimeline, RequestOutcome, Span, SpanKind};

@@ -1,0 +1,226 @@
+//! Real-OS-thread execution of wrap workloads with an emulated GIL.
+//!
+//! The fluid simulator (`crate::fluid`) *models* GIL scheduling; this module
+//! *performs* it: each function runs on a real thread, CPU segments spin on
+//! the core while holding a per-process interpreter lock, blocking segments
+//! sleep with the lock released (exactly CPython's behaviour in Fig. 2),
+//! and the holder yields the lock at the switch interval. It exists to
+//! cross-check the simulator's pseudo-parallelism model against actual OS
+//! scheduling, and to give the examples something that really executes.
+
+use chiron_model::{RuntimeKind, Segment, SimDuration};
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One function to execute on a real thread.
+#[derive(Debug, Clone)]
+pub struct RtTask {
+    /// GIL domain: tasks sharing a `process` contend for one lock.
+    pub process: usize,
+    pub segments: Vec<Segment>,
+}
+
+/// Wall-clock outcome of one task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RtResult {
+    /// Start offset relative to the batch start.
+    pub started: Duration,
+    /// Completion offset relative to the batch start.
+    pub finished: Duration,
+}
+
+impl RtResult {
+    pub fn latency(&self) -> Duration {
+        self.finished - self.started
+    }
+}
+
+/// An emulated global interpreter lock with cooperative switch points.
+#[derive(Debug, Default)]
+struct Gil {
+    state: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gil {
+    fn acquire(&self) {
+        let mut held = self.state.lock();
+        while *held {
+            self.cv.wait(&mut held);
+        }
+        *held = true;
+    }
+
+    fn release(&self) {
+        *self.state.lock() = false;
+        self.cv.notify_one();
+    }
+}
+
+fn spin_for(d: Duration) {
+    let start = Instant::now();
+    while start.elapsed() < d {
+        std::hint::spin_loop();
+    }
+}
+
+fn to_std(d: SimDuration) -> Duration {
+    Duration::from_nanos(d.as_nanos())
+}
+
+/// Executes `tasks` on real OS threads.
+///
+/// Under [`RuntimeKind::PseudoParallel`], tasks of the same `process` share
+/// an emulated GIL: CPU bursts run with the lock held and yield it every
+/// `switch_interval`; blocking segments sleep with the lock released. Under
+/// [`RuntimeKind::TrueParallel`] every thread runs freely.
+pub fn run_realtime(
+    tasks: &[RtTask],
+    runtime: RuntimeKind,
+    switch_interval: SimDuration,
+) -> Vec<RtResult> {
+    if tasks.is_empty() {
+        return Vec::new();
+    }
+    let n_procs = tasks.iter().map(|t| t.process).max().unwrap_or(0) + 1;
+    let gils: Vec<Arc<Gil>> = (0..n_procs).map(|_| Arc::new(Gil::default())).collect();
+    let quantum = to_std(switch_interval);
+    let batch_start = Instant::now();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(tasks.len());
+        for task in tasks {
+            let gil = gils[task.process].clone();
+            let segments = task.segments.clone();
+            handles.push(scope.spawn(move || {
+                let started = batch_start.elapsed();
+                for seg in segments {
+                    match seg {
+                        Segment::Cpu(d) => {
+                            let mut remaining = to_std(d);
+                            while remaining > Duration::ZERO {
+                                let slice = remaining.min(quantum);
+                                if runtime == RuntimeKind::PseudoParallel {
+                                    gil.acquire();
+                                    spin_for(slice);
+                                    gil.release();
+                                } else {
+                                    spin_for(slice);
+                                }
+                                remaining -= slice;
+                            }
+                        }
+                        Segment::Block { dur, .. } => {
+                            // The GIL is dropped during blocking ops.
+                            std::thread::sleep(to_std(dur));
+                        }
+                    }
+                }
+                RtResult {
+                    started,
+                    finished: batch_start.elapsed(),
+                }
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rt worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chiron_model::SyscallKind;
+
+    const SWITCH: SimDuration = SimDuration::from_millis(5);
+
+    fn cpu(ms: u64) -> Segment {
+        Segment::cpu_ms(ms)
+    }
+
+    fn io(ms: u64) -> Segment {
+        Segment::Block {
+            kind: SyscallKind::Sleep,
+            dur: SimDuration::from_millis(ms),
+        }
+    }
+
+    fn makespan(results: &[RtResult]) -> Duration {
+        results.iter().map(|r| r.finished).max().unwrap()
+    }
+
+    fn cores() -> usize {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    }
+
+    #[test]
+    fn gil_serialises_cpu_threads() {
+        let tasks = vec![
+            RtTask { process: 0, segments: vec![cpu(30)] },
+            RtTask { process: 0, segments: vec![cpu(30)] },
+        ];
+        let results = run_realtime(&tasks, RuntimeKind::PseudoParallel, SWITCH);
+        let total = makespan(&results);
+        // 60ms of CPU serialised by the GIL: demand clearly more wall time
+        // than parallel execution would take.
+        assert!(total >= Duration::from_millis(55), "makespan {total:?}");
+    }
+
+    #[test]
+    fn true_parallelism_overlaps_cpu() {
+        if cores() < 2 {
+            return; // cannot demonstrate parallelism on one core
+        }
+        let tasks = vec![
+            RtTask { process: 0, segments: vec![cpu(40)] },
+            RtTask { process: 0, segments: vec![cpu(40)] },
+        ];
+        let results = run_realtime(&tasks, RuntimeKind::TrueParallel, SWITCH);
+        let total = makespan(&results);
+        assert!(total < Duration::from_millis(70), "makespan {total:?}");
+    }
+
+    #[test]
+    fn io_releases_the_gil() {
+        // One thread sleeps 40ms, the other burns 40ms CPU: with the GIL
+        // dropped during blocking ops they overlap.
+        let tasks = vec![
+            RtTask { process: 0, segments: vec![io(40)] },
+            RtTask { process: 0, segments: vec![cpu(40)] },
+        ];
+        let results = run_realtime(&tasks, RuntimeKind::PseudoParallel, SWITCH);
+        let total = makespan(&results);
+        assert!(total < Duration::from_millis(70), "makespan {total:?}");
+    }
+
+    #[test]
+    fn separate_processes_do_not_share_a_gil() {
+        if cores() < 2 {
+            return;
+        }
+        let tasks = vec![
+            RtTask { process: 0, segments: vec![cpu(40)] },
+            RtTask { process: 1, segments: vec![cpu(40)] },
+        ];
+        let results = run_realtime(&tasks, RuntimeKind::PseudoParallel, SWITCH);
+        let total = makespan(&results);
+        assert!(total < Duration::from_millis(70), "makespan {total:?}");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(run_realtime(&[], RuntimeKind::PseudoParallel, SWITCH).is_empty());
+    }
+
+    #[test]
+    fn latency_accessor() {
+        let r = RtResult {
+            started: Duration::from_millis(2),
+            finished: Duration::from_millis(12),
+        };
+        assert_eq!(r.latency(), Duration::from_millis(10));
+    }
+}

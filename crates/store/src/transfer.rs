@@ -1,0 +1,146 @@
+//! Latency models for every intermediate-data path the paper measures
+//! (Fig. 4, Observation 1):
+//!
+//! * remote object storage (AWS S3 behind Lambda),
+//! * cluster-local object storage (MinIO),
+//! * Linux pipes between processes of one sandbox (`T_IPC`),
+//! * shared memory between threads of one process (free by assumption,
+//!   Eq. 3: "no interaction time for thread communication").
+//!
+//! Each model is `floor + size / bandwidth`, fit to the paper's reported
+//! end points: the smallest S3 transfer takes ≈52 ms and 1 GB ≈25 s; the
+//! local cluster ranges from ≈10 ms to ≈10 s.
+
+use chiron_model::{SimDuration, TransferKind};
+use serde::{Deserialize, Serialize};
+
+/// A `floor + bytes/bandwidth` latency model for one data path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkModel {
+    /// Fixed per-transfer latency (connection setup, request routing,
+    /// metadata, data copies).
+    pub floor: SimDuration,
+    /// Sustained bandwidth in bytes per second.
+    pub bytes_per_sec: f64,
+}
+
+impl LinkModel {
+    pub fn latency(&self, bytes: u64) -> SimDuration {
+        let transfer_ns = bytes as f64 / self.bytes_per_sec * 1e9;
+        self.floor + SimDuration::from_nanos(transfer_ns.round() as u64)
+    }
+}
+
+/// Transfer models for all data paths on the platform.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransferModel {
+    /// AWS S3 through Lambda: write + read of the object.
+    pub s3: LinkModel,
+    /// Cluster-local MinIO: write + read of the object.
+    pub minio: LinkModel,
+    /// RPC payload piggy-backing (wrap-to-wrap transfers) — cheap on a
+    /// 10 Gbps full-bisection cluster (Table 2).
+    pub rpc_payload: LinkModel,
+    /// Linux pipe between processes of one sandbox.
+    pub pipe: LinkModel,
+    /// Shared memory between threads (load/store instructions).
+    pub shared_memory: LinkModel,
+}
+
+impl TransferModel {
+    /// Constants fit to Fig. 4 and the local-cluster observations.
+    pub fn paper_calibrated() -> Self {
+        TransferModel {
+            s3: LinkModel {
+                floor: SimDuration::from_millis(52),
+                bytes_per_sec: 43e6,
+            },
+            minio: LinkModel {
+                floor: SimDuration::from_millis(10),
+                bytes_per_sec: 107e6,
+            },
+            rpc_payload: LinkModel {
+                floor: SimDuration::from_millis_f64(0.2),
+                bytes_per_sec: 1.0e9,
+            },
+            pipe: LinkModel {
+                floor: SimDuration::from_millis_f64(0.05),
+                bytes_per_sec: 2.5e9,
+            },
+            shared_memory: LinkModel {
+                floor: SimDuration::ZERO,
+                bytes_per_sec: 20e9,
+            },
+        }
+    }
+
+    /// Transfer latency across a **sandbox boundary** for the configured
+    /// mechanism.
+    pub fn cross_sandbox(&self, kind: TransferKind, bytes: u64) -> SimDuration {
+        match kind {
+            TransferKind::RemoteS3 => self.s3.latency(bytes),
+            TransferKind::LocalMinio => self.minio.latency(bytes),
+            TransferKind::RpcPayload => self.rpc_payload.latency(bytes),
+        }
+    }
+
+    /// Transfer latency between two processes of one sandbox.
+    pub fn cross_process(&self, bytes: u64) -> SimDuration {
+        self.pipe.latency(bytes)
+    }
+
+    /// Transfer latency between two threads of one process.
+    pub fn cross_thread(&self, bytes: u64) -> SimDuration {
+        self.shared_memory.latency(bytes)
+    }
+}
+
+impl Default for TransferModel {
+    fn default() -> Self {
+        TransferModel::paper_calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB: u64 = 1 << 30;
+
+    #[test]
+    fn s3_matches_figure_4_endpoints() {
+        let m = TransferModel::paper_calibrated();
+        let tiny = m.s3.latency(1).as_millis_f64();
+        assert!((tiny - 52.0).abs() < 0.5, "1B over S3: {tiny}ms");
+        let huge = m.s3.latency(GB).as_millis_f64();
+        assert!((20_000.0..30_000.0).contains(&huge), "1GB over S3: {huge}ms");
+    }
+
+    #[test]
+    fn minio_matches_local_cluster_range() {
+        let m = TransferModel::paper_calibrated();
+        let tiny = m.minio.latency(1).as_millis_f64();
+        assert!((9.0..12.0).contains(&tiny), "1B over MinIO: {tiny}ms");
+        let huge = m.minio.latency(GB).as_millis_f64();
+        assert!((8_000.0..12_000.0).contains(&huge), "1GB over MinIO: {huge}ms");
+    }
+
+    #[test]
+    fn locality_hierarchy() {
+        let m = TransferModel::paper_calibrated();
+        let bytes = 1 << 20;
+        let s3 = m.cross_sandbox(TransferKind::RemoteS3, bytes);
+        let minio = m.cross_sandbox(TransferKind::LocalMinio, bytes);
+        let rpc = m.cross_sandbox(TransferKind::RpcPayload, bytes);
+        let pipe = m.cross_process(bytes);
+        let shm = m.cross_thread(bytes);
+        assert!(s3 > minio && minio > rpc && rpc > pipe && pipe > shm);
+    }
+
+    #[test]
+    fn monotone_in_size() {
+        let m = TransferModel::paper_calibrated();
+        assert!(m.pipe.latency(1 << 20) > m.pipe.latency(1 << 10));
+        assert_eq!(m.shared_memory.latency(0), SimDuration::ZERO);
+    }
+}

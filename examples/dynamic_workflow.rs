@@ -1,0 +1,82 @@
+//! Dynamic DAGs (§7's future-work scenario, implemented): a workflow with
+//! a data-dependent *switch* stage, pre-planned per variant and routed per
+//! request — the Video-FFmpeg pattern where `upload`'s result decides
+//! between `split` and `simple_process`.
+//!
+//! ```text
+//! cargo run --example dynamic_workflow
+//! ```
+
+use chiron::model::{
+    apps, BranchSelector, DynStage, DynamicWorkflow, FunctionId, FunctionSpec, PlatformConfig,
+    Segment, SyscallKind,
+};
+use chiron::{Chiron, PgpMode};
+
+fn main() {
+    let _ = apps::finra(1); // keep the benchmark module linked for docs
+    let f = |name: &str, cpu_ms: f64, out: u64| {
+        FunctionSpec::new(
+            name,
+            vec![
+                Segment::cpu_ms_f64(cpu_ms * 0.7),
+                Segment::block_ms(SyscallKind::DiskIo, cpu_ms * 0.6),
+                Segment::cpu_ms_f64(cpu_ms * 0.3),
+            ],
+        )
+        .with_output_bytes(out)
+    };
+
+    let video = DynamicWorkflow {
+        name: "VideoFFmpeg".into(),
+        functions: vec![
+            f("upload", 6.0, 9 << 20),           // 0: the probe decides
+            f("simple_process", 25.0, 2 << 20),  // 1: small files
+            f("split_shard_a", 14.0, 3 << 20),   // 2: big files split...
+            f("split_shard_b", 14.0, 3 << 20),   // 3
+            f("split_shard_c", 14.0, 3 << 20),   // 4
+            f("merge", 10.0, 2 << 20),           // 5
+        ],
+        stages: vec![
+            DynStage::Static(vec![FunctionId(0)]),
+            DynStage::Switch {
+                selector: BranchSelector::OutputBytesAbove { threshold: 4 << 20 },
+                branches: vec![
+                    vec![FunctionId(1)],
+                    vec![FunctionId(2), FunctionId(3), FunctionId(4)],
+                ],
+            },
+            DynStage::Static(vec![FunctionId(5)]),
+        ],
+    };
+
+    let manager = Chiron::new(PlatformConfig::paper_calibrated());
+    println!(
+        "dynamic workflow {}: {} switch stage(s), {} static variants\n",
+        video.name,
+        video.switch_count(),
+        video.variant_count()
+    );
+
+    // ➊–➎: PGP pre-plans every variant offline.
+    let deployment = manager.deploy_dynamic(&video, None, PgpMode::NativeThread);
+    for (choices, wf, dep) in &deployment.variants {
+        println!(
+            "variant {choices:?}: {} functions, {} sandbox(es), {} CPUs, predicted {}",
+            wf.function_count(),
+            dep.plan().sandbox_count(),
+            dep.plan().total_cpus(),
+            dep.schedule.predicted,
+        );
+    }
+
+    // ➏: requests route themselves by the upload's output size.
+    let (choices, outcome) = manager
+        .invoke_dynamic(&deployment, 1 << 20, 0)
+        .expect("pre-planned variants cover every route");
+    println!(
+        "\nrequest routed to branch {choices:?} (the 9MB upload exceeds the \
+         4MB split threshold); end-to-end {}",
+        outcome.e2e
+    );
+}

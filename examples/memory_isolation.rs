@@ -1,0 +1,58 @@
+//! Memory isolation between wrap threads with MPK-style protection keys
+//! (§4, Table 1).
+//!
+//! ```text
+//! cargo run --example memory_isolation
+//! ```
+//!
+//! Demonstrates the functional protection-key domain (private per-thread
+//! arenas inside one shared address space) and the cost model that makes
+//! Chiron pick MPK over WebAssembly SFI.
+
+use chiron::isolation::{Access, IsolationCosts, MpkDomain};
+use chiron::model::apps;
+
+fn main() {
+    // ---- functional semantics -------------------------------------------
+    let domain = MpkDomain::new();
+    const ORCHESTRATOR: u32 = 0;
+    const RULE_A: u32 = 1;
+    const RULE_B: u32 = 2;
+
+    let input_a = domain.allocate(64).expect("keys available");
+    let input_b = domain.allocate(64).expect("keys available");
+
+    // The orchestrator writes each function thread's private input.
+    domain.grant(ORCHESTRATOR, input_a.key, Access::ReadWrite);
+    domain.grant(ORCHESTRATOR, input_b.key, Access::ReadWrite);
+    domain.write(ORCHESTRATOR, input_a, 0, b"trade#1 AAPL 190.0").unwrap();
+    domain.write(ORCHESTRATOR, input_b, 0, b"trade#2 MSFT 410.5").unwrap();
+
+    // Each rule thread may only touch its own arena.
+    domain.grant(RULE_A, input_a.key, Access::ReadWrite);
+    domain.grant(RULE_B, input_b.key, Access::ReadWrite);
+
+    let own = domain.read(RULE_A, input_a, 0, 18).unwrap();
+    println!("rule A reads its arena: {:?}", String::from_utf8_lossy(&own));
+
+    let stolen = domain.read(RULE_A, input_b, 0, 18);
+    println!("rule A reads rule B's arena: {stolen:?}");
+    assert!(stolen.is_err(), "cross-thread access must be denied");
+
+    // ---- cost model ------------------------------------------------------
+    println!("\nisolation costs (Table 1):");
+    let fns = apps::slapp_reference_functions();
+    for (name, costs) in [("SFI", IsolationCosts::sfi()), ("MPK", IsolationCosts::mpk())] {
+        println!(
+            "  {name}: startup {}, interaction {}, fibonacci +{:.1}%, disk-io +{:.1}%",
+            costs.startup,
+            costs.interaction,
+            costs.execution_overhead(&fns[1]) * 100.0,
+            costs.execution_overhead(&fns[2]) * 100.0,
+        );
+    }
+    println!(
+        "\nMPK's negligible startup/interaction cost is why Chiron uses it \
+         (not SFI) when thread memory privacy is required."
+    );
+}

@@ -1,0 +1,2 @@
+//! Workspace facade for the Chiron reproduction; see the `chiron` crate.
+pub use chiron as core;

@@ -1,0 +1,223 @@
+//! Property-based tests (proptest) on the core engines' invariants.
+
+use chiron::model::{RuntimeKind, Segment, SimDuration, SimTime, SyscallKind};
+use chiron::predict::{predict_threads, predict_true_parallel, SimThread};
+use chiron_metrics::LatencySamples;
+use chiron_pgp::kernighan_lin;
+use chiron_model::FunctionId;
+use chiron_runtime::{execute_sandbox, SpanKind, ThreadTask};
+use proptest::prelude::*;
+
+/// Random segment lists: alternating CPU/block with millisecond durations.
+fn arb_segments() -> impl Strategy<Value = Vec<Segment>> {
+    prop::collection::vec((0u8..2, 1u64..30), 1..6).prop_map(|parts| {
+        parts
+            .into_iter()
+            .map(|(kind, ms)| {
+                if kind == 0 {
+                    Segment::cpu_ms(ms)
+                } else {
+                    Segment::Block {
+                        kind: SyscallKind::NetIo,
+                        dur: SimDuration::from_millis(ms),
+                    }
+                }
+            })
+            .collect()
+    })
+}
+
+fn arb_tasks(max_threads: usize, max_procs: usize) -> impl Strategy<Value = Vec<ThreadTask>> {
+    prop::collection::vec(
+        (arb_segments(), 0..max_procs, 0u64..20),
+        1..=max_threads,
+    )
+    .prop_map(|ts| {
+        ts.into_iter()
+            .map(|(segments, process, start_ms)| ThreadTask {
+                process,
+                start: SimTime::from_nanos(start_ms * 1_000_000),
+                segments,
+            })
+            .collect()
+    })
+}
+
+fn solo_ms(segments: &[Segment]) -> f64 {
+    segments
+        .iter()
+        .map(|s| s.duration().as_millis_f64())
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The sandbox simulator never finishes a thread before its solo
+    /// latency, and CPU accounting matches its CPU demand exactly.
+    #[test]
+    fn fluid_respects_solo_lower_bound(
+        tasks in arb_tasks(6, 3),
+        cpus in 1u32..5,
+        pseudo in any::<bool>(),
+    ) {
+        let runtime = if pseudo { RuntimeKind::PseudoParallel } else { RuntimeKind::TrueParallel };
+        let results = execute_sandbox(&tasks, cpus, runtime, SimDuration::from_millis(5));
+        for (task, r) in tasks.iter().zip(&results) {
+            let solo = solo_ms(&task.segments);
+            let elapsed = r.end.as_millis_f64() - task.start.as_millis_f64();
+            prop_assert!(elapsed + 1e-6 >= solo,
+                "thread finished in {elapsed}ms, solo needs {solo}ms");
+            let cpu_demand: f64 = task.segments.iter()
+                .filter(|s| s.is_cpu())
+                .map(|s| s.duration().as_millis_f64())
+                .sum();
+            prop_assert!((r.cpu_time.as_millis_f64() - cpu_demand).abs() < 0.01);
+        }
+    }
+
+    /// Total CPU work delivered can never exceed capacity × makespan.
+    #[test]
+    fn fluid_respects_cpu_capacity(
+        tasks in arb_tasks(6, 3),
+        cpus in 1u32..4,
+    ) {
+        let results = execute_sandbox(&tasks, cpus, RuntimeKind::TrueParallel,
+            SimDuration::from_millis(5));
+        let start = tasks.iter().map(|t| t.start.as_millis_f64()).fold(f64::MAX, f64::min);
+        let end = results.iter().map(|r| r.end.as_millis_f64()).fold(0.0, f64::max);
+        let delivered: f64 = results.iter().map(|r| r.cpu_time.as_millis_f64()).sum();
+        prop_assert!(delivered <= (end - start) * f64::from(cpus) + 0.01);
+    }
+
+    /// Spans are ordered and non-overlapping; Exec wall time can exceed
+    /// the CPU work delivered (fluid sharing runs threads at reduced rate)
+    /// but never undercut it.
+    #[test]
+    fn fluid_spans_well_formed(tasks in arb_tasks(5, 2), cpus in 1u32..3) {
+        let results = execute_sandbox(&tasks, cpus, RuntimeKind::PseudoParallel,
+            SimDuration::from_millis(5));
+        for r in &results {
+            let mut cursor = SimTime::ZERO;
+            let mut exec = 0.0;
+            for s in &r.spans {
+                prop_assert!(s.start >= cursor);
+                prop_assert!(s.end >= s.start);
+                cursor = s.end;
+                if s.kind == SpanKind::Exec {
+                    exec += s.duration().as_millis_f64();
+                }
+            }
+            prop_assert!(exec + 0.01 >= r.cpu_time.as_millis_f64(),
+                "Exec spans {exec}ms < cpu work {}", r.cpu_time);
+        }
+    }
+
+    /// Algorithm 1's prediction is bounded below by both the longest thread
+    /// and the total CPU demand (single effective CPU under the GIL).
+    #[test]
+    fn algorithm1_lower_bounds(segs in prop::collection::vec(arb_segments(), 1..6)) {
+        let threads: Vec<SimThread> = segs.iter()
+            .map(|s| SimThread { created_at: SimDuration::ZERO, segments: s.clone() })
+            .collect();
+        let out = predict_threads(&threads, SimDuration::from_millis(5));
+        let longest = segs.iter().map(|s| solo_ms(s)).fold(0.0, f64::max);
+        let total_cpu: f64 = segs.iter().flatten()
+            .filter(|s| s.is_cpu())
+            .map(|s| s.duration().as_millis_f64())
+            .sum();
+        prop_assert!(out.makespan.as_millis_f64() + 1e-6 >= longest);
+        prop_assert!(out.makespan.as_millis_f64() + 1e-6 >= total_cpu);
+        prop_assert!((out.cpu_time.as_millis_f64() - total_cpu).abs() < 0.01);
+    }
+
+    /// Algorithm 1 agrees with the ground-truth fluid engine for a
+    /// dedicated-CPU process (same scheduling rules ⇒ same makespan).
+    #[test]
+    fn algorithm1_matches_fluid_on_one_process(
+        segs in prop::collection::vec(arb_segments(), 1..5)
+    ) {
+        let predicted = predict_threads(
+            &segs.iter().map(|s| SimThread {
+                created_at: SimDuration::ZERO, segments: s.clone(),
+            }).collect::<Vec<_>>(),
+            SimDuration::from_millis(5),
+        );
+        let truth = execute_sandbox(
+            &segs.iter().map(|s| ThreadTask {
+                process: 0, start: SimTime::ZERO, segments: s.clone(),
+            }).collect::<Vec<_>>(),
+            1,
+            RuntimeKind::PseudoParallel,
+            SimDuration::from_millis(5),
+        );
+        let truth_end = truth.iter().map(|r| r.end.as_millis_f64()).fold(0.0, f64::max);
+        let diff = (predicted.makespan.as_millis_f64() - truth_end).abs();
+        // Algorithm 1 only notices I/O completions at quantum boundaries
+        // (a designed simplification of the model), so each blocking
+        // segment may contribute up to one 5ms switch interval of error.
+        let blocks = segs.iter().flatten().filter(|s| !s.is_cpu()).count();
+        let bound = 5.0 * (blocks as f64) + 0.5;
+        prop_assert!(diff <= bound, "model off by {diff}ms (> {bound}ms bound)");
+    }
+
+    /// The true-parallel bound is monotone in CPU count.
+    #[test]
+    fn true_parallel_monotone_in_cpus(segs in prop::collection::vec(arb_segments(), 1..6)) {
+        let mut prev = f64::MAX;
+        for cpus in 1..=4u32 {
+            let out = predict_true_parallel(&segs, cpus);
+            prop_assert!(out.makespan.as_millis_f64() <= prev + 1e-9);
+            prev = out.makespan.as_millis_f64();
+        }
+    }
+
+    /// Kernighan–Lin preserves the multiset, never grows the objective, and
+    /// keeps set sizes fixed.
+    #[test]
+    fn kl_invariants(
+        weights in prop::collection::vec(1.0f64..50.0, 4..10),
+        split in 1usize..3,
+    ) {
+        let n = weights.len();
+        let split = split.min(n - 1);
+        let mut a: Vec<FunctionId> = (0..split as u32).map(FunctionId).collect();
+        let mut b: Vec<FunctionId> = (split as u32..n as u32).map(FunctionId).collect();
+        let objective = |x: &[FunctionId], y: &[FunctionId]| {
+            let wx: f64 = x.iter().map(|f| weights[f.index()]).sum();
+            let wy: f64 = y.iter().map(|f| weights[f.index()]).sum();
+            wx.max(wy)
+        };
+        let before = objective(&a, &b);
+        let (la, lb) = (a.len(), b.len());
+        kernighan_lin(&mut a, &mut b, objective);
+        prop_assert_eq!(a.len(), la);
+        prop_assert_eq!(b.len(), lb);
+        prop_assert!(objective(&a, &b) <= before + 1e-9);
+        let mut all: Vec<u32> = a.iter().chain(b.iter()).map(|f| f.0).collect();
+        all.sort_unstable();
+        let expect: Vec<u32> = (0..n as u32).collect();
+        prop_assert_eq!(all, expect);
+    }
+
+    /// Latency statistics invariants: percentiles are monotone and bracket
+    /// min/max; the CDF is a proper distribution function.
+    #[test]
+    fn stats_invariants(vals in prop::collection::vec(1u64..100_000, 1..60)) {
+        let samples: LatencySamples = vals.iter()
+            .map(|&v| SimDuration::from_nanos(v))
+            .collect();
+        let mut prev = SimDuration::ZERO;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            let p = samples.percentile(q);
+            prop_assert!(p >= prev);
+            prev = p;
+        }
+        prop_assert_eq!(samples.percentile(0.0), samples.min());
+        prop_assert_eq!(samples.percentile(1.0), samples.max());
+        prop_assert!(samples.mean() >= samples.min());
+        prop_assert!(samples.mean() <= samples.max());
+        let cdf = samples.cdf();
+        prop_assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+}
