@@ -55,7 +55,10 @@ fn bench_algorithm1(c: &mut Criterion) {
     for n in [10usize, 100, 400] {
         let threads: Vec<SimThread> = thread_workload(n)
             .into_iter()
-            .map(|segments| SimThread { created_at: SimDuration::ZERO, segments })
+            .map(|segments| SimThread {
+                created_at: SimDuration::ZERO,
+                segments,
+            })
             .collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &threads, |b, threads| {
             b.iter(|| black_box(predict_threads(threads, SimDuration::from_millis(5))))
@@ -84,13 +87,7 @@ fn bench_pgp(c: &mut Criterion) {
         let profile = Profiler::default().profile_workflow(&wf);
         let sched = PgpScheduler::paper_calibrated();
         group.bench_function(BenchmarkId::from_parameter(&wf.name), |b| {
-            b.iter(|| {
-                black_box(sched.schedule(
-                    &wf,
-                    &profile,
-                    &PgpConfig::performance_first(),
-                ))
-            })
+            b.iter(|| black_box(sched.schedule(&wf, &profile, &PgpConfig::performance_first())))
         });
     }
     group.finish();
@@ -100,9 +97,21 @@ fn bench_platform_request(c: &mut Criterion) {
     let mut group = c.benchmark_group("platform_request");
     let platform = VirtualPlatform::new(PlatformConfig::paper_calibrated());
     for (label, wf, plan) in [
-        ("faastlane_finra50", apps::finra(50), deploy::faastlane(&apps::finra(50))),
-        ("openfaas_finra50", apps::finra(50), deploy::openfaas(&apps::finra(50))),
-        ("faastlane_sn", apps::social_network(), deploy::faastlane(&apps::social_network())),
+        (
+            "faastlane_finra50",
+            apps::finra(50),
+            deploy::faastlane(&apps::finra(50)),
+        ),
+        (
+            "openfaas_finra50",
+            apps::finra(50),
+            deploy::openfaas(&apps::finra(50)),
+        ),
+        (
+            "faastlane_sn",
+            apps::social_network(),
+            deploy::faastlane(&apps::social_network()),
+        ),
     ] {
         group.bench_function(label, |b| {
             b.iter(|| black_box(platform.execute(&wf, &plan, 0).unwrap()))

@@ -11,7 +11,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn cfg1() -> EvalConfig {
-    EvalConfig { requests: 1, ..EvalConfig::default() }
+    EvalConfig {
+        requests: 1,
+        ..EvalConfig::default()
+    }
 }
 
 /// Fig. 3 kernel: one-to-one scheduling + execution of FINRA-50.

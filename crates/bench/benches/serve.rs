@@ -1,0 +1,47 @@
+//! Serving-plane macrobenchmark: one million simulated requests pushed
+//! through the control plane per iteration, for both routing
+//! architectures. Exercises the event heap, router, autoscaler and
+//! streaming histograms at scale.
+
+use chiron::serving::{RouterPolicy, ServeConfig, ServeSimulation, Workload};
+use chiron::{Chiron, PgpMode};
+use chiron_metrics::ArrivalProcess;
+use chiron_model::apps;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const REQUESTS: u64 = 1_000_000;
+
+fn bench_serve_million(c: &mut Criterion) {
+    let chiron = Chiron::default();
+    let wf = apps::finra(12);
+    let deployment = chiron.deploy(&wf, None, PgpMode::NativeThread);
+    let workload =
+        Workload::steady(500.0, REQUESTS).with_arrivals(ArrivalProcess::Poisson { seed: 9 });
+
+    let mut group = c.benchmark_group("serve_million_requests");
+    group.sample_size(2);
+    for router in RouterPolicy::ALL {
+        let sim = ServeSimulation::new(
+            wf.clone(),
+            deployment.plan().clone(),
+            ServeConfig::paper_testbed().with_router(router),
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(router.name()),
+            &workload,
+            |b, wl| {
+                b.iter(|| {
+                    let report = sim.run(black_box(wl), 1).expect("serving run");
+                    assert_eq!(report.accepted, REQUESTS);
+                    assert_eq!(report.lost, 0);
+                    black_box(report.digest())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(serve, bench_serve_million);
+criterion_main!(serve);

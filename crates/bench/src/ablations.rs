@@ -19,7 +19,12 @@ pub fn ablation_kl() -> String {
     let profile = Profiler::default().profile_workflow(&wf);
     let sched = PgpScheduler::paper_calibrated();
     let cfg = EvalConfig::default();
-    let mut table = Table::new(vec!["processes", "round-robin (ms)", "with KL (ms)", "gain"]);
+    let mut table = Table::new(vec![
+        "processes",
+        "round-robin (ms)",
+        "with KL (ms)",
+        "gain",
+    ]);
     // FINRA's rule costs cycle with period 5, so when n is a multiple of 5
     // the round-robin initial partition degenerates into same-cost sets
     // (one process gets every 12 ms rule) — exactly the imbalance KL's
@@ -41,8 +46,12 @@ pub fn ablation_kl() -> String {
         let kl = sched.partitions(&wf, &profile, n);
         let plan_rr = sched.materialize(&wf, &rr, 2, IsolationKind::None, 0);
         let plan_kl = sched.materialize(&wf, &kl, 2, IsolationKind::None, 0);
-        let lat_rr = evaluate_plan(&wf, plan_rr, &cfg).mean_latency.as_millis_f64();
-        let lat_kl = evaluate_plan(&wf, plan_kl, &cfg).mean_latency.as_millis_f64();
+        let lat_rr = evaluate_plan(&wf, plan_rr, &cfg)
+            .mean_latency
+            .as_millis_f64();
+        let lat_kl = evaluate_plan(&wf, plan_kl, &cfg)
+            .mean_latency
+            .as_millis_f64();
         table.row(vec![
             n.to_string(),
             ms(lat_rr),
@@ -144,16 +153,28 @@ pub fn ablation_gil_interval() -> String {
 /// Cross-check of the fluid simulator against the real-thread executor.
 pub fn ablation_realtime_crosscheck() -> String {
     use chiron::model::RuntimeKind;
-    use chiron_runtime::{execute_sandbox, run_realtime, RtTask, ThreadTask};
     use chiron_model::{Segment, SimTime, SyscallKind};
+    use chiron_runtime::{execute_sandbox, run_realtime, RtTask, ThreadTask};
 
-    let segments = [vec![Segment::cpu_ms(20), Segment::block_ms(SyscallKind::NetIo, 10.0)],
+    let segments = [
+        vec![
+            Segment::cpu_ms(20),
+            Segment::block_ms(SyscallKind::NetIo, 10.0),
+        ],
         vec![Segment::cpu_ms(15)],
-        vec![Segment::block_ms(SyscallKind::Sleep, 25.0), Segment::cpu_ms(5)]];
+        vec![
+            Segment::block_ms(SyscallKind::Sleep, 25.0),
+            Segment::cpu_ms(5),
+        ],
+    ];
     let sim = execute_sandbox(
         &segments
             .iter()
-            .map(|s| ThreadTask { process: 0, start: SimTime::ZERO, segments: s.clone() })
+            .map(|s| ThreadTask {
+                process: 0,
+                start: SimTime::ZERO,
+                segments: s.clone(),
+            })
             .collect::<Vec<_>>(),
         2,
         RuntimeKind::PseudoParallel,
@@ -162,12 +183,18 @@ pub fn ablation_realtime_crosscheck() -> String {
     let rt = run_realtime(
         &segments
             .iter()
-            .map(|s| RtTask { process: 0, segments: s.clone() })
+            .map(|s| RtTask {
+                process: 0,
+                segments: s.clone(),
+            })
             .collect::<Vec<_>>(),
         RuntimeKind::PseudoParallel,
         SimDuration::from_millis(5),
     );
-    let sim_makespan = sim.iter().map(|r| r.end.as_millis_f64()).fold(0.0, f64::max);
+    let sim_makespan = sim
+        .iter()
+        .map(|r| r.end.as_millis_f64())
+        .fold(0.0, f64::max);
     let rt_makespan = rt
         .iter()
         .map(|r| r.finished.as_secs_f64() * 1000.0)

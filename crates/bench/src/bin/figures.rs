@@ -11,8 +11,23 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let targets: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
-            "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table1", "fig12", "fig13",
-            "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "ablations",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "table1",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+            "fig17",
+            "fig18",
+            "fig19",
+            "ablations",
+            "serve",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -35,6 +50,7 @@ fn main() {
             "fig18" => bench::fig18(),
             "fig19" => bench::fig19(),
             "ablations" => bench::ablations(),
+            "serve" => bench::serve_figure(),
             other => {
                 eprintln!("unknown target: {other}");
                 std::process::exit(2);

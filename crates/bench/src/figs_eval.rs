@@ -73,7 +73,10 @@ pub fn fig14() -> String {
 /// Fig. 15: per-function latency distribution of FINRA-50's parallel stage.
 pub fn fig15() -> String {
     let wf = apps::finra(50);
-    let cfg = EvalConfig { requests: 1, ..EvalConfig::default() };
+    let cfg = EvalConfig {
+        requests: 1,
+        ..EvalConfig::default()
+    };
     let systems = [
         SystemKind::OpenFaas,
         SystemKind::Faastlane,
@@ -191,7 +194,10 @@ pub fn fig16() -> String {
 
 /// Fig. 17: normalised allocated CPUs.
 pub fn fig17() -> String {
-    let cfg = EvalConfig { requests: 1, ..EvalConfig::default() };
+    let cfg = EvalConfig {
+        requests: 1,
+        ..EvalConfig::default()
+    };
     let systems = [
         SystemKind::OpenFaas,
         SystemKind::Faastlane,
@@ -280,7 +286,10 @@ pub fn fig18() -> String {
 
 /// Fig. 19: dollar cost per million requests, normalised by Chiron.
 pub fn fig19() -> String {
-    let cfg = EvalConfig { requests: 3, ..EvalConfig::default() };
+    let cfg = EvalConfig {
+        requests: 3,
+        ..EvalConfig::default()
+    };
     let systems = [
         SystemKind::Asf,
         SystemKind::OpenFaas,
@@ -299,7 +308,11 @@ pub fn fig19() -> String {
     // Chiron's absolute cost row first, then everyone normalised to it.
     let chiron_costs: Vec<f64> = workflows
         .iter()
-        .map(|wf| eval_with_slo(SystemKind::Chiron, wf, &cfg).cost.usd_per_million)
+        .map(|wf| {
+            eval_with_slo(SystemKind::Chiron, wf, &cfg)
+                .cost
+                .usd_per_million
+        })
         .collect();
     for sys in systems {
         let mut row = vec![sys.to_string()];
@@ -336,8 +349,16 @@ mod tests {
 
     #[test]
     fn fig16_chiron_throughput_beats_faastlane_everywhere() {
-        let cfg = EvalConfig { requests: 2, ..EvalConfig::default() };
-        for wf in [apps::finra(5), apps::finra(50), apps::slapp(), apps::social_network()] {
+        let cfg = EvalConfig {
+            requests: 2,
+            ..EvalConfig::default()
+        };
+        for wf in [
+            apps::finra(5),
+            apps::finra(50),
+            apps::slapp(),
+            apps::social_network(),
+        ] {
             let chiron = eval_with_slo(SystemKind::Chiron, &wf, &cfg);
             let faastlane = eval_with_slo(SystemKind::Faastlane, &wf, &cfg);
             assert!(
@@ -352,7 +373,10 @@ mod tests {
 
     #[test]
     fn fig17_chiron_uses_fewest_cpus() {
-        let cfg = EvalConfig { requests: 1, ..EvalConfig::default() };
+        let cfg = EvalConfig {
+            requests: 1,
+            ..EvalConfig::default()
+        };
         let wf = apps::finra(50);
         let chiron = eval_with_slo(SystemKind::Chiron, &wf, &cfg);
         let faastlane = eval_with_slo(SystemKind::Faastlane, &wf, &cfg);
@@ -369,7 +393,10 @@ mod tests {
 
     #[test]
     fn fig19_asf_most_expensive() {
-        let cfg = EvalConfig { requests: 2, ..EvalConfig::default() };
+        let cfg = EvalConfig {
+            requests: 2,
+            ..EvalConfig::default()
+        };
         let wf = apps::movie_reviewing();
         let asf = eval_with_slo(SystemKind::Asf, &wf, &cfg);
         let chiron = eval_with_slo(SystemKind::Chiron, &wf, &cfg);

@@ -2,10 +2,10 @@
 //! Table 1 (§2.2, §4).
 
 use crate::common::{ms, pct, ratio, Table};
-use chiron::{evaluate_plan, evaluate_system, paper_slo, EvalConfig};
 use chiron::deploy;
 use chiron::model::plan::*;
 use chiron::model::{apps, SchedulingModel, SystemKind};
+use chiron::{evaluate_plan, evaluate_system, paper_slo, EvalConfig};
 use chiron_isolation::IsolationCosts;
 use chiron_model::{FunctionId, SimDuration, Workflow};
 use chiron_runtime::SpanKind;
@@ -72,7 +72,10 @@ pub fn fig4() -> String {
 /// and thread-based (Faastlane-T) many-to-one deployment.
 pub fn fig5() -> String {
     let wf = apps::finra(5);
-    let cfg = EvalConfig { requests: 1, ..EvalConfig::default() };
+    let cfg = EvalConfig {
+        requests: 1,
+        ..EvalConfig::default()
+    };
     let mut out = String::new();
     for (label, plan) in [
         ("Function-to-Process (Faastlane)", deploy::faastlane(&wf)),
@@ -159,12 +162,7 @@ pub fn fig6() -> String {
 /// as the CPU allocation shrinks from 4 to 1.
 pub fn fig7() -> String {
     let fns = apps::slapp_reference_functions();
-    let wf = Workflow::new(
-        "SLApp-ref",
-        fns,
-        vec![vec![0, 1, 2, 3]],
-    )
-    .expect("static workflow");
+    let wf = Workflow::new("SLApp-ref", fns, vec![vec![0, 1, 2, 3]]).expect("static workflow");
     let cfg = EvalConfig::default();
     let mut table = Table::new(vec!["CPUs", "pool mean (ms)", "java threads mean (ms)"]);
     let mut per_cpu = Vec::new();
@@ -176,11 +174,17 @@ pub fn fig7() -> String {
             isolation: IsolationKind::None,
             transfer: TransferKind::RpcPayload,
             scheduling: SchedulingKind::PreDeployed,
-            sandboxes: vec![SandboxPlan { id: SandboxId(0), cpus, pool_size: 4 }],
+            sandboxes: vec![SandboxPlan {
+                id: SandboxId(0),
+                cpus,
+                pool_size: 4,
+            }],
             stages: vec![StagePlan {
                 wraps: vec![WrapPlan {
                     sandbox: SandboxId(0),
-                    processes: (0..4).map(|i| ProcessPlan::pooled(vec![FunctionId(i)])).collect(),
+                    processes: (0..4)
+                        .map(|i| ProcessPlan::pooled(vec![FunctionId(i)]))
+                        .collect(),
                 }],
             }],
         };
@@ -189,8 +193,12 @@ pub fn fig7() -> String {
         java_plan.sandboxes[0].pool_size = 0;
         java_plan.stages[0].wraps[0].processes =
             vec![ProcessPlan::main_reuse((0..4).map(FunctionId).collect())];
-        let pool = evaluate_plan(&wf, pool_plan, &cfg).mean_latency.as_millis_f64();
-        let java = evaluate_plan(&wf, java_plan, &cfg).mean_latency.as_millis_f64();
+        let pool = evaluate_plan(&wf, pool_plan, &cfg)
+            .mean_latency
+            .as_millis_f64();
+        let java = evaluate_plan(&wf, java_plan, &cfg)
+            .mean_latency
+            .as_millis_f64();
         per_cpu.push((cpus, pool, java));
         table.row(vec![cpus.to_string(), ms(pool), ms(java)]);
     }
@@ -252,7 +260,10 @@ pub fn table1() -> String {
         "exec overhead (fibonacci)",
         "exec overhead (disk-io)",
     ]);
-    for (label, costs) in [("SFI", IsolationCosts::sfi()), ("Intel MPK", IsolationCosts::mpk())] {
+    for (label, costs) in [
+        ("SFI", IsolationCosts::sfi()),
+        ("Intel MPK", IsolationCosts::mpk()),
+    ] {
         table.row(vec![
             label.to_string(),
             ms(costs.startup.as_millis_f64()),

@@ -1,0 +1,95 @@
+//! Regeneration of the serving-plane experiments.
+//!
+//! The paper evaluates single-request latency; §7 raises the online
+//! questions — centralised vs decentralised request scheduling, and the
+//! real-time scheduling overhead at scale. This target operationalises
+//! them: the same Chiron deployment is served under (a) steady Poisson
+//! traffic, (b) a 10× traffic step that forces cold-start scale-up, and
+//! (c) steady traffic with a node crash mid-run, for both routing
+//! architectures.
+
+use crate::common::{ms, pct, Table};
+use chiron::serving::{FaultPlan, RouterPolicy, ServeConfig, ServeSimulation, Workload};
+use chiron::{Chiron, PgpMode};
+use chiron_deploy::NodeId;
+use chiron_metrics::ArrivalProcess;
+use chiron_model::{apps, SimTime};
+
+const SEED: u64 = 2023;
+
+fn row_for(
+    table: &mut Table,
+    scenario: &str,
+    router: RouterPolicy,
+    sim: &ServeSimulation,
+    workload: &Workload,
+) {
+    let report = sim.run(workload, SEED).expect("serving run");
+    table.row(vec![
+        scenario.to_string(),
+        router.name().to_string(),
+        ms(report.sojourns.percentile(0.50).as_millis_f64()),
+        ms(report.sojourns.percentile(0.99).as_millis_f64()),
+        pct(report.cold_start_fraction()),
+        report.peak_replicas.to_string(),
+        report.requeued_requests.to_string(),
+        report.lost.to_string(),
+        format!(
+            "{:.2}",
+            report.cost_usd / report.completed.max(1) as f64 * 1e6
+        ),
+    ]);
+}
+
+/// The serving-plane comparison (no paper figure; §7 made operational).
+pub fn serve_figure() -> String {
+    let chiron = Chiron::default();
+    let wf = apps::finra(12);
+    let deployment = chiron.deploy(&wf, None, PgpMode::NativeThread);
+
+    let steady = Workload::steady(50.0, 20_000).with_arrivals(ArrivalProcess::Poisson { seed: 7 });
+    let step = Workload::step(10.0, 10.0, 2_000, 18_000)
+        .with_arrivals(ArrivalProcess::Poisson { seed: 7 });
+    let kill_at = SimTime::from_millis_f64(60_000.0);
+
+    let mut table = Table::new(vec![
+        "scenario",
+        "router",
+        "p50 (ms)",
+        "p99 (ms)",
+        "cold-start %",
+        "peak replicas",
+        "requeued",
+        "lost",
+        "$ / 1M req",
+    ]);
+    for router in RouterPolicy::ALL {
+        let config = ServeConfig::paper_testbed().with_router(router);
+        let sim = ServeSimulation::new(wf.clone(), deployment.plan().clone(), config.clone());
+        row_for(&mut table, "steady 50 rps", router, &sim, &steady);
+        row_for(&mut table, "step 10 -> 100 rps", router, &sim, &step);
+        let faulty = ServeSimulation::new(wf.clone(), deployment.plan().clone(), config)
+            .with_faults(FaultPlan::none().kill_at(kill_at, NodeId(0)));
+        row_for(&mut table, "steady + node kill", router, &faulty, &steady);
+    }
+    format!(
+        "Serving plane — FINRA-12 under Chiron's plan on the 8-node testbed \
+         (open loop, Poisson arrivals, seed {SEED}; node kill at t=60 s)\n{}",
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_figure_renders_all_scenarios() {
+        let report = serve_figure();
+        assert!(report.contains("steady 50 rps"));
+        assert!(report.contains("step 10 -> 100 rps"));
+        assert!(report.contains("steady + node kill"));
+        assert!(report.contains("central-fifo"));
+        assert!(report.contains("partitioned"));
+    }
+}

@@ -84,11 +84,7 @@ pub fn state_transitions(workflow: &Workflow) -> u32 {
 }
 
 /// Evaluates one pre-built plan.
-pub fn evaluate_plan(
-    workflow: &Workflow,
-    plan: DeploymentPlan,
-    config: &EvalConfig,
-) -> SystemEval {
+pub fn evaluate_plan(workflow: &Workflow, plan: DeploymentPlan, config: &EvalConfig) -> SystemEval {
     let platform_config = PlatformConfig::paper_calibrated().with_jitter(config.jitter);
     let platform = VirtualPlatform::new(platform_config.clone());
     let mut latencies = LatencySamples::new();
@@ -143,7 +139,10 @@ pub fn paper_slo(workflow: &Workflow) -> SimDuration {
     let faastlane = evaluate_plan(
         workflow,
         deploy::faastlane(workflow),
-        &EvalConfig { requests: 1, ..EvalConfig::default() },
+        &EvalConfig {
+            requests: 1,
+            ..EvalConfig::default()
+        },
     );
     faastlane.mean_latency + SimDuration::from_millis(10)
 }

@@ -24,8 +24,7 @@ pub mod eval;
 pub mod manager;
 
 pub use eval::{
-    evaluate_plan, evaluate_system, paper_slo, plan_for, state_transitions, EvalConfig,
-    SystemEval,
+    evaluate_plan, evaluate_system, paper_slo, plan_for, state_transitions, EvalConfig, SystemEval,
 };
 pub use manager::{Chiron, Deployment};
 
@@ -40,4 +39,6 @@ pub use chiron_pgp::{PgpConfig, PgpMode, PgpScheduler, ScheduleOutcome};
 pub use chiron_predict as predict;
 pub use chiron_profiler as profiler;
 pub use chiron_runtime as runtime;
+pub use chiron_serve as serving;
+pub use chiron_serve::{FaultPlan, ServeConfig, ServeReport, Workload};
 pub use chiron_store as store;

@@ -12,6 +12,7 @@ use chiron_pgp::{PgpConfig, PgpMode, PgpScheduler, ScheduleOutcome};
 use chiron_predict::Predictor;
 use chiron_profiler::{Profiler, WorkflowProfile};
 use chiron_runtime::{RequestOutcome, VirtualPlatform};
+use chiron_serve::{FaultPlan, ServeConfig, ServeError, ServeReport, ServeSimulation, Workload};
 
 /// A deployed workflow: the artefacts of steps ➋–➎.
 #[derive(Debug, Clone)]
@@ -69,7 +70,11 @@ impl Chiron {
         };
         let schedule = self.scheduler.schedule(workflow, &profile, &config);
         let wraps = generate(workflow, &schedule.plan);
-        Deployment { profile, schedule, wraps }
+        Deployment {
+            profile,
+            schedule,
+            wraps,
+        }
     }
 
     /// Step ➏: routes one request through the deployed wraps.
@@ -80,6 +85,42 @@ impl Chiron {
         seed: u64,
     ) -> Result<RequestOutcome, PlanError> {
         self.platform.execute(workflow, deployment.plan(), seed)
+    }
+
+    /// Online serving: drives an open-loop workload against the deployed
+    /// wraps on the virtual cluster — router, autoscaler and failure
+    /// recovery per [`chiron_serve`]. Deterministic in `(workload, seed)`.
+    pub fn serve(
+        &self,
+        workflow: &Workflow,
+        deployment: &Deployment,
+        config: ServeConfig,
+        workload: &Workload,
+        seed: u64,
+    ) -> Result<ServeReport, ServeError> {
+        self.serve_with_faults(
+            workflow,
+            deployment,
+            config,
+            FaultPlan::none(),
+            workload,
+            seed,
+        )
+    }
+
+    /// [`Chiron::serve`] with scripted node kills.
+    pub fn serve_with_faults(
+        &self,
+        workflow: &Workflow,
+        deployment: &Deployment,
+        config: ServeConfig,
+        faults: FaultPlan,
+        workload: &Workload,
+        seed: u64,
+    ) -> Result<ServeReport, ServeError> {
+        ServeSimulation::new(workflow.clone(), deployment.plan().clone(), config)
+            .with_faults(faults)
+            .run(workload, seed)
     }
 
     /// §3.4's periodic re-profiling: refreshes the profile (with a new
@@ -102,7 +143,11 @@ impl Chiron {
         let schedule = self.scheduler.schedule(workflow, &profile, &config);
         let wraps = generate(workflow, &schedule.plan);
         let _ = deployment; // the previous deployment is superseded
-        Deployment { profile, schedule, wraps }
+        Deployment {
+            profile,
+            schedule,
+            wraps,
+        }
     }
 }
 
@@ -178,6 +223,27 @@ mod tests {
         let outcome = chiron.invoke(&wf, &deployment, 0).unwrap();
         assert!(!outcome.e2e.is_zero());
         assert_eq!(outcome.timelines.len(), wf.function_count());
+    }
+
+    #[test]
+    fn serve_facade_runs_a_deployment_online() {
+        let chiron = Chiron::default();
+        let wf = apps::finra(5);
+        let deployment = chiron.deploy(&wf, None, PgpMode::NativeThread);
+        let report = chiron
+            .serve(
+                &wf,
+                &deployment,
+                ServeConfig::paper_testbed(),
+                &Workload::steady(20.0, 500),
+                11,
+            )
+            .unwrap();
+        assert_eq!(report.completed, 500);
+        assert_eq!(report.lost, 0);
+        // The warm single-request latency lower-bounds every sojourn.
+        let single = chiron.invoke(&wf, &deployment, 0).unwrap().e2e;
+        assert!(report.sojourns.min() >= single.mul_f64(1.0 - 0.05 - 1e-9));
     }
 
     #[test]

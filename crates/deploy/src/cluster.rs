@@ -9,8 +9,8 @@
 //! policies, per-node utilisation, cluster-level throughput, and the
 //! centralised-vs-decentralised invocation-overhead comparison.
 
-use chiron_model::{CostModel, DeploymentPlan, SandboxId, SimDuration, Workflow};
 use chiron_metrics::plan_resources;
+use chiron_model::{CostModel, DeploymentPlan, SandboxId, SimDuration, Workflow};
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a worker node.
@@ -162,6 +162,133 @@ pub fn place(
     Ok(Placement { assignments })
 }
 
+/// Live cluster bookkeeping for incremental replica placement — the
+/// mutable counterpart of the one-shot [`place`]. The serving control
+/// plane adds and retires whole replicas (full copies of a plan's sandbox
+/// set) over time and marks nodes failed; capacity accounting here is the
+/// single source of truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterState {
+    config: ClusterConfig,
+    free_cpu: Vec<u32>,
+    free_mem: Vec<u64>,
+    failed: Vec<bool>,
+    rr_cursor: usize,
+}
+
+impl ClusterState {
+    pub fn new(config: ClusterConfig) -> Self {
+        let n = config.nodes as usize;
+        ClusterState {
+            free_cpu: vec![config.node.node_cpus; n],
+            free_mem: vec![config.node.node_memory_bytes; n],
+            failed: vec![false; n],
+            rr_cursor: 0,
+            config,
+        }
+    }
+
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Nodes currently accepting placements.
+    pub fn live_nodes(&self) -> usize {
+        self.failed.iter().filter(|&&f| !f).count()
+    }
+
+    pub fn is_failed(&self, node: NodeId) -> bool {
+        self.failed[node.0 as usize]
+    }
+
+    /// Fraction of live-node CPU capacity currently allocated.
+    pub fn cpu_utilisation(&self) -> f64 {
+        let mut capacity = 0u64;
+        let mut free = 0u64;
+        for i in 0..self.failed.len() {
+            if !self.failed[i] {
+                capacity += u64::from(self.config.node.node_cpus);
+                free += u64::from(self.free_cpu[i]);
+            }
+        }
+        if capacity == 0 {
+            return 1.0;
+        }
+        1.0 - free as f64 / capacity as f64
+    }
+
+    /// Places one replica — a full copy of the plan's sandbox set — onto
+    /// live nodes with capacity, honouring the policy (Pack: first fit on
+    /// the fewest nodes; Spread: round-robin continuing from the previous
+    /// placement). Capacity is debited on success and untouched on error.
+    pub fn place_replica(
+        &mut self,
+        plan: &DeploymentPlan,
+        workflow: &Workflow,
+        policy: PlacementPolicy,
+    ) -> Result<Placement, PlacementError> {
+        let n = self.config.nodes as usize;
+        let mut free_cpu = self.free_cpu.clone();
+        let mut free_mem = self.free_mem.clone();
+        let mut rr_cursor = self.rr_cursor;
+        let mut assignments = Vec::with_capacity(plan.sandbox_count());
+        for sb in &plan.sandboxes {
+            let (cpus, mem) = sandbox_demand(plan, workflow, &self.config.node, sb.id);
+            if cpus > self.config.node.node_cpus || mem > self.config.node.node_memory_bytes {
+                return Err(PlacementError::SandboxTooLarge(sb.id));
+            }
+            let order: Vec<usize> = match policy {
+                PlacementPolicy::Pack => (0..n).collect(),
+                PlacementPolicy::Spread => (0..n).map(|i| (rr_cursor + i) % n).collect(),
+            };
+            let slot = order
+                .into_iter()
+                .find(|&i| !self.failed[i] && free_cpu[i] >= cpus && free_mem[i] >= mem)
+                .ok_or(PlacementError::ClusterFull)?;
+            free_cpu[slot] -= cpus;
+            free_mem[slot] -= mem;
+            assignments.push((sb.id, NodeId(slot as u32)));
+            rr_cursor = (slot + 1) % n;
+        }
+        self.free_cpu = free_cpu;
+        self.free_mem = free_mem;
+        self.rr_cursor = rr_cursor;
+        Ok(Placement { assignments })
+    }
+
+    /// Returns a replica's resources to the cluster. Capacity on failed
+    /// nodes is not refunded (the node is gone with everything on it).
+    pub fn remove_replica(
+        &mut self,
+        plan: &DeploymentPlan,
+        workflow: &Workflow,
+        placement: &Placement,
+    ) {
+        for &(sandbox, node) in &placement.assignments {
+            let i = node.0 as usize;
+            if self.failed[i] {
+                continue;
+            }
+            let (cpus, mem) = sandbox_demand(plan, workflow, &self.config.node, sandbox);
+            self.free_cpu[i] = (self.free_cpu[i] + cpus).min(self.config.node.node_cpus);
+            self.free_mem[i] = (self.free_mem[i] + mem).min(self.config.node.node_memory_bytes);
+        }
+    }
+
+    /// Marks a node failed: it stops accepting placements and its capacity
+    /// is written off. Idempotent; node ids outside the cluster are ignored
+    /// (there is nothing there to kill).
+    pub fn fail_node(&mut self, node: NodeId) {
+        let i = node.0 as usize;
+        if i >= self.failed.len() {
+            return;
+        }
+        self.failed[i] = true;
+        self.free_cpu[i] = 0;
+        self.free_mem[i] = 0;
+    }
+}
+
 /// Extra per-request invocation latency this placement adds: each stage's
 /// remote wraps that land on a different node than the stage's primary
 /// wrap pay `cross_node_extra` on invocation and return.
@@ -260,7 +387,10 @@ mod tests {
     fn cluster_full_detected() {
         let wf = apps::finra(200);
         let plan = planners::faastlane_plus(&wf); // 200 CPUs demanded
-        let tiny = ClusterConfig { nodes: 2, ..ClusterConfig::paper_testbed() };
+        let tiny = ClusterConfig {
+            nodes: 2,
+            ..ClusterConfig::paper_testbed()
+        };
         assert_eq!(
             place(&plan, &wf, &tiny, PlacementPolicy::Pack).unwrap_err(),
             PlacementError::ClusterFull
@@ -295,12 +425,106 @@ mod tests {
     }
 
     #[test]
+    fn cluster_state_add_remove_roundtrip() {
+        let wf = apps::finra(12);
+        let plan = planners::faastlane_plus(&wf); // 3 sandboxes × 5 CPUs
+        let mut state = ClusterState::new(ClusterConfig::paper_testbed());
+        let p1 = state
+            .place_replica(&plan, &wf, PlacementPolicy::Pack)
+            .unwrap();
+        let p2 = state
+            .place_replica(&plan, &wf, PlacementPolicy::Pack)
+            .unwrap();
+        assert!(state.cpu_utilisation() > 0.0);
+        state.remove_replica(&plan, &wf, &p2);
+        state.remove_replica(&plan, &wf, &p1);
+        assert_eq!(
+            state.cpu_utilisation(),
+            0.0,
+            "full removal restores capacity exactly"
+        );
+        assert_eq!(state.free_cpu, vec![40; 8]);
+        assert_eq!(
+            state.free_mem,
+            vec![
+                128 << 30,
+                128 << 30,
+                128 << 30,
+                128 << 30,
+                128 << 30,
+                128 << 30,
+                128 << 30,
+                128 << 30
+            ]
+        );
+    }
+
+    #[test]
+    fn cluster_state_incremental_matches_batch_policy() {
+        // A replica placed incrementally lands like the one-shot placer.
+        let wf = apps::finra(12);
+        let plan = planners::faastlane_plus(&wf);
+        let cluster = ClusterConfig::paper_testbed();
+        let mut state = ClusterState::new(cluster.clone());
+        let incremental = state
+            .place_replica(&plan, &wf, PlacementPolicy::Pack)
+            .unwrap();
+        let batch = place(&plan, &wf, &cluster, PlacementPolicy::Pack).unwrap();
+        assert_eq!(incremental, batch);
+    }
+
+    #[test]
+    fn failed_nodes_are_avoided_and_capacity_written_off() {
+        let wf = apps::finra(12);
+        let plan = planners::faastlane_plus(&wf);
+        let mut state = ClusterState::new(ClusterConfig::paper_testbed());
+        state.fail_node(NodeId(0));
+        assert_eq!(state.live_nodes(), 7);
+        assert!(state.is_failed(NodeId(0)));
+        let placed = state
+            .place_replica(&plan, &wf, PlacementPolicy::Pack)
+            .unwrap();
+        assert!(placed.assignments.iter().all(|&(_, n)| n != NodeId(0)));
+        // Removing a replica that straddled a failed node must not refund
+        // the dead node's share.
+        let before_cpu = state.cpu_utilisation();
+        state.remove_replica(&plan, &wf, &placed);
+        assert!(state.cpu_utilisation() <= before_cpu);
+    }
+
+    #[test]
+    fn exhaustion_reports_cluster_full() {
+        let wf = apps::finra(12);
+        let plan = planners::faastlane_plus(&wf); // 15 CPUs per replica
+        let mut state = ClusterState::new(ClusterConfig {
+            nodes: 1,
+            ..ClusterConfig::paper_testbed()
+        });
+        // One 40-CPU node holds two 15-CPU replicas, not three.
+        assert!(state
+            .place_replica(&plan, &wf, PlacementPolicy::Pack)
+            .is_ok());
+        assert!(state
+            .place_replica(&plan, &wf, PlacementPolicy::Pack)
+            .is_ok());
+        assert_eq!(
+            state
+                .place_replica(&plan, &wf, PlacementPolicy::Pack)
+                .unwrap_err(),
+            PlacementError::ClusterFull
+        );
+    }
+
+    #[test]
     fn single_sandbox_plan_places_trivially() {
         let wf = apps::finra(5);
         let plan = planners::faastlane(&wf);
         let cluster = ClusterConfig::paper_testbed();
         let placed = place(&plan, &wf, &cluster, PlacementPolicy::Spread).unwrap();
         assert_eq!(placed.assignments.len(), 1);
-        assert_eq!(placement_overhead(&plan, &placed, &cluster), SimDuration::ZERO);
+        assert_eq!(
+            placement_overhead(&plan, &placed, &cluster),
+            SimDuration::ZERO
+        );
     }
 }

@@ -28,7 +28,11 @@ use chiron_profiler::WorkflowProfile;
 pub const FAASTLANE_PLUS_PROCS_PER_SANDBOX: usize = 5;
 
 fn single_sandbox(cpus: u32, pool_size: u32) -> Vec<SandboxPlan> {
-    vec![SandboxPlan { id: SandboxId(0), cpus, pool_size }]
+    vec![SandboxPlan {
+        id: SandboxId(0),
+        cpus,
+        pool_size,
+    }]
 }
 
 /// One-to-one plan: every function in its own single-CPU sandbox.
@@ -48,7 +52,11 @@ fn one_to_one(
             .map(|&f| {
                 let id = SandboxId(next);
                 next += 1;
-                sandboxes.push(SandboxPlan { id, cpus: 1, pool_size: 0 });
+                sandboxes.push(SandboxPlan {
+                    id,
+                    cpus: 1,
+                    pool_size: 0,
+                });
                 WrapPlan {
                     sandbox: id,
                     processes: vec![ProcessPlan::main_reuse(vec![f])],
@@ -159,8 +167,7 @@ pub fn faastlane_t(workflow: &Workflow) -> DeploymentPlan {
     let mut plan = faastlane(workflow);
     plan.system = SystemKind::FaastlaneT;
     for (si, stage) in workflow.stages.iter().enumerate() {
-        plan.stages[si].wraps[0].processes =
-            vec![ProcessPlan::main_reuse(stage.functions.clone())];
+        plan.stages[si].wraps[0].processes = vec![ProcessPlan::main_reuse(stage.functions.clone())];
     }
     // The GIL admits one running thread; blocking ops overlap for free.
     plan.sandboxes = single_sandbox(1, 0);
@@ -187,7 +194,10 @@ pub fn faastlane_plus(workflow: &Workflow) -> DeploymentPlan {
         for (i, chunk) in stage.functions.chunks(per).enumerate() {
             wraps.push(WrapPlan {
                 sandbox: SandboxId(i as u32),
-                processes: chunk.iter().map(|&f| ProcessPlan::forked(vec![f])).collect(),
+                processes: chunk
+                    .iter()
+                    .map(|&f| ProcessPlan::forked(vec![f]))
+                    .collect(),
             });
         }
         n_sandboxes = n_sandboxes.max(wraps.len());

@@ -139,7 +139,10 @@ mod tests {
     fn none_is_free() {
         let none = IsolationCosts::for_kind(IsolationKind::None);
         assert_eq!(none.execution_overhead(&fibonacci()), 0.0);
-        assert_eq!(none.stretch_segment(Segment::cpu_ms(10)).as_millis_f64(), 10.0);
+        assert_eq!(
+            none.stretch_segment(Segment::cpu_ms(10)).as_millis_f64(),
+            10.0
+        );
     }
 
     #[test]

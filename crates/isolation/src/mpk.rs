@@ -129,7 +129,13 @@ impl MpkDomain {
         inner.next_key += 1;
         let id = inner.next_arena;
         inner.next_arena += 1;
-        inner.arenas.insert(id, Arena { key, data: vec![0; size] });
+        inner.arenas.insert(
+            id,
+            Arena {
+                key,
+                data: vec![0; size],
+            },
+        );
         Ok(ArenaHandle { id, key })
     }
 
@@ -162,12 +168,18 @@ impl MpkDomain {
         let inner = self.inner.read();
         let arena = &inner.arenas[&handle.id];
         if !Self::access_for(&inner, thread, arena.key).allows_read() {
-            return Err(MpkViolation::ReadDenied { thread, key: arena.key.0 });
+            return Err(MpkViolation::ReadDenied {
+                thread,
+                key: arena.key.0,
+            });
         }
         let end = offset.checked_add(len).filter(|&e| e <= arena.data.len());
         match end {
             Some(end) => Ok(arena.data[offset..end].to_vec()),
-            None => Err(MpkViolation::OutOfBounds { offset, len: arena.data.len() }),
+            None => Err(MpkViolation::OutOfBounds {
+                offset,
+                len: arena.data.len(),
+            }),
         }
     }
 
@@ -182,7 +194,10 @@ impl MpkDomain {
         let mut inner = self.inner.write();
         let arena = inner.arenas.get(&handle.id).expect("valid handle");
         if !Self::access_for(&inner, thread, arena.key).allows_write() {
-            return Err(MpkViolation::WriteDenied { thread, key: arena.key.0 });
+            return Err(MpkViolation::WriteDenied {
+                thread,
+                key: arena.key.0,
+            });
         }
         let arena = inner.arenas.get_mut(&handle.id).expect("valid handle");
         let end = offset
@@ -193,7 +208,10 @@ impl MpkDomain {
                 arena.data[offset..end].copy_from_slice(bytes);
                 Ok(())
             }
-            None => Err(MpkViolation::OutOfBounds { offset, len: arena.data.len() }),
+            None => Err(MpkViolation::OutOfBounds {
+                offset,
+                len: arena.data.len(),
+            }),
         }
     }
 }
@@ -216,11 +234,17 @@ mod tests {
         // Thread 2 holds no rights on arena A.
         assert_eq!(
             domain.read(2, a, 0, 6).unwrap_err(),
-            MpkViolation::ReadDenied { thread: 2, key: a.key.0 }
+            MpkViolation::ReadDenied {
+                thread: 2,
+                key: a.key.0
+            }
         );
         assert_eq!(
             domain.write(2, a, 0, b"x").unwrap_err(),
-            MpkViolation::WriteDenied { thread: 2, key: a.key.0 }
+            MpkViolation::WriteDenied {
+                thread: 2,
+                key: a.key.0
+            }
         );
         // Thread 1 reads its own data back.
         assert_eq!(domain.read(1, a, 0, 6).unwrap(), b"secret");

@@ -47,7 +47,10 @@ mod tests {
     use super::*;
 
     fn usage() -> ResourceUsage {
-        ResourceUsage { memory_bytes: 1 << 30, cpus: 2 }
+        ResourceUsage {
+            memory_bytes: 1 << 30,
+            cpus: 2,
+        }
     }
 
     #[test]

@@ -10,9 +10,58 @@
 
 use crate::stats::LatencySamples;
 use chiron_model::SimDuration;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// How request arrivals are spaced in open-loop load generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Deterministic spacing of exactly `1/rps` between arrivals.
+    Uniform,
+    /// Memoryless (exponential) inter-arrival gaps at mean rate `rps`,
+    /// drawn from a generator seeded with the given value — the classic
+    /// M/G/k arrival side, reproducible run-to-run.
+    Poisson { seed: u64 },
+}
+
+/// Stateful inter-arrival gap generator for one [`ArrivalProcess`].
+#[derive(Debug, Clone)]
+pub struct ArrivalGen {
+    process: ArrivalProcess,
+    rng: StdRng,
+}
+
+impl ArrivalProcess {
+    pub fn gaps(self) -> ArrivalGen {
+        let seed = match self {
+            ArrivalProcess::Uniform => 0,
+            ArrivalProcess::Poisson { seed } => seed,
+        };
+        ArrivalGen {
+            process: self,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl ArrivalGen {
+    /// Next gap to the following arrival at mean rate `rps`.
+    pub fn next_gap(&mut self, rps: f64) -> SimDuration {
+        assert!(rps > 0.0, "arrival rate must be positive");
+        match self.process {
+            ArrivalProcess::Uniform => SimDuration::from_nanos((1e9 / rps).round() as u64),
+            ArrivalProcess::Poisson { .. } => {
+                // Inverse-CDF exponential; 1 - u avoids ln(0).
+                let u: f64 = self.rng.random();
+                let secs = -(1.0 - u).ln() / rps;
+                SimDuration::from_nanos((secs * 1e9).round() as u64)
+            }
+        }
+    }
+}
 
 /// Outcome of driving one arrival rate through the node.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -34,10 +83,28 @@ pub fn drive_load(
     rps: f64,
     n_requests: u64,
 ) -> LoadReport {
+    drive_load_with(
+        servers,
+        service_times,
+        rps,
+        n_requests,
+        ArrivalProcess::Uniform,
+    )
+}
+
+/// [`drive_load`] with an explicit arrival process (uniform or seeded
+/// Poisson).
+pub fn drive_load_with(
+    servers: u32,
+    service_times: &[SimDuration],
+    rps: f64,
+    n_requests: u64,
+    arrivals: ArrivalProcess,
+) -> LoadReport {
     assert!(servers > 0, "need at least one server");
     assert!(!service_times.is_empty(), "need service-time samples");
     assert!(rps > 0.0, "arrival rate must be positive");
-    let spacing = SimDuration::from_nanos((1e9 / rps).round() as u64);
+    let mut gaps = arrivals.gaps();
     // Min-heap of server free times.
     let mut free: BinaryHeap<Reverse<u64>> = (0..servers).map(|_| Reverse(0u64)).collect();
     let mut sojourns = LatencySamples::new();
@@ -49,7 +116,7 @@ pub fn drive_load(
         let done = start + service.as_nanos();
         free.push(Reverse(done));
         sojourns.push(SimDuration::from_nanos(done - arrival.as_nanos()));
-        arrival += spacing;
+        arrival += gaps.next_gap(rps);
     }
     LoadReport {
         offered_rps: rps,
@@ -68,11 +135,8 @@ pub fn saturation_rps(
     n_requests: u64,
 ) -> f64 {
     assert!(slack >= 1.0);
-    let mean_service = service_times
-        .iter()
-        .map(|d| d.as_secs_f64())
-        .sum::<f64>()
-        / service_times.len() as f64;
+    let mean_service =
+        service_times.iter().map(|d| d.as_secs_f64()).sum::<f64>() / service_times.len() as f64;
     let bound = SimDuration::from_nanos((mean_service * slack * 1e9).round() as u64);
     let ceiling = f64::from(servers) / mean_service; // work-conservation limit
     let (mut lo, mut hi) = (ceiling * 0.01, ceiling * 1.5);
@@ -125,12 +189,67 @@ mod tests {
     fn heterogeneous_service_times() {
         let samples = vec![ms(50), ms(150)]; // mean 100ms
         let rps = saturation_rps(2, &samples, 3.0, 4000);
-        assert!((14.0..=22.0).contains(&rps), "saturation {rps} vs analytic 20");
+        assert!(
+            (14.0..=22.0).contains(&rps),
+            "saturation {rps} vs analytic 20"
+        );
     }
 
     #[test]
     #[should_panic(expected = "need at least one server")]
     fn zero_servers_rejected() {
         drive_load(0, &[ms(1)], 1.0, 1);
+    }
+
+    #[test]
+    fn poisson_is_reproducible() {
+        let a = drive_load_with(
+            4,
+            &[ms(100)],
+            30.0,
+            2000,
+            ArrivalProcess::Poisson { seed: 7 },
+        );
+        let b = drive_load_with(
+            4,
+            &[ms(100)],
+            30.0,
+            2000,
+            ArrivalProcess::Poisson { seed: 7 },
+        );
+        assert_eq!(a, b);
+        let c = drive_load_with(
+            4,
+            &[ms(100)],
+            30.0,
+            2000,
+            ArrivalProcess::Poisson { seed: 8 },
+        );
+        assert_ne!(a.mean_sojourn, c.mean_sojourn);
+    }
+
+    #[test]
+    fn poisson_queues_more_than_uniform() {
+        // At 75% utilisation, bursty arrivals queue; uniform arrivals at the
+        // same rate see (nearly) no queueing.
+        let uniform = drive_load_with(1, &[ms(100)], 7.5, 4000, ArrivalProcess::Uniform);
+        let poisson = drive_load_with(
+            1,
+            &[ms(100)],
+            7.5,
+            4000,
+            ArrivalProcess::Poisson { seed: 1 },
+        );
+        assert!(poisson.mean_sojourn > uniform.mean_sojourn);
+    }
+
+    #[test]
+    fn poisson_gap_mean_matches_rate() {
+        let mut gaps = ArrivalProcess::Poisson { seed: 3 }.gaps();
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| gaps.next_gap(50.0).as_secs_f64()).sum();
+        let mean = total / f64::from(n);
+        // Expected gap 20ms; the sample mean should land within a few %.
+        assert!((0.018..0.022).contains(&mean), "mean gap {mean}");
     }
 }

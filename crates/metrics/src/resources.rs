@@ -96,7 +96,11 @@ mod tests {
     fn one_sandbox_peaks_at_busiest_stage() {
         let costs = CostModel::paper_calibrated();
         let plan = base_plan(
-            vec![SandboxPlan { id: SandboxId(0), cpus: 2, pool_size: 0 }],
+            vec![SandboxPlan {
+                id: SandboxId(0),
+                cpus: 2,
+                pool_size: 0,
+            }],
             vec![
                 StagePlan {
                     wraps: vec![WrapPlan {
@@ -130,7 +134,11 @@ mod tests {
         let costs = CostModel::paper_calibrated();
         // Three function-sandboxes, one per function.
         let sandboxes = (0..3)
-            .map(|i| SandboxPlan { id: SandboxId(i), cpus: 1, pool_size: 0 })
+            .map(|i| SandboxPlan {
+                id: SandboxId(i),
+                cpus: 1,
+                pool_size: 0,
+            })
             .collect();
         let stages = vec![
             StagePlan {
@@ -163,7 +171,11 @@ mod tests {
     fn pool_workers_are_resident() {
         let costs = CostModel::paper_calibrated();
         let plan = base_plan(
-            vec![SandboxPlan { id: SandboxId(0), cpus: 2, pool_size: 4 }],
+            vec![SandboxPlan {
+                id: SandboxId(0),
+                cpus: 2,
+                pool_size: 4,
+            }],
             vec![
                 StagePlan {
                     wraps: vec![WrapPlan {
@@ -188,7 +200,10 @@ mod tests {
 
     #[test]
     fn memory_mb_conversion() {
-        let usage = ResourceUsage { memory_bytes: 10 << 20, cpus: 1 };
+        let usage = ResourceUsage {
+            memory_bytes: 10 << 20,
+            cpus: 1,
+        };
         assert!((usage.memory_mb() - 10.0).abs() < 1e-9);
     }
 }

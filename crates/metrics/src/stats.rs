@@ -44,11 +44,19 @@ impl LatencySamples {
     }
 
     pub fn min(&self) -> SimDuration {
-        self.samples.iter().copied().min().unwrap_or(SimDuration::ZERO)
+        self.samples
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(SimDuration::ZERO)
     }
 
     pub fn max(&self) -> SimDuration {
-        self.samples.iter().copied().max().unwrap_or(SimDuration::ZERO)
+        self.samples
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimDuration::ZERO)
     }
 
     /// Sample standard deviation in milliseconds.
@@ -118,6 +126,141 @@ impl FromIterator<SimDuration> for LatencySamples {
         LatencySamples {
             samples: iter.into_iter().collect(),
         }
+    }
+}
+
+/// Streaming latency percentiles in O(1) memory: an HDR-style
+/// log-bucketed histogram over nanoseconds.
+///
+/// Values below 2¹² ns land in exact unit buckets; above that, each
+/// power-of-two decade is split into 2¹¹ sub-buckets, bounding relative
+/// quantile error at ~0.05%. This is what the serving simulation uses to
+/// track millions of sojourn times without keeping every sample
+/// ([`LatencySamples`] stays the exact, batch-oriented alternative).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamingHistogram {
+    /// `counts[bucket]`; lazily grown, index derived from the value.
+    counts: Vec<u64>,
+    total: u64,
+    sum_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+/// Sub-bucket resolution: 2^SUB_BITS buckets per power-of-two decade.
+const SUB_BITS: u32 = 11;
+
+impl Default for StreamingHistogram {
+    fn default() -> Self {
+        StreamingHistogram {
+            counts: Vec::new(),
+            total: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+}
+
+impl StreamingHistogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_of(ns: u64) -> usize {
+        if ns < (1 << (SUB_BITS + 1)) {
+            return ns as usize;
+        }
+        // For ns with highest set bit b > SUB_BITS, use the top SUB_BITS+1
+        // bits: decade (b - SUB_BITS) at sub-position of the next SUB_BITS
+        // bits. Buckets stay monotone in ns.
+        let b = 63 - ns.leading_zeros();
+        let decade = (b - SUB_BITS) as usize;
+        let sub = ((ns >> (b - SUB_BITS)) - (1 << SUB_BITS)) as usize;
+        (1 << (SUB_BITS + 1)) + decade * (1 << SUB_BITS) + sub
+    }
+
+    /// Upper edge (inclusive) of a bucket — the value reported for
+    /// quantiles landing in it.
+    fn bucket_upper(bucket: usize) -> u64 {
+        if bucket < (1 << (SUB_BITS + 1)) {
+            return bucket as u64;
+        }
+        let rest = (bucket - (1 << (SUB_BITS + 1))) as u64;
+        let decade = (rest >> SUB_BITS) as u32; // the value's top bit − SUB_BITS
+        let sub = rest & ((1 << SUB_BITS) - 1);
+        (((1u64 << SUB_BITS) + sub + 1) << decade) - 1
+    }
+
+    pub fn record(&mut self, sample: SimDuration) {
+        let ns = sample.as_nanos();
+        let bucket = Self::bucket_of(ns);
+        if bucket >= self.counts.len() {
+            self.counts.resize(bucket + 1, 0);
+        }
+        self.counts[bucket] += 1;
+        self.total += 1;
+        self.sum_ns += u128::from(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    pub fn mean(&self) -> SimDuration {
+        if self.total == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_nanos((self.sum_ns / u128::from(self.total)) as u64)
+    }
+
+    pub fn min(&self) -> SimDuration {
+        if self.total == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_nanos(self.min_ns)
+    }
+
+    pub fn max(&self) -> SimDuration {
+        SimDuration::from_nanos(self.max_ns)
+    }
+
+    /// Quantile `q` in `[0, 1]`: the smallest bucket upper edge whose
+    /// cumulative count reaches `q × total` (clamped to the observed max).
+    pub fn percentile(&self, q: f64) -> SimDuration {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.total == 0 {
+            return SimDuration::ZERO;
+        }
+        let rank = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (bucket, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return SimDuration::from_nanos(Self::bucket_upper(bucket).min(self.max_ns));
+            }
+        }
+        self.max()
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &StreamingHistogram) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (slot, &count) in self.counts.iter_mut().zip(&other.counts) {
+            *slot += count;
+        }
+        self.total += other.total;
+        self.sum_ns += other.sum_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
     }
 }
 
@@ -205,6 +348,70 @@ mod tests {
         let s = samples(&[10, 20]);
         assert!((s.std_ms() - 7.0710678).abs() < 1e-5);
         assert_eq!(samples(&[10]).std_ms(), 0.0);
+    }
+
+    #[test]
+    fn streaming_histogram_tracks_exact_small_values() {
+        let mut h = StreamingHistogram::new();
+        for ns in [10u64, 20, 30, 40] {
+            h.record(SimDuration::from_nanos(ns));
+        }
+        assert_eq!(h.len(), 4);
+        assert_eq!(h.min(), SimDuration::from_nanos(10));
+        assert_eq!(h.max(), SimDuration::from_nanos(40));
+        assert_eq!(h.mean(), SimDuration::from_nanos(25));
+        assert_eq!(h.percentile(0.0), SimDuration::from_nanos(10));
+        assert_eq!(h.percentile(1.0), SimDuration::from_nanos(40));
+    }
+
+    #[test]
+    fn streaming_histogram_matches_batch_percentiles() {
+        // Deterministic pseudo-random latencies spanning µs to seconds.
+        let mut h = StreamingHistogram::new();
+        let mut batch = LatencySamples::new();
+        let mut x: u64 = 0x243f_6a88_85a3_08d3;
+        for _ in 0..50_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let ns = 1_000 + x % 2_000_000_000; // up to 2s
+            h.record(SimDuration::from_nanos(ns));
+            batch.push(SimDuration::from_nanos(ns));
+        }
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let approx = h.percentile(q).as_nanos() as f64;
+            let exact = batch.percentile(q).as_nanos() as f64;
+            let rel = (approx - exact).abs() / exact;
+            assert!(
+                rel < 0.002,
+                "q={q}: approx {approx} vs exact {exact} ({rel})"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_histogram_merge_and_empty() {
+        let empty = StreamingHistogram::new();
+        assert!(empty.is_empty());
+        assert_eq!(empty.percentile(0.99), SimDuration::ZERO);
+        assert_eq!(empty.mean(), SimDuration::ZERO);
+        let mut a = StreamingHistogram::new();
+        let mut b = StreamingHistogram::new();
+        let mut whole = StreamingHistogram::new();
+        for v in 1..=1000u64 {
+            let d = SimDuration::from_micros(v);
+            if v % 2 == 0 {
+                a.record(d)
+            } else {
+                b.record(d)
+            }
+            whole.record(d);
+        }
+        a.merge(&b);
+        assert_eq!(a.len(), whole.len());
+        assert_eq!(a.percentile(0.5), whole.percentile(0.5));
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
     }
 
     #[test]

@@ -66,7 +66,10 @@ mod tests {
     #[test]
     fn cpu_bound_deployment() {
         let costs = CostModel::paper_calibrated(); // 40 CPUs, 128 GB
-        let usage = ResourceUsage { memory_bytes: 100 << 20, cpus: 10 };
+        let usage = ResourceUsage {
+            memory_bytes: 100 << 20,
+            cpus: 10,
+        };
         let report = node_throughput(usage, SimDuration::from_millis(100), &costs);
         assert_eq!(report.bottleneck, Bottleneck::Cpu);
         assert_eq!(report.concurrency, 4.0);
@@ -76,7 +79,10 @@ mod tests {
     #[test]
     fn memory_bound_deployment() {
         let costs = CostModel::paper_calibrated();
-        let usage = ResourceUsage { memory_bytes: 64 << 30, cpus: 1 };
+        let usage = ResourceUsage {
+            memory_bytes: 64 << 30,
+            cpus: 1,
+        };
         let report = node_throughput(usage, SimDuration::from_millis(100), &costs);
         assert_eq!(report.bottleneck, Bottleneck::Memory);
         assert_eq!(report.concurrency, 2.0);
@@ -86,17 +92,26 @@ mod tests {
     fn oversubscribed_deployment_time_shares() {
         // 200 CPUs demanded on a 40-core node: 0.2 of an instance.
         let costs = CostModel::paper_calibrated();
-        let usage = ResourceUsage { memory_bytes: 100 << 20, cpus: 200 };
+        let usage = ResourceUsage {
+            memory_bytes: 100 << 20,
+            cpus: 200,
+        };
         let report = node_throughput(usage, SimDuration::from_millis(500), &costs);
         assert!((report.concurrency - 0.2).abs() < 1e-9);
-        assert!(report.rps > 0.0, "oversubscription must not zero throughput");
+        assert!(
+            report.rps > 0.0,
+            "oversubscription must not zero throughput"
+        );
         assert!((report.rps - 0.4).abs() < 1e-9);
     }
 
     #[test]
     fn lower_latency_raises_throughput() {
         let costs = CostModel::paper_calibrated();
-        let usage = ResourceUsage { memory_bytes: 100 << 20, cpus: 2 };
+        let usage = ResourceUsage {
+            memory_bytes: 100 << 20,
+            cpus: 2,
+        };
         let slow = node_throughput(usage, SimDuration::from_millis(200), &costs);
         let fast = node_throughput(usage, SimDuration::from_millis(50), &costs);
         assert!(fast.rps > slow.rps * 3.9);
@@ -106,7 +121,10 @@ mod tests {
     #[should_panic(expected = "latency must be positive")]
     fn zero_latency_rejected() {
         let costs = CostModel::paper_calibrated();
-        let usage = ResourceUsage { memory_bytes: 1 << 20, cpus: 1 };
+        let usage = ResourceUsage {
+            memory_bytes: 1 << 20,
+            cpus: 1,
+        };
         node_throughput(usage, SimDuration::ZERO, &costs);
     }
 }

@@ -69,7 +69,11 @@ pub fn plan_features(
         // 5ms GIL quantum of CPU time.
         switches += fp.blocks.len() as f64 + fp.cpu_time().as_millis_f64() / 5.0;
     }
-    let cpu_fraction = if total_solo > 0.0 { total_cpu / total_solo } else { 0.0 };
+    let cpu_fraction = if total_solo > 0.0 {
+        total_cpu / total_solo
+    } else {
+        0.0
+    };
 
     vec![
         n_functions,
@@ -224,7 +228,11 @@ mod tests {
             isolation: IsolationKind::None,
             transfer: TransferKind::RpcPayload,
             scheduling: SchedulingKind::PreDeployed,
-            sandboxes: vec![SandboxPlan { id: SandboxId(0), cpus: 5, pool_size: 0 }],
+            sandboxes: vec![SandboxPlan {
+                id: SandboxId(0),
+                cpus: 5,
+                pool_size: 0,
+            }],
             stages: vec![
                 StagePlan {
                     wraps: vec![WrapPlan {

@@ -116,7 +116,10 @@ mod tests {
     fn different_seeds_differ() {
         let (x, y) = dataset();
         let a = RandomForest::fit(&x, &y, ForestConfig::default());
-        let cfg = ForestConfig { seed: 999, ..ForestConfig::default() };
+        let cfg = ForestConfig {
+            seed: 999,
+            ..ForestConfig::default()
+        };
         let b = RandomForest::fit(&x, &y, cfg);
         // The ensembles are different (predictions usually differ slightly).
         let pa = a.predict(&[12.5, 1.5]);

@@ -25,7 +25,12 @@ pub struct GnnConfig {
 
 impl Default for GnnConfig {
     fn default() -> Self {
-        GnnConfig { hidden: 16, epochs: 150, lr: 0.01, seed: 0x6cc }
+        GnnConfig {
+            hidden: 16,
+            epochs: 150,
+            lr: 0.01,
+            seed: 0x6cc,
+        }
     }
 }
 
@@ -68,7 +73,11 @@ fn normalise_adjacency(adj: &Matrix) -> Matrix {
         .iter()
         .map(|row| {
             let d: f64 = row.iter().sum();
-            if d > 0.0 { d.powf(-0.5) } else { 0.0 }
+            if d > 0.0 {
+                d.powf(-0.5)
+            } else {
+                0.0
+            }
         })
         .collect();
     let mut out = vec![vec![0.0; n]; n];
@@ -203,8 +212,12 @@ impl GnnRegressor {
                 pooled[j] += v / n;
             }
         }
-        let pred =
-            self.b_out + pooled.iter().zip(&self.w_out).map(|(a, b)| a * b).sum::<f64>();
+        let pred = self.b_out
+            + pooled
+                .iter()
+                .zip(&self.w_out)
+                .map(|(a, b)| a * b)
+                .sum::<f64>();
         (ax, h1, ah1, pooled, pred)
     }
 
@@ -332,7 +345,10 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let (graphs, y) = dataset(8);
-        let cfg = GnnConfig { epochs: 10, ..GnnConfig::default() };
+        let cfg = GnnConfig {
+            epochs: 10,
+            ..GnnConfig::default()
+        };
         let a = GnnRegressor::fit(&graphs, &y, cfg).predict(&graphs[0].0, &graphs[0].1);
         let b = GnnRegressor::fit(&graphs, &y, cfg).predict(&graphs[0].0, &graphs[0].1);
         assert_eq!(a, b);
@@ -341,7 +357,14 @@ mod tests {
     #[test]
     fn predictions_finite_on_varied_sizes() {
         let (graphs, y) = dataset(20);
-        let model = GnnRegressor::fit(&graphs, &y, GnnConfig { epochs: 20, ..Default::default() });
+        let model = GnnRegressor::fit(
+            &graphs,
+            &y,
+            GnnConfig {
+                epochs: 20,
+                ..Default::default()
+            },
+        );
         for (nodes, adj) in &graphs {
             assert!(model.predict(nodes, adj).is_finite());
         }

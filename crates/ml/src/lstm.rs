@@ -26,7 +26,12 @@ pub struct LstmConfig {
 
 impl Default for LstmConfig {
     fn default() -> Self {
-        LstmConfig { hidden: 16, epochs: 120, lr: 0.01, seed: 0x157a }
+        LstmConfig {
+            hidden: 16,
+            epochs: 120,
+            lr: 0.01,
+            seed: 0x157a,
+        }
     }
 }
 
@@ -184,8 +189,12 @@ impl LstmRegressor {
             hidden = hn;
             cell = c;
         }
-        let pred: f64 =
-            self.b_out + hidden.iter().zip(&self.w_out).map(|(a, b)| a * b).sum::<f64>();
+        let pred: f64 = self.b_out
+            + hidden
+                .iter()
+                .zip(&self.w_out)
+                .map(|(a, b)| a * b)
+                .sum::<f64>();
         (caches, pred)
     }
 
@@ -208,8 +217,12 @@ impl LstmRegressor {
         let mut dh: Vec<f64> = self.w_out.iter().map(|w| dl * w).collect();
         let mut dc = vec![0.0; h];
         for cache in caches.iter().rev() {
-            let (i_g, f_g, g_g, o_g) =
-                (&cache.gates[0], &cache.gates[1], &cache.gates[2], &cache.gates[3]);
+            let (i_g, f_g, g_g, o_g) = (
+                &cache.gates[0],
+                &cache.gates[1],
+                &cache.gates[2],
+                &cache.gates[3],
+            );
             let mut da: [Vec<f64>; GATES] = std::array::from_fn(|_| vec![0.0; h]);
             for j in 0..h {
                 let tanh_c = cache.c[j].tanh();
@@ -310,7 +323,10 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let (x, y) = dataset(10);
-        let cfg = LstmConfig { epochs: 5, ..LstmConfig::default() };
+        let cfg = LstmConfig {
+            epochs: 5,
+            ..LstmConfig::default()
+        };
         let a = LstmRegressor::fit(&x, &y, cfg).predict(&x[0]);
         let b = LstmRegressor::fit(&x, &y, cfg).predict(&x[0]);
         assert_eq!(a, b);
@@ -320,7 +336,10 @@ mod tests {
     fn handles_single_sample() {
         let x = vec![vec![vec![1.0, 2.0], vec![3.0, 4.0]]];
         let y = vec![10.0];
-        let cfg = LstmConfig { epochs: 50, ..LstmConfig::default() };
+        let cfg = LstmConfig {
+            epochs: 50,
+            ..LstmConfig::default()
+        };
         let model = LstmRegressor::fit(&x, &y, cfg);
         let pred = model.predict(&x[0]);
         assert!((pred - 10.0).abs() < 1.0, "pred {pred}");
@@ -329,7 +348,14 @@ mod tests {
     #[test]
     fn predictions_are_finite() {
         let (x, y) = dataset(20);
-        let model = LstmRegressor::fit(&x, &y, LstmConfig { epochs: 30, ..Default::default() });
+        let model = LstmRegressor::fit(
+            &x,
+            &y,
+            LstmConfig {
+                epochs: 30,
+                ..Default::default()
+            },
+        );
         for seq in &x {
             assert!(model.predict(seq).is_finite());
         }

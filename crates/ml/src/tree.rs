@@ -68,8 +68,17 @@ impl RegressionTree {
         loop {
             match node {
                 Node::Leaf { value } => return *value,
-                Node::Split { feature, threshold, left, right } => {
-                    node = if sample[*feature] <= *threshold { left } else { right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if sample[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -106,11 +115,15 @@ fn build(
     feature_pick: &mut impl FnMut(usize) -> Vec<usize>,
 ) -> Node {
     if depth >= config.max_depth || idx.len() < config.min_samples_split {
-        return Node::Leaf { value: mean(y, idx) };
+        return Node::Leaf {
+            value: mean(y, idx),
+        };
     }
     let parent_sse = sse(y, idx);
     if parent_sse <= f64::EPSILON {
-        return Node::Leaf { value: mean(y, idx) };
+        return Node::Leaf {
+            value: mean(y, idx),
+        };
     }
 
     let candidates = feature_pick(n_features);
@@ -157,7 +170,9 @@ fn build(
                 right: Box::new(build(x, y, &r, depth + 1, config, n_features, feature_pick)),
             }
         }
-        _ => Node::Leaf { value: mean(y, idx) },
+        _ => Node::Leaf {
+            value: mean(y, idx),
+        },
     }
 }
 
@@ -191,7 +206,10 @@ mod tests {
     fn respects_max_depth() {
         let x: Vec<Vec<f64>> = (0..64).map(|i| vec![f64::from(i)]).collect();
         let y: Vec<f64> = (0..64).map(f64::from).collect();
-        let cfg = TreeConfig { max_depth: 3, ..TreeConfig::default() };
+        let cfg = TreeConfig {
+            max_depth: 3,
+            ..TreeConfig::default()
+        };
         let tree = RegressionTree::fit(&x, &y, cfg, &mut all_features);
         assert!(tree.depth() <= 3);
     }

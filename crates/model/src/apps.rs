@@ -82,8 +82,7 @@ pub fn social_network() -> Workflow {
 /// storage updates → respond.
 pub fn movie_reviewing() -> Workflow {
     let functions = vec![
-        FunctionSpec::new("upload_review", vec![cpu(1.4), net(1.0)])
-            .with_output_bytes(16 * KB),
+        FunctionSpec::new("upload_review", vec![cpu(1.4), net(1.0)]).with_output_bytes(16 * KB),
         FunctionSpec::new("unique_id", vec![cpu(0.5)])
             .with_class(WorkloadClass::CpuIntensive)
             .with_output_bytes(KB / 4),
@@ -144,10 +143,10 @@ pub fn slapp_reference_functions() -> Vec<FunctionSpec> {
 pub fn slapp() -> Workflow {
     let reference = slapp_reference_functions();
     let functions = vec![
-        reference[0].clone(),                                             // factorial
-        reference[2].clone(),                                             // disk_io
-        reference[3].clone(),                                             // network_io
-        reference[1].clone(),                                             // fibonacci
+        reference[0].clone(), // factorial
+        reference[2].clone(), // disk_io
+        reference[3].clone(), // network_io
+        reference[1].clone(), // fibonacci
         FunctionSpec::new("factorial_b", vec![cpu(34.0)])
             .with_class(WorkloadClass::CpuIntensive)
             .with_output_bytes(KB),
@@ -195,13 +194,7 @@ pub fn slapp_v() -> Workflow {
     Workflow::new(
         "SLApp-V",
         functions,
-        vec![
-            vec![0],
-            vec![1, 2, 3, 4, 5],
-            vec![6, 7],
-            vec![8],
-            vec![9],
-        ],
+        vec![vec![0], vec![1, 2, 3, 4, 5], vec![6, 7], vec![8], vec![9]],
     )
     .expect("static workflow is valid")
 }
@@ -308,7 +301,10 @@ mod tests {
     #[test]
     fn slapp_reference_latencies_similar() {
         let fns = slapp_reference_functions();
-        let lats: Vec<f64> = fns.iter().map(|f| f.solo_latency().as_millis_f64()).collect();
+        let lats: Vec<f64> = fns
+            .iter()
+            .map(|f| f.solo_latency().as_millis_f64())
+            .collect();
         let max = lats.iter().cloned().fold(f64::MIN, f64::max);
         let min = lats.iter().cloned().fold(f64::MAX, f64::min);
         assert!(max - min <= 2.0, "Fig. 7 needs similar latencies: {lats:?}");

@@ -16,6 +16,7 @@ pub mod dynamic;
 pub mod function;
 pub mod plan;
 pub mod platform;
+pub mod serving;
 pub mod synthetic;
 pub mod time;
 pub mod workflow;
@@ -29,6 +30,7 @@ pub use plan::{
     SandboxPlan, SchedulingKind, StagePlan, SystemKind, TransferKind, WrapPlan,
 };
 pub use platform::{BillingModel, CostModel, JitterModel, PlatformConfig, SchedulingModel};
+pub use serving::{ReplicaConfig, ReplicaId};
 pub use synthetic::{synthetic, SyntheticSpec};
 pub use time::{SimDuration, SimTime};
 pub use workflow::{Stage, Workflow, WorkflowError};

@@ -21,9 +21,7 @@ use std::fmt;
 /// Identifier of a sandbox within a plan. Multiple stage-level wraps may
 /// map onto the same sandbox (the sandbox is reused across stages, as in
 /// every many-to-one system).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct SandboxId(pub u32);
 
 impl SandboxId {
@@ -108,7 +106,9 @@ impl WrapPlan {
     }
 
     pub fn functions(&self) -> impl Iterator<Item = FunctionId> + '_ {
-        self.processes.iter().flat_map(|p| p.functions.iter().copied())
+        self.processes
+            .iter()
+            .flat_map(|p| p.functions.iter().copied())
     }
 }
 
@@ -286,7 +286,10 @@ impl fmt::Display for PlanError {
                 write!(f, "stage {stage} plan does not cover the stage's functions")
             }
             PlanError::PoolMissing { stage, wrap } => {
-                write!(f, "stage {stage} wrap {wrap} uses Pool spawn in a pool-less sandbox")
+                write!(
+                    f,
+                    "stage {stage} wrap {wrap} uses Pool spawn in a pool-less sandbox"
+                )
             }
         }
     }
@@ -330,10 +333,16 @@ impl DeploymentPlan {
                     .ok_or(PlanError::UnknownSandbox(wrap.sandbox))?;
                 for proc in &wrap.processes {
                     if proc.functions.is_empty() {
-                        return Err(PlanError::EmptyProcess { stage: si, wrap: wi });
+                        return Err(PlanError::EmptyProcess {
+                            stage: si,
+                            wrap: wi,
+                        });
                     }
                     if proc.spawn == ProcessSpawn::Pool && sb.pool_size == 0 {
-                        return Err(PlanError::PoolMissing { stage: si, wrap: wi });
+                        return Err(PlanError::PoolMissing {
+                            stage: si,
+                            wrap: wi,
+                        });
                     }
                     got.extend(proc.functions.iter().copied());
                 }
@@ -393,7 +402,11 @@ mod tests {
                     ProcessPlan::forked(vec![fid(2)]),
                 ],
             }],
-            vec![SandboxPlan { id: SandboxId(0), cpus: 2, pool_size: 0 }],
+            vec![SandboxPlan {
+                id: SandboxId(0),
+                cpus: 2,
+                pool_size: 0,
+            }],
         );
         plan.validate(&[vec![fid(0), fid(1), fid(2)]]).unwrap();
         assert_eq!(plan.total_cpus(), 2);
@@ -407,7 +420,11 @@ mod tests {
                 sandbox: SandboxId(0),
                 processes: vec![ProcessPlan::forked(vec![fid(0)])],
             }],
-            vec![SandboxPlan { id: SandboxId(0), cpus: 1, pool_size: 0 }],
+            vec![SandboxPlan {
+                id: SandboxId(0),
+                cpus: 1,
+                pool_size: 0,
+            }],
         );
         let err = plan.validate(&[vec![fid(0), fid(1)]]).unwrap_err();
         assert_eq!(err, PlanError::StageMismatch { stage: 0 });
@@ -420,7 +437,11 @@ mod tests {
                 sandbox: SandboxId(7),
                 processes: vec![ProcessPlan::forked(vec![fid(0)])],
             }],
-            vec![SandboxPlan { id: SandboxId(0), cpus: 1, pool_size: 0 }],
+            vec![SandboxPlan {
+                id: SandboxId(0),
+                cpus: 1,
+                pool_size: 0,
+            }],
         );
         assert_eq!(
             plan.validate(&[vec![fid(0)]]).unwrap_err(),
@@ -435,7 +456,11 @@ mod tests {
                 sandbox: SandboxId(0),
                 processes: vec![ProcessPlan::pooled(vec![fid(0)])],
             }],
-            vec![SandboxPlan { id: SandboxId(0), cpus: 1, pool_size: 0 }],
+            vec![SandboxPlan {
+                id: SandboxId(0),
+                cpus: 1,
+                pool_size: 0,
+            }],
         );
         assert_eq!(
             plan.validate(&[vec![fid(0)]]).unwrap_err(),
@@ -450,7 +475,11 @@ mod tests {
                 sandbox: SandboxId(0),
                 processes: vec![ProcessPlan::forked(vec![fid(0)])],
             }],
-            vec![SandboxPlan { id: SandboxId(0), cpus: 0, pool_size: 0 }],
+            vec![SandboxPlan {
+                id: SandboxId(0),
+                cpus: 0,
+                pool_size: 0,
+            }],
         );
         assert_eq!(
             plan.validate(&[vec![fid(0)]]).unwrap_err(),

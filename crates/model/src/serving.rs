@@ -1,0 +1,101 @@
+//! Replica and keepalive configuration for online serving.
+//!
+//! A *replica* is one placed copy of a deployment's full wrap set; the
+//! serving control plane (`chiron-serve`) scales the replica count with
+//! load. These types live in the shared model so planners, the cluster
+//! substrate, and the serving simulator agree on the vocabulary.
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one replica of a deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ReplicaId(pub u32);
+
+impl std::fmt::Display for ReplicaId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "replica{}", self.0)
+    }
+}
+
+/// Replica-count bounds and warm-capacity policy for one deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicaConfig {
+    /// Floor the autoscaler never goes below.
+    pub min_replicas: u32,
+    /// Ceiling the autoscaler never exceeds (cluster capacity may bind
+    /// earlier).
+    pub max_replicas: u32,
+    /// How long an idle replica is kept warm before it is retired and its
+    /// resources returned to the cluster. While kept alive, a replica
+    /// serves new requests with zero start-up cost.
+    pub keepalive: SimDuration,
+    /// Pre-initialised sandbox sets held in reserve: a scale-up that can
+    /// draw from the prewarm pool skips the sandbox cold start. The pool
+    /// restocks in the background (modelled as one cold start that is off
+    /// the request path).
+    pub prewarm_pool: u32,
+}
+
+impl Default for ReplicaConfig {
+    fn default() -> Self {
+        ReplicaConfig {
+            min_replicas: 1,
+            max_replicas: 64,
+            // FaaS platforms commonly keep sandboxes warm for minutes;
+            // 10 min matches the keepalive the paper's testbed platforms
+            // (OpenFaaS-class) default to.
+            keepalive: SimDuration::from_secs(600),
+            prewarm_pool: 0,
+        }
+    }
+}
+
+impl ReplicaConfig {
+    pub fn with_bounds(mut self, min: u32, max: u32) -> Self {
+        assert!(min >= 1 && min <= max, "need 1 <= min <= max");
+        self.min_replicas = min;
+        self.max_replicas = max;
+        self
+    }
+
+    pub fn with_keepalive(mut self, keepalive: SimDuration) -> Self {
+        self.keepalive = keepalive;
+        self
+    }
+
+    pub fn with_prewarm_pool(mut self, slots: u32) -> Self {
+        self.prewarm_pool = slots;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ReplicaConfig::default();
+        assert!(c.min_replicas >= 1);
+        assert!(c.max_replicas >= c.min_replicas);
+        assert!(!c.keepalive.is_zero());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = ReplicaConfig::default()
+            .with_bounds(2, 16)
+            .with_keepalive(SimDuration::from_secs(30))
+            .with_prewarm_pool(4);
+        assert_eq!((c.min_replicas, c.max_replicas), (2, 16));
+        assert_eq!(c.keepalive, SimDuration::from_secs(30));
+        assert_eq!(c.prewarm_pool, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "need 1 <= min <= max")]
+    fn zero_min_rejected() {
+        let _ = ReplicaConfig::default().with_bounds(0, 4);
+    }
+}

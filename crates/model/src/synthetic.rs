@@ -90,7 +90,10 @@ pub fn synthetic(spec: SyntheticSpec) -> Workflow {
         stages.push(ids);
     }
     Workflow::new(
-        format!("Synthetic-{}x{}-{:x}", spec.stages, spec.max_parallelism, spec.seed),
+        format!(
+            "Synthetic-{}x{}-{:x}",
+            spec.stages, spec.max_parallelism, spec.seed
+        ),
         functions,
         stages,
     )
@@ -112,7 +115,12 @@ mod tests {
     #[test]
     fn respects_shape_bounds() {
         for seed in 0..20 {
-            let spec = SyntheticSpec { seed, stages: 6, max_parallelism: 10, ..Default::default() };
+            let spec = SyntheticSpec {
+                seed,
+                stages: 6,
+                max_parallelism: 10,
+                ..Default::default()
+            };
             let wf = synthetic(spec);
             wf.validate().unwrap();
             assert_eq!(wf.stage_count(), 6);
@@ -124,7 +132,10 @@ mod tests {
 
     #[test]
     fn io_fraction_zero_is_pure_cpu() {
-        let spec = SyntheticSpec { io_fraction: 0.0, ..Default::default() };
+        let spec = SyntheticSpec {
+            io_fraction: 0.0,
+            ..Default::default()
+        };
         let wf = synthetic(spec);
         for f in &wf.functions {
             assert!(f.block_time().is_zero(), "{} has I/O", f.name);
@@ -133,7 +144,11 @@ mod tests {
 
     #[test]
     fn io_fraction_one_is_all_io() {
-        let spec = SyntheticSpec { io_fraction: 1.0, seed: 3, ..Default::default() };
+        let spec = SyntheticSpec {
+            io_fraction: 1.0,
+            seed: 3,
+            ..Default::default()
+        };
         let wf = synthetic(spec);
         for f in &wf.functions {
             assert!(!f.block_time().is_zero(), "{} lacks I/O", f.name);
@@ -142,7 +157,10 @@ mod tests {
 
     #[test]
     fn single_stage_workflow() {
-        let spec = SyntheticSpec { stages: 1, ..Default::default() };
+        let spec = SyntheticSpec {
+            stages: 1,
+            ..Default::default()
+        };
         let wf = synthetic(spec);
         assert_eq!(wf.stage_count(), 1);
         assert_eq!(wf.function_count(), 1);

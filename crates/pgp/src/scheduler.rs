@@ -170,7 +170,12 @@ impl PgpScheduler {
             if let Some(slo) = config.slo {
                 if predicted <= slo {
                     let (plan, predicted, n) = best.expect("just inserted");
-                    return ScheduleOutcome { plan, predicted, met_slo: true, processes: n };
+                    return ScheduleOutcome {
+                        plan,
+                        predicted,
+                        met_slo: true,
+                        processes: n,
+                    };
                 }
             } else if stale_rounds >= 3 {
                 break; // latency stopped improving; stop widening.
@@ -178,7 +183,12 @@ impl PgpScheduler {
         }
         let (plan, predicted, n) = best.expect("n = 1 always evaluated");
         let met_slo = config.slo.map(|slo| predicted <= slo).unwrap_or(true);
-        ScheduleOutcome { plan, predicted, met_slo, processes: n }
+        ScheduleOutcome {
+            plan,
+            predicted,
+            met_slo,
+            processes: n,
+        }
     }
 
     /// Lines 6–11 of Algorithm 2 for every stage: round-robin into `n`
@@ -311,39 +321,37 @@ impl PgpScheduler {
             .max(1);
         let candidates: Vec<usize> = (1..=max_n).collect();
         let n_workers = workers.min(candidates.len()).max(1);
-        let mut results: Vec<(usize, DeploymentPlan, SimDuration)> =
-            std::thread::scope(|scope| {
-                let check = &check;
-                let candidates = &candidates;
-                let handles: Vec<_> = (0..n_workers)
-                    .map(|w| {
-                        scope.spawn(move || {
-                            let mut out = Vec::new();
-                            // Static striping keeps the work deterministic.
-                            for idx in (w..candidates.len()).step_by(n_workers) {
-                                let n = candidates[idx];
-                                let partitions =
-                                    self.partition_stages(workflow, profile, n);
-                                let plan = self.pack_and_allocate(
-                                    workflow,
-                                    profile,
-                                    &partitions,
-                                    config,
-                                    check,
-                                    IsolationKind::None,
-                                );
-                                let predicted = check.predict(workflow, profile, &plan);
-                                out.push((n, plan, predicted));
-                            }
-                            out
-                        })
+        let mut results: Vec<(usize, DeploymentPlan, SimDuration)> = std::thread::scope(|scope| {
+            let check = &check;
+            let candidates = &candidates;
+            let handles: Vec<_> = (0..n_workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        // Static striping keeps the work deterministic.
+                        for idx in (w..candidates.len()).step_by(n_workers) {
+                            let n = candidates[idx];
+                            let partitions = self.partition_stages(workflow, profile, n);
+                            let plan = self.pack_and_allocate(
+                                workflow,
+                                profile,
+                                &partitions,
+                                config,
+                                check,
+                                IsolationKind::None,
+                            );
+                            let predicted = check.predict(workflow, profile, &plan);
+                            out.push((n, plan, predicted));
+                        }
+                        out
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("pgp worker panicked"))
-                    .collect()
-            });
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("pgp worker panicked"))
+                .collect()
+        });
         results.sort_by_key(|(n, _, _)| *n);
         // Apply the sequential selection rule over the gathered candidates.
         let mut best: Option<(DeploymentPlan, SimDuration, usize)> = None;
@@ -360,7 +368,12 @@ impl PgpScheduler {
                         best = Some((plan, predicted, n));
                     }
                     let (plan, predicted, n) = best.expect("just considered");
-                    return ScheduleOutcome { plan, predicted, met_slo: true, processes: n };
+                    return ScheduleOutcome {
+                        plan,
+                        predicted,
+                        met_slo: true,
+                        processes: n,
+                    };
                 }
             }
             let better = best
@@ -373,7 +386,12 @@ impl PgpScheduler {
         }
         let (plan, predicted, n) = best.expect("n = 1 always evaluated");
         let met_slo = config.slo.map(|slo| predicted <= slo).unwrap_or(true);
-        ScheduleOutcome { plan, predicted, met_slo, processes: n }
+        ScheduleOutcome {
+            plan,
+            predicted,
+            met_slo,
+            processes: n,
+        }
     }
 
     /// Public access to the plan materialiser, used by the evaluation
@@ -462,9 +480,8 @@ impl PgpScheduler {
             // (Fig. 9's `Thread(f1, req)` wrap form) unless pooled.
             for wrap in &mut wraps {
                 if !pooled && wrap.processes.len() == 1 {
-                    wrap.processes[0] = ProcessPlan::main_reuse(
-                        std::mem::take(&mut wrap.processes[0].functions),
-                    );
+                    wrap.processes[0] =
+                        ProcessPlan::main_reuse(std::mem::take(&mut wrap.processes[0].functions));
                 }
             }
             // Pinned singleton wraps go to dedicated sandboxes.
@@ -578,7 +595,12 @@ impl PgpScheduler {
         let predicted = check.predict(workflow, profile, &plan);
         let met_slo = config.slo.map(|slo| predicted <= slo).unwrap_or(true);
         let processes = workflow.max_parallelism();
-        ScheduleOutcome { plan, predicted, met_slo, processes }
+        ScheduleOutcome {
+            plan,
+            predicted,
+            met_slo,
+            processes,
+        }
     }
 
     // ---------------------------------------------------------------------
@@ -597,15 +619,21 @@ impl PgpScheduler {
             .map(|s| s.functions.iter().map(|&f| vec![f]).collect())
             .collect();
         let pool_size = workflow.max_parallelism() as u32;
-        let mut plan = self.build_plan(workflow, &partitions, usize::MAX, IsolationKind::None, pool_size);
+        let mut plan = self.build_plan(
+            workflow,
+            &partitions,
+            usize::MAX,
+            IsolationKind::None,
+            pool_size,
+        );
         // A pool is a single wrap: force everything into sandbox 0.
         for stage in &mut plan.stages {
-            let processes: Vec<ProcessPlan> = stage
-                .wraps
-                .drain(..)
-                .flat_map(|w| w.processes)
-                .collect();
-            stage.wraps = vec![WrapPlan { sandbox: SandboxId(0), processes }];
+            let processes: Vec<ProcessPlan> =
+                stage.wraps.drain(..).flat_map(|w| w.processes).collect();
+            stage.wraps = vec![WrapPlan {
+                sandbox: SandboxId(0),
+                processes,
+            }];
         }
         plan.sandboxes = vec![SandboxPlan {
             id: SandboxId(0),
@@ -616,7 +644,12 @@ impl PgpScheduler {
         self.trim_cpus(workflow, profile, &mut plan, config, check);
         let predicted = check.predict(workflow, profile, &plan);
         let met_slo = config.slo.map(|slo| predicted <= slo).unwrap_or(true);
-        ScheduleOutcome { plan, predicted, met_slo, processes: pool_size as usize }
+        ScheduleOutcome {
+            plan,
+            predicted,
+            met_slo,
+            processes: pool_size as usize,
+        }
     }
 }
 
@@ -702,7 +735,11 @@ mod tests {
     #[test]
     fn plans_validate_for_all_benchmarks() {
         let sched = PgpScheduler::paper_calibrated();
-        for wf in [apps::social_network(), apps::movie_reviewing(), apps::slapp_v()] {
+        for wf in [
+            apps::social_network(),
+            apps::movie_reviewing(),
+            apps::slapp_v(),
+        ] {
             let out = sched.schedule(&wf, &profile(&wf), &PgpConfig::performance_first());
             let stage_sets: Vec<Vec<FunctionId>> =
                 wf.stages.iter().map(|s| s.functions.clone()).collect();
@@ -756,11 +793,8 @@ mod tests {
         ];
         let wf = Workflow::new("mixed", fns, vec![vec![0, 1, 2]]).unwrap();
         let prof = Profiler::default().profile_workflow(&wf);
-        let out = PgpScheduler::paper_calibrated().schedule(
-            &wf,
-            &prof,
-            &PgpConfig::performance_first(),
-        );
+        let out =
+            PgpScheduler::paper_calibrated().schedule(&wf, &prof, &PgpConfig::performance_first());
         // The Python 2 function must sit alone in its wrap.
         let wrap_of = |f: u32| {
             out.plan.stages[0]

@@ -200,7 +200,10 @@ impl Predictor {
                         }
                     })
                     .collect();
-                threads.push(SimThread { created_at: created, segments });
+                threads.push(SimThread {
+                    created_at: created,
+                    segments,
+                });
             }
 
             let exec = match plan.runtime {
@@ -226,17 +229,15 @@ impl Predictor {
             if write_output {
                 for &fid in &proc.functions {
                     let bytes = workflow.function(fid).output_bytes;
-                    max_write =
-                        max_write.max(self.transfer.cross_sandbox(plan.transfer, bytes));
+                    max_write = max_write.max(self.transfer.cross_sandbox(plan.transfer, bytes));
                 }
             }
         }
 
         // CPU-capacity correction: a wrap cannot finish before its total
         // CPU demand has been served by its allocated CPUs.
-        let packed = SimDuration::from_nanos(
-            (total_cpu.as_nanos() as f64 / f64::from(cpus)).ceil() as u64,
-        );
+        let packed =
+            SimDuration::from_nanos((total_cpu.as_nanos() as f64 / f64::from(cpus)).ceil() as u64);
         let exec_end = max_end.max(packed);
 
         // Eq. 3's serial result drain over the pipe.
@@ -286,7 +287,11 @@ mod tests {
             isolation: IsolationKind::None,
             transfer: TransferKind::RpcPayload,
             scheduling: SchedulingKind::PreDeployed,
-            sandboxes: vec![SandboxPlan { id: SandboxId(0), cpus, pool_size: 0 }],
+            sandboxes: vec![SandboxPlan {
+                id: SandboxId(0),
+                cpus,
+                pool_size: 0,
+            }],
             stages,
         }
     }
@@ -295,8 +300,7 @@ mod tests {
         let mut plan = faastlane_plan(wf, cpus);
         plan.system = SystemKind::FaastlaneT;
         for (si, s) in wf.stages.iter().enumerate() {
-            plan.stages[si].wraps[0].processes =
-                vec![ProcessPlan::main_reuse(s.functions.clone())];
+            plan.stages[si].wraps[0].processes = vec![ProcessPlan::main_reuse(s.functions.clone())];
         }
         plan
     }
@@ -313,8 +317,7 @@ mod tests {
             .execute(&wf, &plan, 0)
             .unwrap()
             .e2e;
-        let err = (predicted.as_millis_f64() - truth.as_millis_f64()).abs()
-            / truth.as_millis_f64();
+        let err = (predicted.as_millis_f64() - truth.as_millis_f64()).abs() / truth.as_millis_f64();
         assert!(err < 0.10, "pred {predicted} truth {truth} err {err}");
     }
 
@@ -328,8 +331,8 @@ mod tests {
                 .execute(&wf, &plan, 0)
                 .unwrap()
                 .e2e;
-            let err = (predicted.as_millis_f64() - truth.as_millis_f64()).abs()
-                / truth.as_millis_f64();
+            let err =
+                (predicted.as_millis_f64() - truth.as_millis_f64()).abs() / truth.as_millis_f64();
             assert!(err < 0.15, "{}: pred {predicted} truth {truth}", wf.name);
         }
     }

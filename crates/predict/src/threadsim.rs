@@ -53,7 +53,10 @@ pub struct SimOutcome {
 pub fn predict_threads(threads: &[SimThread], interval: SimDuration) -> SimOutcome {
     assert!(!interval.is_zero(), "switch interval must be positive");
     if threads.is_empty() {
-        return SimOutcome { makespan: SimDuration::ZERO, cpu_time: SimDuration::ZERO };
+        return SimOutcome {
+            makespan: SimDuration::ZERO,
+            cpu_time: SimDuration::ZERO,
+        };
     }
     let mut states: Vec<SimState> = threads
         .iter()
@@ -81,7 +84,10 @@ pub fn predict_threads(threads: &[SimThread], interval: SimDuration) -> SimOutco
                 _ => {}
             }
         }
-        if states.iter().all(|s| matches!(s.phase, SimPhase::Done { .. })) {
+        if states
+            .iter()
+            .all(|s| matches!(s.phase, SimPhase::Done { .. }))
+        {
             break;
         }
 
@@ -138,7 +144,10 @@ pub fn predict_threads(threads: &[SimThread], interval: SimDuration) -> SimOutco
         })
         .max()
         .unwrap_or(SimDuration::ZERO);
-    SimOutcome { makespan, cpu_time: total_cpu }
+    SimOutcome {
+        makespan,
+        cpu_time: total_cpu,
+    }
 }
 
 /// Positions a thread on its current segment at `clock`.
@@ -154,7 +163,9 @@ fn enter(s: &mut SimState, clock: SimDuration) {
             s.phase = SimPhase::Ready;
         }
         Some(Segment::Block { dur, .. }) => {
-            s.phase = SimPhase::Blocked { until: clock + *dur };
+            s.phase = SimPhase::Blocked {
+                until: clock + *dur,
+            };
         }
     }
 }
@@ -181,10 +192,9 @@ pub fn predict_true_parallel(tasks: &[Vec<Segment>], cpus: u32) -> SimOutcome {
     }
     // Work-conserving bound: all CPU demand squeezed onto `cpus` cores,
     // overlapped with the longest blocking chain.
-    let packed = SimDuration::from_nanos(
-        (total_cpu.as_nanos() as f64 / f64::from(cpus)).ceil() as u64,
-    )
-    .max(longest_io);
+    let packed =
+        SimDuration::from_nanos((total_cpu.as_nanos() as f64 / f64::from(cpus)).ceil() as u64)
+            .max(longest_io);
     SimOutcome {
         makespan: longest.max(packed),
         cpu_time: total_cpu,
@@ -203,11 +213,17 @@ mod tests {
     }
 
     fn io(ms: u64) -> Segment {
-        Segment::Block { kind: SyscallKind::NetIo, dur: SimDuration::from_millis(ms) }
+        Segment::Block {
+            kind: SyscallKind::NetIo,
+            dur: SimDuration::from_millis(ms),
+        }
     }
 
     fn at(ms: u64, segments: Vec<Segment>) -> SimThread {
-        SimThread { created_at: SimDuration::from_millis(ms), segments }
+        SimThread {
+            created_at: SimDuration::from_millis(ms),
+            segments,
+        }
     }
 
     #[test]
@@ -257,24 +273,25 @@ mod tests {
     fn matches_runtime_fluid_on_cpu_workload() {
         // Cross-check: the Algorithm 1 model and the ground-truth fluid
         // engine agree exactly for a dedicated-CPU process.
-        use chiron_runtime::fluid::{execute_sandbox, ThreadTask};
         use chiron_model::{RuntimeKind, SimTime};
+        use chiron_runtime::fluid::{execute_sandbox, ThreadTask};
         let segs: Vec<Vec<Segment>> = vec![
             vec![cpu(7), io(3), cpu(2)],
             vec![cpu(4)],
             vec![io(6), cpu(5)],
         ];
         let predicted = predict_threads(
-            &segs
-                .iter()
-                .map(|s| at(0, s.clone()))
-                .collect::<Vec<_>>(),
+            &segs.iter().map(|s| at(0, s.clone())).collect::<Vec<_>>(),
             I,
         );
         let truth = execute_sandbox(
             &segs
                 .iter()
-                .map(|s| ThreadTask { process: 0, start: SimTime::ZERO, segments: s.clone() })
+                .map(|s| ThreadTask {
+                    process: 0,
+                    start: SimTime::ZERO,
+                    segments: s.clone(),
+                })
                 .collect::<Vec<_>>(),
             1,
             RuntimeKind::PseudoParallel,
@@ -285,7 +302,12 @@ mod tests {
             .map(|r| r.end.as_millis_f64())
             .fold(0.0, f64::max);
         let diff = (predicted.makespan.as_millis_f64() - truth_end).abs();
-        assert!(diff < 0.5, "model {} vs truth {}", predicted.makespan, truth_end);
+        assert!(
+            diff < 0.5,
+            "model {} vs truth {}",
+            predicted.makespan,
+            truth_end
+        );
     }
 
     #[test]

@@ -49,7 +49,10 @@ impl FunctionProfile {
             if b.start > cursor {
                 segments.push(Segment::Cpu(b.start - cursor));
             }
-            segments.push(Segment::Block { kind: b.kind, dur: b.dur });
+            segments.push(Segment::Block {
+                kind: b.kind,
+                dur: b.dur,
+            });
             cursor = b.start + b.dur;
         }
         if self.solo_latency > cursor {
@@ -242,7 +245,10 @@ mod tests {
         let a = noisy.profile_function(FunctionId(3), &spec());
         let b = noisy.profile_function(FunctionId(3), &spec());
         assert_eq!(a, b);
-        let other_seed = noisy.clone().with_seed(99).profile_function(FunctionId(3), &spec());
+        let other_seed = noisy
+            .clone()
+            .with_seed(99)
+            .profile_function(FunctionId(3), &spec());
         assert_ne!(a.solo_latency, other_seed.solo_latency);
     }
 

@@ -140,7 +140,11 @@ mod tests {
             isolation: IsolationKind::None,
             transfer: TransferKind::RpcPayload,
             scheduling: SchedulingKind::PreDeployed,
-            sandboxes: vec![SandboxPlan { id: SandboxId(0), cpus: 5, pool_size: 0 }],
+            sandboxes: vec![SandboxPlan {
+                id: SandboxId(0),
+                cpus: 5,
+                pool_size: 0,
+            }],
             stages: vec![
                 StagePlan {
                     wraps: vec![WrapPlan {
@@ -177,7 +181,13 @@ mod tests {
         // One thread-name metadata record per function.
         assert_eq!(trace.matches("thread_name").count(), wf.function_count());
         // Startup, exec and fork-block spans all appear.
-        for needle in ["\"startup\"", "\"exec\"", "\"fork-block\"", "\"io\"", "stage 1"] {
+        for needle in [
+            "\"startup\"",
+            "\"exec\"",
+            "\"fork-block\"",
+            "\"io\"",
+            "stage 1",
+        ] {
             assert!(trace.contains(needle), "missing {needle}");
         }
         assert!(trace.contains("\"workflow\":\"FINRA-5\""));

@@ -59,7 +59,9 @@ enum Phase {
     Ready,
     /// Holds the GIL (pseudo) or a run slot (true) and burns CPU.
     Running,
-    Io { until: SimTime },
+    Io {
+        until: SimTime,
+    },
     Done,
 }
 
@@ -88,7 +90,11 @@ impl ThreadState {
     fn close_span(&mut self, now: SimTime) {
         if let Some((kind, start)) = self.open.take() {
             if now > start {
-                self.spans.push(Span { kind, start, end: now });
+                self.spans.push(Span {
+                    kind,
+                    start,
+                    end: now,
+                });
             }
         }
     }

@@ -126,16 +126,11 @@ impl VirtualPlatform {
                 // ---- invocation time of this wrap -----------------------
                 let mut avail = match plan.scheduling {
                     SchedulingKind::Asf => {
-                        stage_start
-                            + jit.comm(self.config.scheduling.asf_schedule_time(k as u32))
+                        stage_start + jit.comm(self.config.scheduling.asf_schedule_time(k as u32))
                     }
                     SchedulingKind::OpenFaasGateway => {
                         stage_start
-                            + jit.comm(
-                                self.config
-                                    .scheduling
-                                    .openfaas_stage_overhead(k as u32 + 1),
-                            )
+                            + jit.comm(self.config.scheduling.openfaas_stage_overhead(k as u32 + 1))
                             + jit.comm(costs.rpc)
                     }
                     SchedulingKind::PreDeployed => {
@@ -146,10 +141,8 @@ impl VirtualPlatform {
                                 + jit.comm(costs.inv * k as u64)
                                 + jit.comm(costs.rpc)
                                 + jit.comm(
-                                    self.transfer.cross_sandbox(
-                                        TransferKind::RpcPayload,
-                                        stage_input_bytes,
-                                    ),
+                                    self.transfer
+                                        .cross_sandbox(TransferKind::RpcPayload, stage_input_bytes),
                                 )
                         }
                     }
@@ -239,7 +232,11 @@ impl VirtualPlatform {
             // ---- process materialisation --------------------------------
             let mut pre: Vec<Span> = Vec::new();
             if avail > stage_start {
-                pre.push(Span { kind: SpanKind::Scheduled, start: stage_start, end: avail });
+                pre.push(Span {
+                    kind: SpanKind::Scheduled,
+                    start: stage_start,
+                    end: avail,
+                });
             }
             let mut cursor = avail;
             match proc.spawn {
@@ -250,19 +247,31 @@ impl VirtualPlatform {
                     forked_before = true;
                     if !cum_block.is_zero() {
                         let end = cursor + cum_block;
-                        pre.push(Span { kind: SpanKind::BlockWait, start: cursor, end });
+                        pre.push(Span {
+                            kind: SpanKind::BlockWait,
+                            start: cursor,
+                            end,
+                        });
                         cursor = end;
                     }
                     let startup = jit.startup(costs.process_startup);
                     let end = cursor + startup;
-                    pre.push(Span { kind: SpanKind::Startup, start: cursor, end });
+                    pre.push(Span {
+                        kind: SpanKind::Startup,
+                        start: cursor,
+                        end,
+                    });
                     cursor = end;
                 }
                 ProcessSpawn::Pool => {
                     let dispatch = jit.startup(costs.pool_dispatch)
                         + jit.comm(self.transfer.cross_process(stage_input_bytes));
                     let end = cursor + dispatch;
-                    pre.push(Span { kind: SpanKind::Startup, start: cursor, end });
+                    pre.push(Span {
+                        kind: SpanKind::Startup,
+                        start: cursor,
+                        end,
+                    });
                     cursor = end;
                 }
                 ProcessSpawn::MainReuse => {}
@@ -283,12 +292,20 @@ impl VirtualPlatform {
                     // Threads are cloned serially by the process main.
                     let clone_cost = jit.startup(costs.thread_clone) * ti as u64;
                     let end = cursor + clone_cost;
-                    spans.push(Span { kind: SpanKind::Startup, start: cursor, end });
+                    spans.push(Span {
+                        kind: SpanKind::Startup,
+                        start: cursor,
+                        end,
+                    });
                     cursor = end;
                 }
                 if isolated && !iso.startup.is_zero() {
                     let end = cursor + jit.startup(iso.startup);
-                    spans.push(Span { kind: SpanKind::Startup, start: cursor, end });
+                    spans.push(Span {
+                        kind: SpanKind::Startup,
+                        start: cursor,
+                        end,
+                    });
                     cursor = end;
                 }
                 if read_input {
@@ -297,7 +314,11 @@ impl VirtualPlatform {
                             .cross_sandbox(plan.transfer, stage_input_bytes),
                     );
                     let end = cursor + read;
-                    spans.push(Span { kind: SpanKind::TransferIn, start: cursor, end });
+                    spans.push(Span {
+                        kind: SpanKind::TransferIn,
+                        start: cursor,
+                        end,
+                    });
                     cursor = end;
                 }
                 let spec = workflow.function(fid);
@@ -319,7 +340,11 @@ impl VirtualPlatform {
                         }
                     })
                     .collect();
-                tasks.push(ThreadTask { process: pi, start: cursor, segments });
+                tasks.push(ThreadTask {
+                    process: pi,
+                    start: cursor,
+                    segments,
+                });
                 metas.push(ThreadMeta {
                     function: fid,
                     process: pi,
@@ -329,12 +354,7 @@ impl VirtualPlatform {
             }
         }
 
-        let results = execute_sandbox(
-            &tasks,
-            sb.cpus,
-            plan.runtime,
-            costs.gil_switch_interval,
-        );
+        let results = execute_sandbox(&tasks, sb.cpus, plan.runtime, costs.gil_switch_interval);
 
         // ---- per-process completion and IPC drain (Eq. 3) ---------------
         let n_procs = wrap.processes.len();
@@ -359,7 +379,11 @@ impl VirtualPlatform {
                 .sum();
             let cost = jit.comm(costs.ipc_pipe + self.transfer.cross_process(out_bytes));
             drain = start + cost;
-            ipc_span[p] = Some(Span { kind: SpanKind::Ipc, start, end: drain });
+            ipc_span[p] = Some(Span {
+                kind: SpanKind::Ipc,
+                start,
+                end: drain,
+            });
         }
         let mut wrap_end = drain;
 
@@ -380,14 +404,19 @@ impl VirtualPlatform {
                 }
             }
             if write_output {
-                let write = jit.comm(
-                    self.transfer
-                        .cross_sandbox(plan.transfer, workflow.function(meta.function).output_bytes),
-                );
+                let write =
+                    jit.comm(self.transfer.cross_sandbox(
+                        plan.transfer,
+                        workflow.function(meta.function).output_bytes,
+                    ));
                 // The write starts when the function's own result exists.
                 let start = completed;
                 completed = start + write;
-                spans.push(Span { kind: SpanKind::TransferOut, start, end: completed });
+                spans.push(Span {
+                    kind: SpanKind::TransferOut,
+                    start,
+                    end: completed,
+                });
                 wrap_end = wrap_end.max(completed);
             }
             timelines[meta.function.index()] = Some(FunctionTimeline {
@@ -445,7 +474,11 @@ mod tests {
             isolation: IsolationKind::None,
             transfer: TransferKind::RpcPayload,
             scheduling: SchedulingKind::PreDeployed,
-            sandboxes: vec![SandboxPlan { id: SandboxId(0), cpus: 1, pool_size: 0 }],
+            sandboxes: vec![SandboxPlan {
+                id: SandboxId(0),
+                cpus: 1,
+                pool_size: 0,
+            }],
             stages: vec![StagePlan {
                 wraps: vec![WrapPlan {
                     sandbox: SandboxId(0),
@@ -499,7 +532,11 @@ mod tests {
             isolation: IsolationKind::None,
             transfer: TransferKind::RpcPayload,
             scheduling: SchedulingKind::PreDeployed,
-            sandboxes: vec![SandboxPlan { id: SandboxId(0), cpus: 5, pool_size: 0 }],
+            sandboxes: vec![SandboxPlan {
+                id: SandboxId(0),
+                cpus: 5,
+                pool_size: 0,
+            }],
             stages: vec![
                 StagePlan {
                     wraps: vec![WrapPlan {
@@ -531,9 +568,8 @@ mod tests {
         for j in 0..5u32 {
             let t = outcome.timeline(FunctionId(1 + j));
             t.check_invariants().unwrap();
-            let expected = stage2_start
-                + costs.process_block * u64::from(j)
-                + costs.process_startup;
+            let expected =
+                stage2_start + costs.process_block * u64::from(j) + costs.process_startup;
             assert_eq!(
                 t.exec_start, expected,
                 "process {j} exec_start {:?} vs {:?}",
@@ -564,7 +600,11 @@ mod tests {
             isolation: IsolationKind::None,
             transfer: TransferKind::RpcPayload,
             scheduling: SchedulingKind::PreDeployed,
-            sandboxes: vec![SandboxPlan { id: SandboxId(0), cpus: 5, pool_size: 0 }],
+            sandboxes: vec![SandboxPlan {
+                id: SandboxId(0),
+                cpus: 5,
+                pool_size: 0,
+            }],
             stages: vec![
                 StagePlan {
                     wraps: vec![WrapPlan {
@@ -575,9 +615,7 @@ mod tests {
                 StagePlan {
                     wraps: vec![WrapPlan {
                         sandbox: SandboxId(0),
-                        processes: vec![ProcessPlan::main_reuse(
-                            (1..=5).map(FunctionId).collect(),
-                        )],
+                        processes: vec![ProcessPlan::main_reuse((1..=5).map(FunctionId).collect())],
                     }],
                 },
             ],
@@ -603,7 +641,11 @@ mod tests {
         let wf = apps::finra(5);
         // OpenFaaS-style: every function in its own sandbox, MinIO data.
         let sandboxes: Vec<SandboxPlan> = (0..6)
-            .map(|i| SandboxPlan { id: SandboxId(i), cpus: 1, pool_size: 0 })
+            .map(|i| SandboxPlan {
+                id: SandboxId(i),
+                cpus: 1,
+                pool_size: 0,
+            })
             .collect();
         let plan = DeploymentPlan {
             system: SystemKind::OpenFaas,
@@ -645,7 +687,10 @@ mod tests {
     #[test]
     fn cold_start_charged_once_per_sandbox() {
         let (wf, plan) = solo();
-        let cold = platform().with_cold_starts(true).execute(&wf, &plan, 0).unwrap();
+        let cold = platform()
+            .with_cold_starts(true)
+            .execute(&wf, &plan, 0)
+            .unwrap();
         let warm = platform().execute(&wf, &plan, 0).unwrap();
         let delta = cold.e2e.as_millis_f64() - warm.e2e.as_millis_f64();
         assert!((delta - 167.0).abs() < 0.5, "cold start delta {delta}");
@@ -675,8 +720,16 @@ mod tests {
             transfer: TransferKind::RpcPayload,
             scheduling: SchedulingKind::PreDeployed,
             sandboxes: vec![
-                SandboxPlan { id: SandboxId(0), cpus: 2, pool_size: 0 },
-                SandboxPlan { id: SandboxId(1), cpus: 2, pool_size: 0 },
+                SandboxPlan {
+                    id: SandboxId(0),
+                    cpus: 2,
+                    pool_size: 0,
+                },
+                SandboxPlan {
+                    id: SandboxId(1),
+                    cpus: 2,
+                    pool_size: 0,
+                },
             ],
             stages: vec![
                 StagePlan {
@@ -726,7 +779,11 @@ mod tests {
             isolation: IsolationKind::None,
             transfer: TransferKind::RpcPayload,
             scheduling: SchedulingKind::PreDeployed,
-            sandboxes: vec![SandboxPlan { id: SandboxId(0), cpus: 5, pool_size: 6 }],
+            sandboxes: vec![SandboxPlan {
+                id: SandboxId(0),
+                cpus: 5,
+                pool_size: 6,
+            }],
             stages: vec![
                 StagePlan {
                     wraps: vec![WrapPlan {
@@ -747,7 +804,10 @@ mod tests {
         let pooled = platform().execute(&wf, &plan, 0).unwrap();
         let (_, forked) = finra5_faastlane();
         let forked = platform().execute(&wf, &forked, 0).unwrap();
-        assert!(pooled.e2e < forked.e2e, "pool should beat per-request forks");
+        assert!(
+            pooled.e2e < forked.e2e,
+            "pool should beat per-request forks"
+        );
         assert_eq!(pooled.total(SpanKind::BlockWait), SimDuration::ZERO);
         // Pool workers are separate processes: rules run truly in parallel,
         // so the last rule finishes ≈ when the first does.

@@ -153,14 +153,22 @@ mod tests {
     }
 
     fn cores() -> usize {
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
     }
 
     #[test]
     fn gil_serialises_cpu_threads() {
         let tasks = vec![
-            RtTask { process: 0, segments: vec![cpu(30)] },
-            RtTask { process: 0, segments: vec![cpu(30)] },
+            RtTask {
+                process: 0,
+                segments: vec![cpu(30)],
+            },
+            RtTask {
+                process: 0,
+                segments: vec![cpu(30)],
+            },
         ];
         let results = run_realtime(&tasks, RuntimeKind::PseudoParallel, SWITCH);
         let total = makespan(&results);
@@ -175,8 +183,14 @@ mod tests {
             return; // cannot demonstrate parallelism on one core
         }
         let tasks = vec![
-            RtTask { process: 0, segments: vec![cpu(40)] },
-            RtTask { process: 0, segments: vec![cpu(40)] },
+            RtTask {
+                process: 0,
+                segments: vec![cpu(40)],
+            },
+            RtTask {
+                process: 0,
+                segments: vec![cpu(40)],
+            },
         ];
         let results = run_realtime(&tasks, RuntimeKind::TrueParallel, SWITCH);
         let total = makespan(&results);
@@ -188,8 +202,14 @@ mod tests {
         // One thread sleeps 40ms, the other burns 40ms CPU: with the GIL
         // dropped during blocking ops they overlap.
         let tasks = vec![
-            RtTask { process: 0, segments: vec![io(40)] },
-            RtTask { process: 0, segments: vec![cpu(40)] },
+            RtTask {
+                process: 0,
+                segments: vec![io(40)],
+            },
+            RtTask {
+                process: 0,
+                segments: vec![cpu(40)],
+            },
         ];
         let results = run_realtime(&tasks, RuntimeKind::PseudoParallel, SWITCH);
         let total = makespan(&results);
@@ -202,8 +222,14 @@ mod tests {
             return;
         }
         let tasks = vec![
-            RtTask { process: 0, segments: vec![cpu(40)] },
-            RtTask { process: 1, segments: vec![cpu(40)] },
+            RtTask {
+                process: 0,
+                segments: vec![cpu(40)],
+            },
+            RtTask {
+                process: 1,
+                segments: vec![cpu(40)],
+            },
         ];
         let results = run_realtime(&tasks, RuntimeKind::PseudoParallel, SWITCH);
         let total = makespan(&results);

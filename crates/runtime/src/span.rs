@@ -137,7 +137,11 @@ mod tests {
     }
 
     fn span(kind: SpanKind, s: u64, e: u64) -> Span {
-        Span { kind, start: ms(s), end: ms(e) }
+        Span {
+            kind,
+            start: ms(s),
+            end: ms(e),
+        }
     }
 
     fn timeline() -> FunctionTimeline {

@@ -1,0 +1,134 @@
+//! Reactive autoscaling from queue depth and tail latency.
+//!
+//! Every tick the autoscaler compares the backlog per usable replica with
+//! its target and the tick-window p99 sojourn with the latency target;
+//! either signal over budget asks for more replicas (paying the 167 ms
+//! sandbox cold start unless the prewarm pool has stock). Scale-*down* is
+//! keepalive-driven and lives in the simulator: an idle replica is retired
+//! only after `ReplicaConfig::keepalive` of idleness.
+
+use chiron_metrics::StreamingHistogram;
+use chiron_model::SimDuration;
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AutoscalerConfig {
+    /// Evaluation period.
+    pub tick: SimDuration,
+    /// Queued requests per usable replica the scaler tolerates before
+    /// adding capacity.
+    pub target_queue_per_replica: f64,
+    /// Tail-latency objective: if the tick window's p99 sojourn exceeds
+    /// this, scale up even with a shallow queue.
+    pub p99_target: SimDuration,
+    /// Upper bound on replicas added per tick (cold starts are paid in
+    /// parallel, but placement capacity is consumed).
+    pub max_step_up: u32,
+}
+
+impl Default for AutoscalerConfig {
+    fn default() -> Self {
+        AutoscalerConfig {
+            tick: SimDuration::from_secs(1),
+            target_queue_per_replica: 2.0,
+            p99_target: SimDuration::from_millis(500),
+            max_step_up: 8,
+        }
+    }
+}
+
+impl AutoscalerConfig {
+    pub fn with_p99_target(mut self, target: SimDuration) -> Self {
+        self.p99_target = target;
+        self
+    }
+
+    pub fn with_tick(mut self, tick: SimDuration) -> Self {
+        self.tick = tick;
+        self
+    }
+}
+
+/// Per-run autoscaler state: the sliding (per-tick) latency window.
+#[derive(Debug, Clone)]
+pub struct Autoscaler {
+    config: AutoscalerConfig,
+    window: StreamingHistogram,
+}
+
+impl Autoscaler {
+    pub fn new(config: AutoscalerConfig) -> Self {
+        Autoscaler {
+            config,
+            window: StreamingHistogram::new(),
+        }
+    }
+
+    pub fn config(&self) -> &AutoscalerConfig {
+        &self.config
+    }
+
+    /// Feeds one completed request's sojourn into the current window.
+    pub fn observe(&mut self, sojourn: SimDuration) {
+        self.window.record(sojourn);
+    }
+
+    /// Tick decision: how many replicas to add given the backlog and the
+    /// number of usable replicas (live + still cold-starting). Resets the
+    /// latency window.
+    pub fn replicas_to_add(&mut self, queued: usize, usable: u32) -> u32 {
+        let window = std::mem::take(&mut self.window);
+        let p99_breach = !window.is_empty() && window.percentile(0.99) > self.config.p99_target;
+        let backlog_allowance = self.config.target_queue_per_replica * f64::from(usable.max(1));
+        let backlog_breach = queued as f64 > backlog_allowance;
+        if !backlog_breach && !p99_breach {
+            return 0;
+        }
+        // Size the step from the backlog: enough replicas that the queue
+        // per replica returns to target; a pure-latency breach adds one.
+        let desired = (queued as f64 / self.config.target_queue_per_replica).ceil() as u32;
+        let add = desired.saturating_sub(usable).max(1);
+        add.min(self.config.max_step_up)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_system_does_not_scale() {
+        let mut a = Autoscaler::new(AutoscalerConfig::default());
+        a.observe(SimDuration::from_millis(50));
+        assert_eq!(a.replicas_to_add(1, 2), 0);
+    }
+
+    #[test]
+    fn deep_backlog_scales_proportionally() {
+        let mut a = Autoscaler::new(AutoscalerConfig::default());
+        // 40 queued at target 2/replica with 2 usable → wants 20, add 8 (cap).
+        assert_eq!(a.replicas_to_add(40, 2), 8);
+        // 7 queued with 2 usable → desired ceil(3.5)=4 → add 2.
+        assert_eq!(a.replicas_to_add(7, 2), 2);
+    }
+
+    #[test]
+    fn tail_latency_breach_scales_even_with_shallow_queue() {
+        let mut a = Autoscaler::new(AutoscalerConfig::default());
+        for _ in 0..100 {
+            a.observe(SimDuration::from_secs(2)); // far over the 500ms target
+        }
+        assert_eq!(a.replicas_to_add(0, 4), 1);
+        // The window resets after each decision.
+        assert_eq!(a.replicas_to_add(0, 4), 0);
+    }
+
+    #[test]
+    fn step_is_capped() {
+        let mut a = Autoscaler::new(AutoscalerConfig {
+            max_step_up: 3,
+            ..Default::default()
+        });
+        assert_eq!(a.replicas_to_add(1000, 1), 3);
+    }
+}

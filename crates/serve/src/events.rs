@@ -1,0 +1,105 @@
+//! The discrete-event core: a time-ordered heap with a deterministic
+//! tiebreaker.
+
+use chiron_deploy::NodeId;
+use chiron_model::SimTime;
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+/// What happens at an event's timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// The next request of the open-loop stream arrives.
+    Arrival,
+    /// A replica finishes the request it dispatched at `dispatch_seq`.
+    /// Stale completions (the replica died or the request was re-queued)
+    /// are recognised by a sequence mismatch and dropped.
+    Completion {
+        replica: u32,
+        request: u64,
+        dispatch_seq: u64,
+    },
+    /// A cold-started or prewarmed replica becomes schedulable.
+    ReplicaReady { replica: u32 },
+    /// Periodic autoscaler evaluation.
+    AutoscaleTick,
+    /// Periodic node-liveness check.
+    Heartbeat,
+    /// Fault injection: the node disappears (crash-stop).
+    NodeKill { node: NodeId },
+}
+
+/// An event with its firing time and insertion sequence (the tiebreaker
+/// that makes simultaneous events deterministic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    pub at: SimTime,
+    pub seq: u64,
+    pub kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.at.as_nanos(), self.seq).cmp(&(other.at.as_nanos(), other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Min-heap of events in (time, insertion-order).
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<Event>>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Event { at, seq, kind }));
+    }
+
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_then_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = |ns| SimTime::from_nanos(ns);
+        q.push(t(20), EventKind::AutoscaleTick);
+        q.push(t(10), EventKind::Arrival);
+        q.push(t(10), EventKind::Heartbeat);
+        let order: Vec<EventKind> = std::iter::from_fn(|| q.pop()).map(|e| e.kind).collect();
+        assert_eq!(
+            order,
+            vec![
+                EventKind::Arrival,
+                EventKind::Heartbeat,
+                EventKind::AutoscaleTick
+            ]
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! chiron-serve: an online serving control plane over the virtual cluster.
+//!
+//! The rest of the repo answers "what is the best deployment of one
+//! workflow?"; this crate answers "how does that deployment behave under
+//! sustained traffic?". It drives an open-loop request stream through a
+//! deterministic discrete-event simulation of:
+//!
+//! * a **router** with pluggable architectures — one central FIFO gateway
+//!   vs Archipelago-style per-node partitioned schedulers (the §7
+//!   centralised-vs-decentralised trade-off, operationalised);
+//! * an **autoscaler** reacting to queue depth and windowed p99 latency,
+//!   paying the paper's 167 ms sandbox cold start on every scale-up unless
+//!   a prewarm pool has stock, and retiring replicas on keepalive expiry;
+//! * **failure recovery** — crash-stop node kills detected by missed
+//!   heartbeats, with replica write-off, in-flight re-queueing and
+//!   replacement placement, losing no accepted request;
+//! * **metering** — streaming sojourn percentiles, cold-start fraction and
+//!   GB-s / GHz-s dollar cost per run.
+//!
+//! Everything is deterministic in the `(workload, seed)` pair, so serving
+//! experiments are reproducible byte for byte.
+
+pub mod autoscaler;
+pub mod config;
+pub mod events;
+pub mod faults;
+pub mod report;
+pub mod router;
+pub mod sim;
+
+pub use autoscaler::{Autoscaler, AutoscalerConfig};
+pub use config::{RouterPolicy, ServeConfig, TrafficPhase, Workload};
+pub use events::{Event, EventKind, EventQueue};
+pub use faults::FaultPlan;
+pub use report::{PhaseSummary, RequestRecord, ServeReport};
+pub use router::{Router, Shard};
+pub use sim::{ServeError, ServeSimulation};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chiron_deploy::{planners, NodeId};
+    use chiron_model::{apps, ReplicaConfig, SimDuration, SimTime};
+
+    fn simulation(config: ServeConfig) -> ServeSimulation {
+        let wf = apps::finra(12);
+        let plan = planners::faastlane_plus(&wf);
+        ServeSimulation::new(wf, plan, config)
+    }
+
+    #[test]
+    fn steady_load_completes_everything() {
+        let sim = simulation(ServeConfig::paper_testbed());
+        let report = sim.run(&Workload::steady(20.0, 2_000), 7).unwrap();
+        assert_eq!(report.accepted, 2_000);
+        assert_eq!(report.completed, 2_000);
+        assert_eq!(report.lost, 0);
+        assert!(report.sojourns.percentile(0.5) > SimDuration::ZERO);
+        assert!(report.cost_usd > 0.0);
+    }
+
+    #[test]
+    fn seeded_runs_are_byte_identical() {
+        let sim = simulation(ServeConfig::paper_testbed());
+        let workload = Workload::step(20.0, 10.0, 500, 2_000);
+        let a = sim.run(&workload, 42).unwrap();
+        let b = sim.run(&workload, 42).unwrap();
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.records, b.records);
+        let c = sim.run(&workload, 43).unwrap();
+        assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn traffic_step_triggers_scale_up() {
+        let sim = simulation(ServeConfig::paper_testbed());
+        let report = sim.run(&Workload::step(10.0, 10.0, 300, 3_000), 1).unwrap();
+        assert_eq!(report.lost, 0);
+        assert!(report.scale_ups > 0, "10× step must add replicas");
+        assert!(report.peak_replicas > 1);
+        assert!(report.cold_starts > 0, "scale-up pays cold starts");
+    }
+
+    #[test]
+    fn prewarm_pool_avoids_cold_starts() {
+        let config = ServeConfig::paper_testbed()
+            .with_replicas(ReplicaConfig::default().with_prewarm_pool(64));
+        let sim = simulation(config);
+        let report = sim.run(&Workload::step(10.0, 10.0, 300, 3_000), 1).unwrap();
+        assert_eq!(report.lost, 0);
+        assert!(report.scale_ups > 0);
+        assert_eq!(
+            report.cold_starts, 0,
+            "prewarmed replicas skip the cold start"
+        );
+    }
+
+    #[test]
+    fn node_kill_loses_no_accepted_request() {
+        for router in RouterPolicy::ALL {
+            let config = ServeConfig::paper_testbed().with_router(router);
+            let sim = simulation(config).with_faults(
+                FaultPlan::none().kill_at(SimTime::from_millis_f64(5_000.0), NodeId(0)),
+            );
+            let report = sim.run(&Workload::steady(25.0, 2_000), 3).unwrap();
+            assert_eq!(
+                report.lost,
+                0,
+                "{}: accepted requests must all finish",
+                router.name()
+            );
+            assert_eq!(report.completed, 2_000);
+            assert!(
+                report.replicas_failed > 0,
+                "{}: the kill must hit replicas",
+                router.name()
+            );
+            assert!(
+                report.requeued_requests > 0,
+                "{}: in-flight work must be re-queued, not dropped",
+                router.name()
+            );
+        }
+    }
+
+    #[test]
+    fn partitioned_router_beats_central_overhead() {
+        // With multi-wrap stages the partitioned architecture skips the
+        // per-invocation gateway detour, so its service time is lower.
+        let wl = Workload::steady(10.0, 500);
+        let central = simulation(ServeConfig::paper_testbed())
+            .run(&wl, 5)
+            .unwrap();
+        let partitioned =
+            simulation(ServeConfig::paper_testbed().with_router(RouterPolicy::PartitionedByNode))
+                .run(&wl, 5)
+                .unwrap();
+        assert!(
+            partitioned.sojourns.percentile(0.5) <= central.sojourns.percentile(0.5),
+            "partitioned {} vs central {}",
+            partitioned.sojourns.percentile(0.5),
+            central.sojourns.percentile(0.5)
+        );
+    }
+}

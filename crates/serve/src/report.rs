@@ -1,0 +1,207 @@
+//! Per-request outcome records and the run-level serving report.
+
+use chiron_metrics::StreamingHistogram;
+use chiron_model::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// One completed (or still-unfinished) request's life cycle, in
+/// simulation nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestRecord {
+    pub arrival_ns: u64,
+    /// Last dispatch time (re-dispatches overwrite), 0 before dispatch.
+    pub dispatched_ns: u64,
+    /// Completion time; 0 while in flight (request ids are never
+    /// completed at t=0 because service times are positive).
+    pub completed_ns: u64,
+    /// Replica that served (or was serving) it.
+    pub replica: u32,
+    /// Workload phase the arrival fell in.
+    pub phase: u16,
+    /// Served by a replica whose on-path cold start this request's burst
+    /// triggered (first request of a cold-started replica).
+    pub cold_start: bool,
+    /// Times the request went back to a queue after its replica died.
+    pub requeues: u16,
+}
+
+impl RequestRecord {
+    pub fn sojourn(&self) -> SimDuration {
+        SimDuration::from_nanos(self.completed_ns.saturating_sub(self.arrival_ns))
+    }
+
+    pub fn is_completed(&self) -> bool {
+        self.completed_ns != 0
+    }
+}
+
+/// Latency/volume summary of one workload phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSummary {
+    pub offered_rps: f64,
+    pub completed: u64,
+    pub mean_sojourn: SimDuration,
+    pub p50_sojourn: SimDuration,
+    pub p99_sojourn: SimDuration,
+    pub max_sojourn: SimDuration,
+    pub cold_starts: u64,
+}
+
+/// Everything a serving run produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Requests admitted (open loop: every arrival is admitted).
+    pub accepted: u64,
+    pub completed: u64,
+    /// `accepted - completed` — zero unless the cluster deadlocked.
+    pub lost: u64,
+    /// Requests that were re-queued at least once by failure recovery.
+    pub requeued_requests: u64,
+    /// Requests that paid an on-path sandbox cold start.
+    pub cold_starts: u64,
+    /// Time of the last completion.
+    pub makespan: SimDuration,
+    /// All completed sojourns (streaming, ~0.05% quantile error).
+    pub sojourns: StreamingHistogram,
+    pub phases: Vec<PhaseSummary>,
+    pub peak_replicas: u32,
+    pub scale_ups: u32,
+    pub scale_downs: u32,
+    pub replicas_failed: u32,
+    /// Replica-seconds of reserved capacity, and its dollar value under
+    /// the paper's GB-s / GHz-s billing model.
+    pub replica_seconds: f64,
+    pub gb_seconds: f64,
+    pub ghz_seconds: f64,
+    pub cost_usd: f64,
+    /// `(time ns, usable replicas)` after every scaling/failure change.
+    pub replica_timeline: Vec<(u64, u32)>,
+    /// Per-request outcomes, indexed by request id (arrival order).
+    pub records: Vec<RequestRecord>,
+}
+
+impl ServeReport {
+    /// Order-sensitive FNV-1a digest over every per-request outcome —
+    /// byte-for-byte reproducibility check for seeded runs.
+    pub fn digest(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |v: u64| {
+            for byte in v.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for r in &self.records {
+            eat(r.arrival_ns);
+            eat(r.dispatched_ns);
+            eat(r.completed_ns);
+            eat(u64::from(r.replica));
+            eat(u64::from(r.phase) << 32 | u64::from(r.cold_start) << 16 | u64::from(r.requeues));
+        }
+        eat(self.accepted);
+        eat(self.completed);
+        hash
+    }
+
+    /// Fraction of completed requests that paid an on-path cold start.
+    pub fn cold_start_fraction(&self) -> f64 {
+        if self.completed == 0 {
+            return 0.0;
+        }
+        self.cold_starts as f64 / self.completed as f64
+    }
+
+    /// p99 sojourn over the tail of one phase: completed requests of the
+    /// phase, in arrival order, after skipping the first `skip_fraction`
+    /// (the scale-up transient). This is the steady-state view the
+    /// autoscaler's latency target is judged against.
+    pub fn tail_p99_of_phase(&self, phase: usize, skip_fraction: f64) -> SimDuration {
+        assert!((0.0..1.0).contains(&skip_fraction));
+        let phase = phase as u16;
+        let in_phase: Vec<&RequestRecord> = self
+            .records
+            .iter()
+            .filter(|r| r.phase == phase && r.is_completed())
+            .collect();
+        let skip = (in_phase.len() as f64 * skip_fraction).floor() as usize;
+        let mut hist = StreamingHistogram::new();
+        for r in &in_phase[skip.min(in_phase.len())..] {
+            hist.record(r.sojourn());
+        }
+        hist.percentile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(arrival: u64, completed: u64, phase: u16) -> RequestRecord {
+        RequestRecord {
+            arrival_ns: arrival,
+            dispatched_ns: arrival,
+            completed_ns: completed,
+            replica: 0,
+            phase,
+            cold_start: false,
+            requeues: 0,
+        }
+    }
+
+    fn report(records: Vec<RequestRecord>) -> ServeReport {
+        let mut sojourns = StreamingHistogram::new();
+        for r in &records {
+            sojourns.record(r.sojourn());
+        }
+        ServeReport {
+            accepted: records.len() as u64,
+            completed: records.len() as u64,
+            lost: 0,
+            requeued_requests: 0,
+            cold_starts: 0,
+            makespan: SimDuration::from_nanos(
+                records.iter().map(|r| r.completed_ns).max().unwrap_or(0),
+            ),
+            sojourns,
+            phases: Vec::new(),
+            peak_replicas: 1,
+            scale_ups: 0,
+            scale_downs: 0,
+            replicas_failed: 0,
+            replica_seconds: 0.0,
+            gb_seconds: 0.0,
+            ghz_seconds: 0.0,
+            cost_usd: 0.0,
+            replica_timeline: Vec::new(),
+            records,
+        }
+    }
+
+    #[test]
+    fn digest_is_order_and_content_sensitive() {
+        let a = report(vec![record(1, 10, 0), record(2, 20, 0)]);
+        let b = report(vec![record(1, 10, 0), record(2, 20, 0)]);
+        assert_eq!(a.digest(), b.digest());
+        let c = report(vec![record(2, 20, 0), record(1, 10, 0)]);
+        assert_ne!(a.digest(), c.digest());
+        let d = report(vec![record(1, 10, 0), record(2, 21, 0)]);
+        assert_ne!(a.digest(), d.digest());
+    }
+
+    #[test]
+    fn tail_p99_skips_transient() {
+        // Phase 1: 10 slow requests (transient) then 90 fast ones.
+        let mut records = Vec::new();
+        for i in 0..10u64 {
+            records.push(record(i, i + 1_000_000_000, 1)); // 1s sojourn
+        }
+        for i in 10..100u64 {
+            records.push(record(i, i + 1_000_000, 1)); // 1ms sojourn
+        }
+        let rep = report(records);
+        let with_transient = rep.tail_p99_of_phase(1, 0.0);
+        let steady = rep.tail_p99_of_phase(1, 0.2);
+        assert!(with_transient > SimDuration::from_millis(500));
+        assert!(steady < SimDuration::from_millis(2));
+    }
+}

@@ -1,0 +1,724 @@
+//! The event-driven serving simulator: open-loop arrivals → router →
+//! replicas, with reactive autoscaling and heartbeat-based failure
+//! recovery. Deterministic for a given (workload, seed) pair.
+//!
+//! ## Model
+//!
+//! A *replica* is one placed copy of the deployment plan (every sandbox,
+//! on concrete nodes) serving one request at a time. Its service time is
+//! the warm single-request latency of the plan under the virtual platform,
+//! plus the placement's cross-node overhead and the routing architecture's
+//! scheduling overhead ([`chiron_deploy::scheduling_architectures`]),
+//! jittered per request by `ServeConfig::service_jitter`.
+//!
+//! Replicas spawned by the autoscaler pay the 167 ms sandbox cold start
+//! unless the prewarm pool has stock; the `min_replicas` baseline is
+//! provisioned at deployment time, off the serving path.
+//!
+//! Node kills are crash-stop: completions from a failed node are lost,
+//! and the control plane only learns of the failure after
+//! `heartbeat_miss_limit` missed heartbeats — then it writes off the
+//! node's replicas, re-queues their in-flight requests (at the queue
+//! front, preserving arrival order), re-shards the dead node's queue, and
+//! spawns replacements. Accepted requests are therefore never dropped,
+//! only delayed, unless the whole cluster is gone.
+
+use crate::autoscaler::Autoscaler;
+use crate::config::{RouterPolicy, ServeConfig, Workload};
+use crate::events::{EventKind, EventQueue};
+use crate::faults::FaultPlan;
+use crate::report::{PhaseSummary, RequestRecord, ServeReport};
+use crate::router::{Router, Shard};
+use chiron_deploy::{
+    placement_overhead, scheduling_architectures, ClusterState, NodeId, Placement, PlacementError,
+};
+use chiron_metrics::{plan_resources, ArrivalGen, StreamingHistogram};
+use chiron_model::{DeploymentPlan, PlanError, SimDuration, SimTime, Workflow};
+use chiron_runtime::VirtualPlatform;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Why a serving run could not start.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The deployment plan is invalid for the workflow.
+    Plan(PlanError),
+    /// The baseline `min_replicas` do not fit the cluster.
+    Placement(PlacementError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Plan(e) => write!(f, "invalid plan: {e}"),
+            ServeError::Placement(e) => write!(f, "baseline placement failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<PlanError> for ServeError {
+    fn from(e: PlanError) -> Self {
+        ServeError::Plan(e)
+    }
+}
+
+impl From<PlacementError> for ServeError {
+    fn from(e: PlacementError) -> Self {
+        ServeError::Placement(e)
+    }
+}
+
+/// A configured serving simulation, reusable across runs.
+#[derive(Debug, Clone)]
+pub struct ServeSimulation {
+    workflow: Workflow,
+    plan: DeploymentPlan,
+    config: ServeConfig,
+    faults: FaultPlan,
+}
+
+impl ServeSimulation {
+    pub fn new(workflow: Workflow, plan: DeploymentPlan, config: ServeConfig) -> Self {
+        ServeSimulation {
+            workflow,
+            plan,
+            config,
+            faults: FaultPlan::none(),
+        }
+    }
+
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Drives `workload` through the cluster. Deterministic in
+    /// `(workload, seed)`: two runs yield byte-identical reports.
+    pub fn run(&self, workload: &Workload, seed: u64) -> Result<ServeReport, ServeError> {
+        Run::new(self, workload, seed)?.run()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReplicaState {
+    /// Cold-starting (or prewarm-activating); schedulable once ready.
+    Starting,
+    Idle {
+        since: SimTime,
+    },
+    Busy {
+        request: u64,
+        dispatch_seq: u64,
+    },
+    /// Written off by failure detection.
+    Dead,
+    /// Scaled down after its keepalive expired.
+    Retired,
+}
+
+#[derive(Debug, Clone)]
+struct Replica {
+    placement: Placement,
+    /// Node of stage 1's primary wrap — the shard this replica drains.
+    node: usize,
+    /// Warm per-request service time including placement + routing
+    /// overheads (before jitter).
+    service: SimDuration,
+    state: ReplicaState,
+    /// Whether this replica's start paid an on-path cold start.
+    cold_started: bool,
+    served: u64,
+    started_at: SimTime,
+    ended_at: Option<SimTime>,
+}
+
+impl Replica {
+    fn usable(&self) -> bool {
+        matches!(
+            self.state,
+            ReplicaState::Starting | ReplicaState::Idle { .. } | ReplicaState::Busy { .. }
+        )
+    }
+}
+
+struct Run<'a> {
+    sim: &'a ServeSimulation,
+    workload: &'a Workload,
+    /// Warm single-request e2e latency of the plan (no placement/routing).
+    service_base: SimDuration,
+    /// Routing-architecture overhead added to every request.
+    policy_overhead: SimDuration,
+    cluster: ClusterState,
+    router: Router,
+    autoscaler: Autoscaler,
+    events: EventQueue,
+    rng: StdRng,
+    gaps: ArrivalGen,
+    replicas: Vec<Replica>,
+    records: Vec<RequestRecord>,
+    /// Current queue shard of each request (for re-queues).
+    shards: Vec<Shard>,
+    /// Cumulative request count at the end of each phase.
+    phase_ends: Vec<u64>,
+    total: u64,
+    arrived: u64,
+    completed: u64,
+    dispatch_seq: u64,
+    prewarm_stock: u32,
+    /// Kills whose detection is still pending.
+    undetected: Vec<(SimTime, NodeId)>,
+    deadlocked: bool,
+    last_completion: SimTime,
+    cold_starts: u64,
+    scale_ups: u32,
+    scale_downs: u32,
+    replicas_failed: u32,
+    peak_replicas: u32,
+    timeline: Vec<(u64, u32)>,
+    sojourns: StreamingHistogram,
+    phase_hists: Vec<StreamingHistogram>,
+    phase_completed: Vec<u64>,
+    phase_cold: Vec<u64>,
+}
+
+impl<'a> Run<'a> {
+    fn new(
+        sim: &'a ServeSimulation,
+        workload: &'a Workload,
+        seed: u64,
+    ) -> Result<Self, ServeError> {
+        // Warm service time: one request on the virtual platform, cold
+        // starts excluded (they are modelled at replica granularity here).
+        let platform = VirtualPlatform::new(sim.config.platform.clone()).with_cold_starts(false);
+        let service_base = platform.execute(&sim.workflow, &sim.plan, 0)?.e2e;
+        let (central, decentral) = scheduling_architectures(&sim.plan, &sim.config.platform.costs);
+        let policy_overhead = match sim.config.router {
+            RouterPolicy::CentralFifo => central,
+            RouterPolicy::PartitionedByNode => decentral,
+        };
+
+        let nodes = sim.config.cluster.nodes as usize;
+        let mut phase_ends = Vec::with_capacity(workload.phases.len());
+        let mut cum = 0u64;
+        for p in &workload.phases {
+            cum += p.requests;
+            phase_ends.push(cum);
+        }
+
+        let mut run = Run {
+            sim,
+            workload,
+            service_base,
+            policy_overhead,
+            cluster: ClusterState::new(sim.config.cluster.clone()),
+            router: Router::new(sim.config.router, nodes),
+            autoscaler: Autoscaler::new(sim.config.autoscaler),
+            events: EventQueue::new(),
+            rng: StdRng::seed_from_u64(seed ^ 0x5e2e_5e2e_5e2e_5e2e),
+            gaps: workload.arrivals.gaps(),
+            replicas: Vec::new(),
+            records: Vec::with_capacity(cum as usize),
+            shards: Vec::with_capacity(cum as usize),
+            phase_ends,
+            total: cum,
+            arrived: 0,
+            completed: 0,
+            dispatch_seq: 0,
+            prewarm_stock: sim.config.replicas.prewarm_pool,
+            // Kills aimed at node ids outside the cluster have nothing to
+            // hit; drop them rather than index past the node tables.
+            undetected: sim
+                .faults
+                .node_kills
+                .iter()
+                .copied()
+                .filter(|&(_, node)| node.0 < sim.config.cluster.nodes)
+                .collect(),
+            deadlocked: false,
+            last_completion: SimTime::ZERO,
+            cold_starts: 0,
+            scale_ups: 0,
+            scale_downs: 0,
+            replicas_failed: 0,
+            peak_replicas: 0,
+            timeline: Vec::new(),
+            sojourns: StreamingHistogram::new(),
+            phase_hists: workload
+                .phases
+                .iter()
+                .map(|_| StreamingHistogram::new())
+                .collect(),
+            phase_completed: vec![0; workload.phases.len()],
+            phase_cold: vec![0; workload.phases.len()],
+        };
+
+        // Deployment-time baseline: min_replicas warm at t=0 (their cold
+        // starts happened before serving began, off the measured path).
+        for _ in 0..sim.config.replicas.min_replicas {
+            let placement =
+                run.cluster
+                    .place_replica(&sim.plan, &sim.workflow, sim.config.placement)?;
+            run.push_replica(placement, SimTime::ZERO, false);
+            let id = run.replicas.len() - 1;
+            run.replicas[id].state = ReplicaState::Idle {
+                since: SimTime::ZERO,
+            };
+        }
+        run.push_timeline(SimTime::ZERO);
+
+        if run.total > 0 {
+            run.events.push(SimTime::ZERO, EventKind::Arrival);
+        }
+        run.events.push(
+            SimTime::ZERO + sim.config.autoscaler.tick,
+            EventKind::AutoscaleTick,
+        );
+        if !sim.faults.is_empty() {
+            for &(at, node) in &sim.faults.node_kills {
+                run.events.push(at, EventKind::NodeKill { node });
+            }
+            run.events.push(
+                SimTime::ZERO + sim.config.heartbeat_interval,
+                EventKind::Heartbeat,
+            );
+        }
+        Ok(run)
+    }
+
+    fn run(mut self) -> Result<ServeReport, ServeError> {
+        while let Some(event) = self.events.pop() {
+            let now = event.at;
+            match event.kind {
+                EventKind::Arrival => self.on_arrival(now),
+                EventKind::Completion {
+                    replica,
+                    request,
+                    dispatch_seq,
+                } => self.on_completion(now, replica, request, dispatch_seq),
+                EventKind::ReplicaReady { replica } => {
+                    if self.replicas[replica as usize].state == ReplicaState::Starting {
+                        self.replicas[replica as usize].state = ReplicaState::Idle { since: now };
+                        self.kick(now);
+                    }
+                }
+                EventKind::AutoscaleTick => self.on_tick(now),
+                EventKind::Heartbeat => self.on_heartbeat(now),
+                EventKind::NodeKill { node } => self.cluster.fail_node(node),
+            }
+        }
+        Ok(self.into_report())
+    }
+
+    // ---- event handlers -------------------------------------------------
+
+    fn on_arrival(&mut self, now: SimTime) {
+        let id = self.arrived;
+        self.arrived += 1;
+        let phase = self.phase_of(id);
+        self.records.push(RequestRecord {
+            arrival_ns: now.as_nanos(),
+            dispatched_ns: 0,
+            completed_ns: 0,
+            replica: 0,
+            phase: phase as u16,
+            cold_start: false,
+            requeues: 0,
+        });
+        let hosts = self.hosts();
+        let shard = self.router.choose_shard(&hosts);
+        self.router.push_back(shard, id);
+        self.shards.push(shard);
+        self.kick(now);
+        if self.arrived < self.total {
+            let rps = self.workload.phases[self.phase_of(self.arrived)].rps;
+            let gap = self.gaps.next_gap(rps);
+            self.events.push(now + gap, EventKind::Arrival);
+        }
+    }
+
+    fn on_completion(&mut self, now: SimTime, replica: u32, request: u64, dispatch_seq: u64) {
+        let rep = &self.replicas[replica as usize];
+        let current = matches!(
+            rep.state,
+            ReplicaState::Busy { request: r, dispatch_seq: s }
+                if r == request && s == dispatch_seq
+        );
+        // A completion from a crashed node never reaches the router; the
+        // request stays Busy until heartbeat detection re-queues it.
+        let broken = rep
+            .placement
+            .assignments
+            .iter()
+            .any(|&(_, n)| self.cluster.is_failed(n));
+        if !current || broken {
+            return; // stale (re-queued / replica dead) or physically lost
+        }
+
+        let rec = &mut self.records[request as usize];
+        rec.completed_ns = now.as_nanos();
+        let sojourn = SimDuration::from_nanos(rec.completed_ns - rec.arrival_ns);
+        let phase = rec.phase as usize;
+        let cold = rec.cold_start;
+        self.sojourns.record(sojourn);
+        self.phase_hists[phase].record(sojourn);
+        self.phase_completed[phase] += 1;
+        if cold {
+            self.cold_starts += 1;
+            self.phase_cold[phase] += 1;
+        }
+        self.autoscaler.observe(sojourn);
+        self.completed += 1;
+        self.last_completion = now;
+
+        let rep = &mut self.replicas[replica as usize];
+        rep.served += 1;
+        rep.state = ReplicaState::Idle { since: now };
+        let node = rep.node;
+        let has = self.node_has_usable();
+        if let Some(next) = self.router.next_for(node, &has) {
+            self.dispatch(replica, next, now);
+        }
+    }
+
+    fn on_tick(&mut self, now: SimTime) {
+        if !self.work_remains() || self.deadlocked {
+            return; // stop the tick train once the run is over (or wedged)
+        }
+        let queued = self.router.queued();
+        let usable = self.usable_count();
+        let want = self.autoscaler.replicas_to_add(queued, usable);
+        for _ in 0..want {
+            if self.usable_count() >= self.sim.config.replicas.max_replicas {
+                break;
+            }
+            if !self.try_spawn(now) {
+                break;
+            }
+        }
+        self.retire_idle(now);
+        self.kick(now);
+        self.events.push(
+            now + self.sim.config.autoscaler.tick,
+            EventKind::AutoscaleTick,
+        );
+    }
+
+    fn on_heartbeat(&mut self, now: SimTime) {
+        let threshold =
+            self.sim.config.heartbeat_interval * u64::from(self.sim.config.heartbeat_miss_limit);
+        let mut detected = Vec::new();
+        self.undetected.retain(|&(at, node)| {
+            if now.as_nanos() >= (at + threshold).as_nanos() {
+                detected.push(node);
+                false
+            } else {
+                true
+            }
+        });
+        for node in detected {
+            self.handle_node_death(node, now);
+        }
+        if !self.undetected.is_empty() {
+            self.events.push(
+                now + self.sim.config.heartbeat_interval,
+                EventKind::Heartbeat,
+            );
+        }
+    }
+
+    fn handle_node_death(&mut self, node: NodeId, now: SimTime) {
+        let mut requeue = Vec::new();
+        let mut dead = 0u32;
+        for i in 0..self.replicas.len() {
+            let touches = self.replicas[i]
+                .placement
+                .assignments
+                .iter()
+                .any(|&(_, n)| n == node);
+            if !touches || !self.replicas[i].usable() {
+                continue;
+            }
+            if let ReplicaState::Busy { request, .. } = self.replicas[i].state {
+                requeue.push(request);
+            }
+            let placement = self.replicas[i].placement.clone();
+            self.replicas[i].state = ReplicaState::Dead;
+            self.replicas[i].ended_at = Some(now);
+            // Refunds only the replica's live-node share; the dead node's
+            // capacity was written off by fail_node.
+            self.cluster
+                .remove_replica(&self.sim.plan, &self.sim.workflow, &placement);
+            self.replicas_failed += 1;
+            dead += 1;
+        }
+        self.push_timeline(now);
+
+        // The dead node's own queue never dispatched: re-shard in order.
+        if self.sim.config.router == RouterPolicy::PartitionedByNode {
+            let stranded = self.router.drain_node(node.0 as usize);
+            for req in stranded {
+                let hosts = self.hosts();
+                let shard = self.router.choose_shard(&hosts);
+                self.router.push_back(shard, req);
+                self.shards[req as usize] = shard;
+            }
+        }
+
+        // In-flight work goes back to the front, oldest request foremost.
+        requeue.sort_unstable();
+        for &req in requeue.iter().rev() {
+            self.records[req as usize].requeues += 1;
+            let hosts = self.hosts();
+            let shard = self.router.choose_shard(&hosts);
+            self.router.push_front(shard, req);
+            self.shards[req as usize] = shard;
+        }
+
+        // Replace the lost capacity immediately (cold starts apply).
+        for _ in 0..dead {
+            if self.usable_count() >= self.sim.config.replicas.max_replicas {
+                break;
+            }
+            if !self.try_spawn(now) {
+                break;
+            }
+        }
+        self.kick(now);
+    }
+
+    // ---- mechanics ------------------------------------------------------
+
+    /// Spawns one replica; returns false (and flags deadlock when fatal)
+    /// if the cluster is full.
+    fn try_spawn(&mut self, now: SimTime) -> bool {
+        match self.cluster.place_replica(
+            &self.sim.plan,
+            &self.sim.workflow,
+            self.sim.config.placement,
+        ) {
+            Ok(placement) => {
+                let prewarmed = self.prewarm_stock > 0;
+                if prewarmed {
+                    self.prewarm_stock -= 1;
+                }
+                self.push_replica(placement, now, !prewarmed);
+                let id = (self.replicas.len() - 1) as u32;
+                let ready_at = if prewarmed {
+                    now
+                } else {
+                    now + self.sim.config.platform.costs.sandbox_cold_start
+                };
+                self.events
+                    .push(ready_at, EventKind::ReplicaReady { replica: id });
+                self.scale_ups += 1;
+                self.push_timeline(now);
+                true
+            }
+            Err(_) => {
+                if self.usable_count() == 0 && self.router.queued() > 0 {
+                    // Nothing can ever progress again: no replicas, no room.
+                    self.deadlocked = true;
+                }
+                false
+            }
+        }
+    }
+
+    fn push_replica(&mut self, placement: Placement, now: SimTime, cold: bool) {
+        let primary = self.sim.plan.stages[0].wraps[0].sandbox;
+        let node = placement.node_of(primary).expect("placed plan").0 as usize;
+        let service = self.service_base
+            + placement_overhead(&self.sim.plan, &placement, self.cluster.config())
+            + self.policy_overhead;
+        self.replicas.push(Replica {
+            placement,
+            node,
+            service,
+            state: ReplicaState::Starting,
+            cold_started: cold,
+            served: 0,
+            started_at: now,
+            ended_at: None,
+        });
+    }
+
+    fn dispatch(&mut self, replica: u32, request: u64, now: SimTime) {
+        self.dispatch_seq += 1;
+        let seq = self.dispatch_seq;
+        let u: f64 = self.rng.random();
+        let mult = 1.0 + self.sim.config.service_jitter * (2.0 * u - 1.0);
+        let rep = &mut self.replicas[replica as usize];
+        let cold = rep.cold_started && rep.served == 0;
+        rep.state = ReplicaState::Busy {
+            request,
+            dispatch_seq: seq,
+        };
+        let service = rep.service.mul_f64(mult);
+        let rec = &mut self.records[request as usize];
+        rec.dispatched_ns = now.as_nanos();
+        rec.replica = replica;
+        rec.cold_start = cold;
+        self.events.push(
+            now + service,
+            EventKind::Completion {
+                replica,
+                request,
+                dispatch_seq: seq,
+            },
+        );
+    }
+
+    /// Hands queued work to every idle replica that can take some.
+    fn kick(&mut self, now: SimTime) {
+        let has = self.node_has_usable();
+        for i in 0..self.replicas.len() {
+            if matches!(self.replicas[i].state, ReplicaState::Idle { .. }) {
+                if let Some(req) = self.router.next_for(self.replicas[i].node, &has) {
+                    self.dispatch(i as u32, req, now);
+                }
+            }
+        }
+    }
+
+    fn retire_idle(&mut self, now: SimTime) {
+        let keepalive = self.sim.config.replicas.keepalive;
+        let min = self.sim.config.replicas.min_replicas;
+        for i in 0..self.replicas.len() {
+            if self.usable_count() <= min {
+                break;
+            }
+            let ReplicaState::Idle { since } = self.replicas[i].state else {
+                continue;
+            };
+            if now.since(since) < keepalive {
+                continue;
+            }
+            // A partitioned replica with work sharded to its node stays.
+            if self.sim.config.router == RouterPolicy::PartitionedByNode
+                && self.router.queued_on(self.replicas[i].node) > 0
+            {
+                continue;
+            }
+            let placement = self.replicas[i].placement.clone();
+            self.replicas[i].state = ReplicaState::Retired;
+            self.replicas[i].ended_at = Some(now);
+            self.cluster
+                .remove_replica(&self.sim.plan, &self.sim.workflow, &placement);
+            self.scale_downs += 1;
+            self.push_timeline(now);
+        }
+    }
+
+    // ---- bookkeeping ----------------------------------------------------
+
+    fn phase_of(&self, request: u64) -> usize {
+        self.phase_ends
+            .iter()
+            .position(|&end| request < end)
+            .unwrap_or(self.phase_ends.len() - 1)
+    }
+
+    fn usable_count(&self) -> u32 {
+        self.replicas.iter().filter(|r| r.usable()).count() as u32
+    }
+
+    fn node_has_usable(&self) -> Vec<bool> {
+        let mut has = vec![false; self.sim.config.cluster.nodes as usize];
+        for r in &self.replicas {
+            if r.usable() {
+                has[r.node] = true;
+            }
+        }
+        has
+    }
+
+    fn hosts(&self) -> Vec<usize> {
+        self.node_has_usable()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &h)| h.then_some(i))
+            .collect()
+    }
+
+    fn work_remains(&self) -> bool {
+        self.arrived < self.total || self.completed < self.arrived
+    }
+
+    fn push_timeline(&mut self, now: SimTime) {
+        let usable = self.usable_count();
+        self.peak_replicas = self.peak_replicas.max(usable);
+        self.timeline.push((now.as_nanos(), usable));
+    }
+
+    fn into_report(self) -> ServeReport {
+        let end = self.last_completion;
+        let usage = plan_resources(
+            &self.sim.plan,
+            &self.sim.workflow,
+            &self.sim.config.platform.costs,
+        );
+        let mut replica_seconds = 0.0f64;
+        for r in &self.replicas {
+            let until = r
+                .ended_at
+                .unwrap_or(end)
+                .as_nanos()
+                .max(r.started_at.as_nanos());
+            replica_seconds +=
+                SimDuration::from_nanos(until - r.started_at.as_nanos()).as_secs_f64();
+        }
+        let gb = usage.memory_bytes as f64 / (1024.0 * 1024.0 * 1024.0);
+        let gb_seconds = replica_seconds * gb;
+        let ghz_seconds =
+            replica_seconds * f64::from(usage.cpus) * self.sim.config.platform.costs.cpu_ghz;
+        let billing = &self.sim.config.platform.billing;
+        let cost_usd =
+            gb_seconds * billing.usd_per_gb_second + ghz_seconds * billing.usd_per_ghz_second;
+
+        let phases = self
+            .workload
+            .phases
+            .iter()
+            .zip(self.phase_hists.iter())
+            .zip(self.phase_completed.iter().zip(self.phase_cold.iter()))
+            .map(|((p, hist), (&completed, &cold))| PhaseSummary {
+                offered_rps: p.rps,
+                completed,
+                mean_sojourn: hist.mean(),
+                p50_sojourn: hist.percentile(0.50),
+                p99_sojourn: hist.percentile(0.99),
+                max_sojourn: hist.max(),
+                cold_starts: cold,
+            })
+            .collect();
+
+        let requeued_requests = self.records.iter().filter(|r| r.requeues > 0).count() as u64;
+
+        ServeReport {
+            accepted: self.arrived,
+            completed: self.completed,
+            lost: self.arrived - self.completed,
+            requeued_requests,
+            cold_starts: self.cold_starts,
+            makespan: SimDuration::from_nanos(end.as_nanos()),
+            sojourns: self.sojourns,
+            phases,
+            peak_replicas: self.peak_replicas,
+            scale_ups: self.scale_ups,
+            scale_downs: self.scale_downs,
+            replicas_failed: self.replicas_failed,
+            replica_seconds,
+            gb_seconds,
+            ghz_seconds,
+            cost_usd,
+            replica_timeline: self.timeline,
+            records: self.records,
+        }
+    }
+}

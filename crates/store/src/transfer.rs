@@ -113,7 +113,10 @@ mod tests {
         let tiny = m.s3.latency(1).as_millis_f64();
         assert!((tiny - 52.0).abs() < 0.5, "1B over S3: {tiny}ms");
         let huge = m.s3.latency(GB).as_millis_f64();
-        assert!((20_000.0..30_000.0).contains(&huge), "1GB over S3: {huge}ms");
+        assert!(
+            (20_000.0..30_000.0).contains(&huge),
+            "1GB over S3: {huge}ms"
+        );
     }
 
     #[test]
@@ -122,7 +125,10 @@ mod tests {
         let tiny = m.minio.latency(1).as_millis_f64();
         assert!((9.0..12.0).contains(&tiny), "1B over MinIO: {tiny}ms");
         let huge = m.minio.latency(GB).as_millis_f64();
-        assert!((8_000.0..12_000.0).contains(&huge), "1GB over MinIO: {huge}ms");
+        assert!(
+            (8_000.0..12_000.0).contains(&huge),
+            "1GB over MinIO: {huge}ms"
+        );
     }
 
     #[test]

@@ -30,12 +30,12 @@ fn main() {
     let video = DynamicWorkflow {
         name: "VideoFFmpeg".into(),
         functions: vec![
-            f("upload", 6.0, 9 << 20),           // 0: the probe decides
-            f("simple_process", 25.0, 2 << 20),  // 1: small files
-            f("split_shard_a", 14.0, 3 << 20),   // 2: big files split...
-            f("split_shard_b", 14.0, 3 << 20),   // 3
-            f("split_shard_c", 14.0, 3 << 20),   // 4
-            f("merge", 10.0, 2 << 20),           // 5
+            f("upload", 6.0, 9 << 20),          // 0: the probe decides
+            f("simple_process", 25.0, 2 << 20), // 1: small files
+            f("split_shard_a", 14.0, 3 << 20),  // 2: big files split...
+            f("split_shard_b", 14.0, 3 << 20),  // 3
+            f("split_shard_c", 14.0, 3 << 20),  // 4
+            f("merge", 10.0, 2 << 20),          // 5
         ],
         stages: vec![
             DynStage::Static(vec![FunctionId(0)]),

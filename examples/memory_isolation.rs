@@ -25,15 +25,22 @@ fn main() {
     // The orchestrator writes each function thread's private input.
     domain.grant(ORCHESTRATOR, input_a.key, Access::ReadWrite);
     domain.grant(ORCHESTRATOR, input_b.key, Access::ReadWrite);
-    domain.write(ORCHESTRATOR, input_a, 0, b"trade#1 AAPL 190.0").unwrap();
-    domain.write(ORCHESTRATOR, input_b, 0, b"trade#2 MSFT 410.5").unwrap();
+    domain
+        .write(ORCHESTRATOR, input_a, 0, b"trade#1 AAPL 190.0")
+        .unwrap();
+    domain
+        .write(ORCHESTRATOR, input_b, 0, b"trade#2 MSFT 410.5")
+        .unwrap();
 
     // Each rule thread may only touch its own arena.
     domain.grant(RULE_A, input_a.key, Access::ReadWrite);
     domain.grant(RULE_B, input_b.key, Access::ReadWrite);
 
     let own = domain.read(RULE_A, input_a, 0, 18).unwrap();
-    println!("rule A reads its arena: {:?}", String::from_utf8_lossy(&own));
+    println!(
+        "rule A reads its arena: {:?}",
+        String::from_utf8_lossy(&own)
+    );
 
     let stolen = domain.read(RULE_A, input_b, 0, 18);
     println!("rule A reads rule B's arena: {stolen:?}");
@@ -42,7 +49,10 @@ fn main() {
     // ---- cost model ------------------------------------------------------
     println!("\nisolation costs (Table 1):");
     let fns = apps::slapp_reference_functions();
-    for (name, costs) in [("SFI", IsolationCosts::sfi()), ("MPK", IsolationCosts::mpk())] {
+    for (name, costs) in [
+        ("SFI", IsolationCosts::sfi()),
+        ("MPK", IsolationCosts::mpk()),
+    ] {
         println!(
             "  {name}: startup {}, interaction {}, fibonacci +{:.1}%, disk-io +{:.1}%",
             costs.startup,

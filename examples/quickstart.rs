@@ -60,7 +60,9 @@ fn main() {
     }
 
     // Invoke a request.
-    let outcome = manager.invoke(&workflow, &deployment, 0).expect("valid plan");
+    let outcome = manager
+        .invoke(&workflow, &deployment, 0)
+        .expect("valid plan");
     println!("\n== request executed: end-to-end {} ==", outcome.e2e);
     for t in &outcome.timelines {
         println!(

@@ -40,7 +40,10 @@ fn run_case(label: &str, workload: &[Vec<Segment>], runtime: RuntimeKind) {
     let real = run_realtime(
         &workload
             .iter()
-            .map(|segments| RtTask { process: 0, segments: segments.clone() })
+            .map(|segments| RtTask {
+                process: 0,
+                segments: segments.clone(),
+            })
             .collect::<Vec<_>>(),
         runtime,
         interval,
@@ -59,17 +62,28 @@ fn main() {
          threads.\n"
     );
 
-    let cpu_bound: Vec<Vec<Segment>> =
-        vec![vec![cpu(30)], vec![cpu(30)], vec![cpu(30)]];
-    run_case("CPU-bound, GIL (pseudo-parallel)", &cpu_bound, RuntimeKind::PseudoParallel);
-    run_case("CPU-bound, no GIL (Java/pool)", &cpu_bound, RuntimeKind::TrueParallel);
+    let cpu_bound: Vec<Vec<Segment>> = vec![vec![cpu(30)], vec![cpu(30)], vec![cpu(30)]];
+    run_case(
+        "CPU-bound, GIL (pseudo-parallel)",
+        &cpu_bound,
+        RuntimeKind::PseudoParallel,
+    );
+    run_case(
+        "CPU-bound, no GIL (Java/pool)",
+        &cpu_bound,
+        RuntimeKind::TrueParallel,
+    );
 
     let io_heavy: Vec<Vec<Segment>> = vec![
         vec![cpu(5), io(40), cpu(5)],
         vec![io(45), cpu(5)],
         vec![cpu(5), io(40)],
     ];
-    run_case("I/O-heavy, GIL (blocking drops it)", &io_heavy, RuntimeKind::PseudoParallel);
+    run_case(
+        "I/O-heavy, GIL (blocking drops it)",
+        &io_heavy,
+        RuntimeKind::PseudoParallel,
+    );
     run_case("I/O-heavy, no GIL", &io_heavy, RuntimeKind::TrueParallel);
 
     println!(

@@ -48,9 +48,12 @@ fn main() {
             deployment.schedule.met_slo,
         );
         // The ground truth must respect the plan the prediction promised.
-        let outcome = manager.invoke(&workflow, &deployment, 7).expect("valid plan");
+        let outcome = manager
+            .invoke(&workflow, &deployment, 7)
+            .expect("valid plan");
         assert!(
-            outcome.e2e.as_millis_f64() <= slo.as_millis_f64() * 1.05 || !deployment.schedule.met_slo,
+            outcome.e2e.as_millis_f64() <= slo.as_millis_f64() * 1.05
+                || !deployment.schedule.met_slo,
             "ground truth {} broke the SLO {}",
             outcome.e2e,
             slo

@@ -17,7 +17,9 @@ fn main() {
     let manager = Chiron::new(PlatformConfig::paper_calibrated());
     let workflow = apps::finra(5);
     let deployment = manager.deploy(&workflow, None, PgpMode::NativeThread);
-    let outcome = manager.invoke(&workflow, &deployment, 0).expect("valid plan");
+    let outcome = manager
+        .invoke(&workflow, &deployment, 0)
+        .expect("valid plan");
     let trace = to_chrome_trace(&workflow, &outcome);
     std::fs::write(&path, &trace).expect("writable output path");
     println!(

@@ -1,0 +1,102 @@
+//! Arc-backed stand-in for `bytes::Bytes`: a cheaply clonable, immutable
+//! byte buffer. No zero-copy slicing — the workspace only constructs,
+//! clones, measures, and compares payloads.
+
+#![allow(clippy::all)]
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+#[derive(Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    pub fn new() -> Self {
+        Bytes(Arc::from(&[][..]))
+    }
+
+    pub fn from_static(slice: &'static [u8]) -> Self {
+        Bytes(Arc::from(slice))
+    }
+
+    pub fn copy_from_slice(slice: &[u8]) -> Self {
+        Bytes(Arc::from(slice))
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    pub fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(Arc::from(v.into_boxed_slice()))
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(slice: &'static [u8]) -> Self {
+        Bytes::from_static(slice)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Self {
+        Bytes::from_static(s.as_bytes())
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bytes({} bytes)", self.0.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Bytes;
+
+    #[test]
+    fn construction_and_equality() {
+        let a = Bytes::from(vec![1u8, 2, 3]);
+        let b = Bytes::from_static(&[1, 2, 3]);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+        assert_eq!(&a[..], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let a = Bytes::from(vec![0u8; 1024]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(b.to_vec().len(), 1024);
+    }
+}

@@ -1,0 +1,235 @@
+//! Minimal wall-clock stand-in for the `criterion` API surface this
+//! workspace uses: `Criterion`, `benchmark_group`/`sample_size`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `Bencher::iter`,
+//! and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! No statistics, outlier rejection, or HTML reports — each benchmark is
+//! warmed up briefly, timed over a fixed number of samples, and the mean
+//! ns/iter is printed. Good enough to smoke-test that benches run and to
+//! eyeball relative magnitudes offline.
+
+#![allow(clippy::all)]
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+/// Label for one benchmark, optionally `function/parameter`-structured.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Runs the closure under measurement; handed to every benchmark body.
+pub struct Bencher {
+    /// Total measured time and iteration count, accumulated by `iter`.
+    elapsed: Duration,
+    iters: u64,
+    samples: usize,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warmup: let caches/allocators settle and estimate per-iter cost.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_start.elapsed() < Duration::from_millis(50) {
+            std::hint::black_box(routine());
+            warmup_iters += 1;
+            if warmup_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warmup_start.elapsed().as_nanos().max(1) / u128::from(warmup_iters.max(1));
+        // Aim for ~10ms of measurement per sample, at least 1 iter.
+        let iters_per_sample = ((10_000_000 / per_iter.max(1)) as u64).clamp(1, 10_000_000);
+
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.elapsed += start.elapsed();
+            self.iters += iters_per_sample;
+        }
+    }
+}
+
+fn run_one(id: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+        samples,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("bench {id:<40} (no iterations recorded)");
+    } else {
+        let mean_ns = b.elapsed.as_nanos() / u128::from(b.iters);
+        println!("bench {id:<40} {mean_ns:>12} ns/iter ({} iters)", b.iters);
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 3 }
+    }
+}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&id.id, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Re-export point used by some criterion setups; provided for parity.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion::default().sample_size(1);
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_benches_run() {
+        let mut c = Criterion::default().sample_size(1);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(1);
+        let mut count = 0;
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &x| {
+            b.iter(|| x * 2);
+            count += 1;
+        });
+        group.finish();
+        assert_eq!(count, 1);
+    }
+}

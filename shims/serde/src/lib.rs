@@ -1,0 +1,26 @@
+//! Marker-trait stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its plan/profile
+//! types so they remain serialisable artefacts once the real serde is
+//! available, but never serialises anything at runtime. This shim keeps
+//! those derives compiling offline: the traits are blanket-implemented and
+//! the derive macros (re-exported from the sibling `serde_derive` shim)
+//! expand to nothing.
+
+#![allow(clippy::all)]
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker counterpart of `serde::de::DeserializeOwned`.
+pub mod de {
+    pub trait DeserializeOwned: for<'de> super::Deserialize<'de> {}
+    impl<T> DeserializeOwned for T {}
+}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -11,7 +11,10 @@ use chiron::{evaluate_system, paper_slo, EvalConfig};
 /// FIFO multi-server queue actually sustains with those parameters.
 #[test]
 fn analytic_throughput_matches_queueing_simulation() {
-    let cfg = EvalConfig { requests: 4, ..EvalConfig::default() };
+    let cfg = EvalConfig {
+        requests: 4,
+        ..EvalConfig::default()
+    };
     for (sys, wf) in [
         (SystemKind::Faastlane, apps::finra(5)),
         (SystemKind::Chiron, apps::finra(50)),
@@ -38,7 +41,10 @@ fn analytic_throughput_matches_queueing_simulation() {
 /// Below saturation the queue adds no latency; above it, sojourn explodes.
 #[test]
 fn load_sweep_brackets_the_knee() {
-    let cfg = EvalConfig { requests: 2, ..EvalConfig::default() };
+    let cfg = EvalConfig {
+        requests: 2,
+        ..EvalConfig::default()
+    };
     let wf = apps::finra(5);
     let eval = evaluate_system(SystemKind::Chiron, &wf, Some(paper_slo(&wf)), &cfg);
     let servers = eval.throughput.concurrency as u32;
@@ -56,9 +62,21 @@ fn load_sweep_brackets_the_knee() {
 #[test]
 fn suite_plans_fit_the_paper_testbed() {
     let cluster = ClusterConfig::paper_testbed();
-    let cfg = EvalConfig { requests: 1, ..EvalConfig::default() };
-    for wf in [apps::finra(5), apps::finra(50), apps::social_network(), apps::slapp_v()] {
-        for sys in [SystemKind::OpenFaas, SystemKind::Faastlane, SystemKind::Chiron] {
+    let cfg = EvalConfig {
+        requests: 1,
+        ..EvalConfig::default()
+    };
+    for wf in [
+        apps::finra(5),
+        apps::finra(50),
+        apps::social_network(),
+        apps::slapp_v(),
+    ] {
+        for sys in [
+            SystemKind::OpenFaas,
+            SystemKind::Faastlane,
+            SystemKind::Chiron,
+        ] {
             let slo = (sys == SystemKind::Chiron).then(|| paper_slo(&wf));
             let eval = evaluate_system(sys, &wf, slo, &cfg);
             // Uniform-allocation baselines can demand more CPUs than one
@@ -86,7 +104,10 @@ fn suite_plans_fit_the_paper_testbed() {
 #[test]
 fn chiron_packs_tighter_than_one_to_one() {
     let cluster = ClusterConfig::paper_testbed();
-    let cfg = EvalConfig { requests: 1, ..EvalConfig::default() };
+    let cfg = EvalConfig {
+        requests: 1,
+        ..EvalConfig::default()
+    };
     let wf = apps::finra(50);
     let chiron = evaluate_system(SystemKind::Chiron, &wf, Some(paper_slo(&wf)), &cfg);
     let chiron_placed = place(&chiron.plan, &wf, &cluster, PlacementPolicy::Pack).unwrap();

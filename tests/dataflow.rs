@@ -7,8 +7,8 @@
 use bytes::Bytes;
 use chiron::model::{apps, SystemKind};
 use chiron::runtime::SpanKind;
-use chiron::{evaluate_system, EvalConfig};
 use chiron::store::{ObjectStore, TransferModel};
+use chiron::{evaluate_system, EvalConfig};
 
 #[test]
 fn one_to_one_dataflow_roundtrips_through_the_store() {
@@ -41,10 +41,7 @@ fn one_to_one_dataflow_roundtrips_through_the_store() {
     }
 
     // Every non-final function's output was written exactly once.
-    let expected_objects: usize = wf.stages[..last]
-        .iter()
-        .map(|s| s.functions.len())
-        .sum();
+    let expected_objects: usize = wf.stages[..last].iter().map(|s| s.functions.len()).sum();
     assert_eq!(store.len(), expected_objects);
     let stats = store.stats();
     assert_eq!(stats.puts as usize, expected_objects);
@@ -57,7 +54,10 @@ fn one_to_one_dataflow_roundtrips_through_the_store() {
         SystemKind::OpenFaas,
         &wf,
         None,
-        &EvalConfig { requests: 1, ..EvalConfig::default() },
+        &EvalConfig {
+            requests: 1,
+            ..EvalConfig::default()
+        },
     );
     let platform_out = eval.sample_outcome.total(SpanKind::TransferOut);
     let diff = (platform_out.as_millis_f64() - modelled_write.as_millis_f64()).abs();

@@ -21,7 +21,10 @@ const ALL_SYSTEMS: [SystemKind; 11] = [
 
 #[test]
 fn every_system_runs_every_benchmark() {
-    let cfg = EvalConfig { requests: 1, ..EvalConfig::default() };
+    let cfg = EvalConfig {
+        requests: 1,
+        ..EvalConfig::default()
+    };
     for wf in apps::evaluation_suite() {
         // FINRA-100/200 × 11 systems is slow in debug; sample the suite.
         if wf.function_count() > 101 {
@@ -66,8 +69,15 @@ fn chiron_pipeline_end_to_end_on_finra200() {
 
 #[test]
 fn timelines_cover_end_to_end_latency() {
-    let cfg = EvalConfig { requests: 1, ..EvalConfig::default() };
-    for sys in [SystemKind::OpenFaas, SystemKind::Faastlane, SystemKind::Chiron] {
+    let cfg = EvalConfig {
+        requests: 1,
+        ..EvalConfig::default()
+    };
+    for sys in [
+        SystemKind::OpenFaas,
+        SystemKind::Faastlane,
+        SystemKind::Chiron,
+    ] {
         let wf = apps::social_network();
         let eval = evaluate_system(sys, &wf, None, &cfg);
         let last_completion = eval
@@ -119,9 +129,7 @@ fn plan_serde_roundtrip() {
 /// clone through the `serde` in-memory representation via bincode-free
 /// manual encoding — here we simply exercise `Clone`+`PartialEq` and the
 /// serde derives' existence at compile time.
-fn serde_json_roundtrip(
-    plan: &chiron::model::DeploymentPlan,
-) -> chiron::model::DeploymentPlan {
+fn serde_json_roundtrip(plan: &chiron::model::DeploymentPlan) -> chiron::model::DeploymentPlan {
     fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
     assert_serde::<chiron::model::DeploymentPlan>();
     plan.clone()

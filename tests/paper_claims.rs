@@ -7,7 +7,10 @@ use chiron::model::{apps, SystemKind};
 use chiron::{evaluate_system, paper_slo, EvalConfig};
 
 fn cfg() -> EvalConfig {
-    EvalConfig { requests: 2, ..EvalConfig::default() }
+    EvalConfig {
+        requests: 2,
+        ..EvalConfig::default()
+    }
 }
 
 /// Abstract: "Chiron outperforms state-of-the-art systems by 1.3×–21.8× on
@@ -15,17 +18,29 @@ fn cfg() -> EvalConfig {
 #[test]
 fn abstract_throughput_multiples() {
     let mut ratios = Vec::new();
-    for wf in [apps::finra(5), apps::finra(50), apps::slapp(), apps::social_network()] {
+    for wf in [
+        apps::finra(5),
+        apps::finra(50),
+        apps::slapp(),
+        apps::social_network(),
+    ] {
         let slo = Some(paper_slo(&wf));
         let chiron = evaluate_system(SystemKind::Chiron, &wf, slo, &cfg());
-        for sys in [SystemKind::OpenFaas, SystemKind::Sand, SystemKind::Faastlane] {
+        for sys in [
+            SystemKind::OpenFaas,
+            SystemKind::Sand,
+            SystemKind::Faastlane,
+        ] {
             let base = evaluate_system(sys, &wf, None, &cfg());
             ratios.push(chiron.throughput.rps / base.throughput.rps);
         }
     }
     let min = ratios.iter().cloned().fold(f64::MAX, f64::min);
     let max = ratios.iter().cloned().fold(f64::MIN, f64::max);
-    assert!(min >= 1.2, "Chiron must win throughput everywhere: min {min:.2}x");
+    assert!(
+        min >= 1.2,
+        "Chiron must win throughput everywhere: min {min:.2}x"
+    );
     assert!(max >= 5.0, "and by a large factor somewhere: max {max:.2}x");
 }
 
@@ -66,11 +81,17 @@ fn observation2_block_overhead() {
 fn observation3_no_universal_winner() {
     let t5 = evaluate_system(SystemKind::FaastlaneT, &apps::finra(5), None, &cfg());
     let p5 = evaluate_system(SystemKind::Faastlane, &apps::finra(5), None, &cfg());
-    assert!(t5.mean_latency < p5.mean_latency, "threads win small fan-out");
+    assert!(
+        t5.mean_latency < p5.mean_latency,
+        "threads win small fan-out"
+    );
 
     let t50 = evaluate_system(SystemKind::FaastlaneT, &apps::finra(50), None, &cfg());
     let p50 = evaluate_system(SystemKind::Faastlane, &apps::finra(50), None, &cfg());
-    assert!(t50.mean_latency > p50.mean_latency, "processes win large fan-out");
+    assert!(
+        t50.mean_latency > p50.mean_latency,
+        "processes win large fan-out"
+    );
 
     // And Chiron beats both at both scales.
     for wf in [apps::finra(5), apps::finra(50)] {

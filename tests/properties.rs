@@ -2,9 +2,10 @@
 
 use chiron::model::{RuntimeKind, Segment, SimDuration, SimTime, SyscallKind};
 use chiron::predict::{predict_threads, predict_true_parallel, SimThread};
+use chiron_deploy::{place, planners, ClusterConfig, ClusterState, PlacementPolicy};
 use chiron_metrics::LatencySamples;
+use chiron_model::{apps, FunctionId};
 use chiron_pgp::kernighan_lin;
-use chiron_model::FunctionId;
 use chiron_runtime::{execute_sandbox, SpanKind, ThreadTask};
 use proptest::prelude::*;
 
@@ -28,26 +29,21 @@ fn arb_segments() -> impl Strategy<Value = Vec<Segment>> {
 }
 
 fn arb_tasks(max_threads: usize, max_procs: usize) -> impl Strategy<Value = Vec<ThreadTask>> {
-    prop::collection::vec(
-        (arb_segments(), 0..max_procs, 0u64..20),
-        1..=max_threads,
+    prop::collection::vec((arb_segments(), 0..max_procs, 0u64..20), 1..=max_threads).prop_map(
+        |ts| {
+            ts.into_iter()
+                .map(|(segments, process, start_ms)| ThreadTask {
+                    process,
+                    start: SimTime::from_nanos(start_ms * 1_000_000),
+                    segments,
+                })
+                .collect()
+        },
     )
-    .prop_map(|ts| {
-        ts.into_iter()
-            .map(|(segments, process, start_ms)| ThreadTask {
-                process,
-                start: SimTime::from_nanos(start_ms * 1_000_000),
-                segments,
-            })
-            .collect()
-    })
 }
 
 fn solo_ms(segments: &[Segment]) -> f64 {
-    segments
-        .iter()
-        .map(|s| s.duration().as_millis_f64())
-        .sum()
+    segments.iter().map(|s| s.duration().as_millis_f64()).sum()
 }
 
 proptest! {
@@ -219,5 +215,72 @@ proptest! {
         prop_assert!(samples.mean() <= samples.max());
         let cdf = samples.cdf();
         prop_assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    /// Cluster placement invariants under both policies: every sandbox is
+    /// assigned exactly once to a real node, no node's CPU capacity is
+    /// exceeded, and no node holds more sandboxes than its memory could
+    /// possibly fit (each sandbox needs at least the base runtime image).
+    #[test]
+    fn placement_respects_capacity(
+        n in 2usize..60,
+        spread in any::<bool>(),
+        nodes in 1u32..9,
+    ) {
+        let wf = apps::finra(n);
+        let plan = planners::faastlane_plus(&wf);
+        let cluster = ClusterConfig { nodes, ..ClusterConfig::paper_testbed() };
+        let policy = if spread { PlacementPolicy::Spread } else { PlacementPolicy::Pack };
+        if let Ok(placement) = place(&plan, &wf, &cluster, policy) {
+            prop_assert_eq!(placement.assignments.len(), plan.sandbox_count());
+            let mut seen: Vec<u32> = placement.assignments.iter().map(|&(s, _)| s.0).collect();
+            seen.sort_unstable();
+            seen.dedup();
+            prop_assert_eq!(seen.len(), plan.sandbox_count(), "each sandbox exactly once");
+            let mut cpu = vec![0u32; nodes as usize];
+            let mut count = vec![0u64; nodes as usize];
+            for &(sb, node) in &placement.assignments {
+                prop_assert!(node.0 < nodes, "node index out of range");
+                cpu[node.0 as usize] += plan.sandbox(sb).unwrap().cpus;
+                count[node.0 as usize] += 1;
+            }
+            let max_by_memory = cluster.node.node_memory_bytes / cluster.node.sandbox_base_bytes;
+            for i in 0..nodes as usize {
+                prop_assert!(cpu[i] <= cluster.node.node_cpus,
+                    "node {i} packs {} CPUs over the {} cap", cpu[i], cluster.node.node_cpus);
+                prop_assert!(count[i] <= max_by_memory);
+            }
+        }
+        // ClusterFull / SandboxTooLarge are acceptable outcomes; the
+        // invariant is only about what a successful placement commits.
+    }
+
+    /// Incremental replica placement preserves the same invariants over an
+    /// arbitrary add sequence and keeps utilisation a proper fraction.
+    #[test]
+    fn incremental_placement_respects_capacity(
+        n in 2usize..30,
+        replicas in 1usize..12,
+        spread in any::<bool>(),
+    ) {
+        let wf = apps::finra(n);
+        let plan = planners::faastlane_plus(&wf);
+        let cluster = ClusterConfig::paper_testbed();
+        let policy = if spread { PlacementPolicy::Spread } else { PlacementPolicy::Pack };
+        let mut state = ClusterState::new(cluster.clone());
+        let mut cpu = vec![0u32; cluster.nodes as usize];
+        for _ in 0..replicas {
+            let Ok(placement) = state.place_replica(&plan, &wf, policy) else { break };
+            prop_assert_eq!(placement.assignments.len(), plan.sandbox_count());
+            for &(sb, node) in &placement.assignments {
+                cpu[node.0 as usize] += plan.sandbox(sb).unwrap().cpus;
+            }
+            let util = state.cpu_utilisation();
+            prop_assert!((0.0..=1.0).contains(&util));
+        }
+        for (i, &used) in cpu.iter().enumerate() {
+            prop_assert!(used <= cluster.node.node_cpus,
+                "node {i} accumulated {used} CPUs over the cap");
+        }
     }
 }
