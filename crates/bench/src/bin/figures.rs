@@ -28,6 +28,7 @@ fn main() {
             "fig19",
             "ablations",
             "serve",
+            "perf",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -51,6 +52,14 @@ fn main() {
             "fig19" => bench::fig19(),
             "ablations" => bench::ablations(),
             "serve" => bench::serve_figure(),
+            "perf" => {
+                let json = bench::perf();
+                match std::fs::write("BENCH_PGP.json", &json) {
+                    Ok(()) => eprintln!("wrote BENCH_PGP.json"),
+                    Err(e) => eprintln!("could not write BENCH_PGP.json: {e}"),
+                }
+                json
+            }
             other => {
                 eprintln!("unknown target: {other}");
                 std::process::exit(2);

@@ -9,7 +9,7 @@
 use chiron_deploy::{generate, GeneratedWrap};
 use chiron_model::{DeploymentPlan, PlanError, PlatformConfig, SimDuration, Workflow};
 use chiron_pgp::{PgpConfig, PgpMode, PgpScheduler, ScheduleOutcome};
-use chiron_predict::Predictor;
+use chiron_predict::{CacheStats, PredictionCache, Predictor};
 use chiron_profiler::{Profiler, WorkflowProfile};
 use chiron_runtime::{RequestOutcome, VirtualPlatform};
 use chiron_serve::{FaultPlan, ServeConfig, ServeError, ServeReport, ServeSimulation, Workload};
@@ -34,6 +34,14 @@ pub struct Chiron {
     platform: VirtualPlatform,
     profiler: Profiler,
     scheduler: PgpScheduler,
+    /// Content-addressed Algorithm 1 memo shared by every schedule this
+    /// manager runs: keys are pure functions of thread content, so entries
+    /// stay valid across SLOs, modes, margins, re-profiles — and even
+    /// across workflows that share function profiles (dynamic-workflow
+    /// variants overlap heavily).
+    prediction_cache: PredictionCache,
+    /// Worker threads for PGP's parallel candidate search. 1 = sequential.
+    scheduler_workers: usize,
 }
 
 impl Chiron {
@@ -43,6 +51,8 @@ impl Chiron {
             platform: VirtualPlatform::new(config),
             profiler: Profiler::default(),
             scheduler,
+            prediction_cache: PredictionCache::new(),
+            scheduler_workers: 1,
         }
     }
 
@@ -52,8 +62,39 @@ impl Chiron {
         self
     }
 
+    /// Enables PGP's cache-sharing parallel search with `workers` threads.
+    pub fn with_scheduler_workers(mut self, workers: usize) -> Self {
+        self.scheduler_workers = workers.max(1);
+        self
+    }
+
+    /// Hit/miss/entry counts of the shared prediction memo.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.prediction_cache.stats()
+    }
+
     pub fn platform(&self) -> &VirtualPlatform {
         &self.platform
+    }
+
+    fn run_scheduler(
+        &self,
+        workflow: &Workflow,
+        profile: &WorkflowProfile,
+        config: &PgpConfig,
+    ) -> ScheduleOutcome {
+        if self.scheduler_workers > 1 {
+            self.scheduler.schedule_parallel_with_cache(
+                workflow,
+                profile,
+                config,
+                self.scheduler_workers,
+                &self.prediction_cache,
+            )
+        } else {
+            self.scheduler
+                .schedule_with_cache(workflow, profile, config, &self.prediction_cache)
+        }
     }
 
     /// Steps ➋–➎: profile, schedule, generate.
@@ -68,7 +109,7 @@ impl Chiron {
             Some(slo) => PgpConfig::with_slo(slo).with_mode(mode),
             None => PgpConfig::performance_first().with_mode(mode),
         };
-        let schedule = self.scheduler.schedule(workflow, &profile, &config);
+        let schedule = self.run_scheduler(workflow, &profile, &config);
         let wraps = generate(workflow, &schedule.plan);
         Deployment {
             profile,
@@ -140,7 +181,7 @@ impl Chiron {
             Some(slo) => PgpConfig::with_slo(slo).with_mode(mode),
             None => PgpConfig::performance_first().with_mode(mode),
         };
-        let schedule = self.scheduler.schedule(workflow, &profile, &config);
+        let schedule = self.run_scheduler(workflow, &profile, &config);
         let wraps = generate(workflow, &schedule.plan);
         let _ = deployment; // the previous deployment is superseded
         Deployment {
@@ -297,6 +338,32 @@ mod tests {
         assert_eq!(choices, vec![1]);
         assert_eq!(outcome.timelines.len(), 4);
         assert!(!outcome.e2e.is_zero());
+    }
+
+    #[test]
+    fn shared_cache_warms_across_deploys() {
+        let chiron = Chiron::default();
+        let wf = apps::finra(20);
+        chiron.deploy(&wf, None, PgpMode::NativeThread);
+        let after_first = chiron.cache_stats();
+        assert!(after_first.hits > 0);
+        assert!(after_first.entries > 0);
+        // A re-deploy re-uses every entry: no new simulations.
+        chiron.deploy(&wf, None, PgpMode::NativeThread);
+        let after_second = chiron.cache_stats();
+        assert_eq!(after_first.misses, after_second.misses);
+        assert!(after_second.hits > after_first.hits);
+    }
+
+    #[test]
+    fn parallel_scheduler_workers_keep_plans_stable() {
+        let wf = apps::finra(20);
+        let seq = Chiron::default().deploy(&wf, None, PgpMode::NativeThread);
+        let par =
+            Chiron::default()
+                .with_scheduler_workers(4)
+                .deploy(&wf, None, PgpMode::NativeThread);
+        assert_eq!(seq.plan(), par.plan());
     }
 
     #[test]

@@ -24,6 +24,12 @@ pub struct SyntheticSpec {
     pub mean_cpu_ms: f64,
     /// Fraction of functions that are I/O-intensive.
     pub io_fraction: f64,
+    /// Number of distinct behaviour profiles the functions cycle through
+    /// (position `i` of a stage takes profile `i % profile_classes`, the
+    /// way FINRA's rule checks repeat with period 5). Real fleets deploy
+    /// families of near-identical functions; `0` disables sharing and
+    /// gives every function its own random profile.
+    pub profile_classes: usize,
 }
 
 impl Default for SyntheticSpec {
@@ -34,6 +40,7 @@ impl Default for SyntheticSpec {
             max_parallelism: 8,
             mean_cpu_ms: 5.0,
             io_fraction: 0.4,
+            profile_classes: 0,
         }
     }
 }
@@ -46,6 +53,8 @@ pub fn synthetic(spec: SyntheticSpec) -> Workflow {
     let mut rng = StdRng::seed_from_u64(spec.seed);
     let mut functions: Vec<FunctionSpec> = Vec::new();
     let mut stages: Vec<Vec<u32>> = Vec::new();
+    // Lazily drawn behaviour templates when profile sharing is on.
+    let mut profiles: Vec<(Vec<Segment>, WorkloadClass)> = Vec::new();
     for si in 0..spec.stages {
         // First and last stages are sequential entry/exit points; middle
         // stages fan out.
@@ -56,29 +65,43 @@ pub fn synthetic(spec: SyntheticSpec) -> Workflow {
         };
         let mut ids = Vec::with_capacity(parallelism);
         for fi in 0..parallelism {
-            let io_bound = rng.random::<f64>() < spec.io_fraction;
-            // Exponential-ish CPU demand: -ln(U) × mean.
-            let cpu_ms =
-                (-(rng.random::<f64>().max(1e-9)).ln() * spec.mean_cpu_ms).clamp(0.2, 200.0);
-            let segments = if io_bound {
-                let io_ms = cpu_ms * rng.random_range(1.5..4.0);
-                let kind = if rng.random::<bool>() {
-                    SyscallKind::DiskIo
-                } else {
-                    SyscallKind::NetIo
-                };
-                vec![
-                    Segment::cpu_ms_f64(cpu_ms * 0.4),
-                    Segment::block_ms(kind, io_ms),
-                    Segment::cpu_ms_f64(cpu_ms * 0.6),
-                ]
+            let reuse = if spec.profile_classes > 0 {
+                let ci = fi % spec.profile_classes;
+                profiles.get(ci).cloned()
             } else {
-                vec![Segment::cpu_ms_f64(cpu_ms)]
+                None
             };
-            let class = if io_bound {
-                WorkloadClass::NetIoIntensive
+            let (segments, class) = if let Some(tpl) = reuse {
+                tpl
             } else {
-                WorkloadClass::CpuIntensive
+                let io_bound = rng.random::<f64>() < spec.io_fraction;
+                // Exponential-ish CPU demand: -ln(U) × mean.
+                let cpu_ms =
+                    (-(rng.random::<f64>().max(1e-9)).ln() * spec.mean_cpu_ms).clamp(0.2, 200.0);
+                let segments = if io_bound {
+                    let io_ms = cpu_ms * rng.random_range(1.5..4.0);
+                    let kind = if rng.random::<bool>() {
+                        SyscallKind::DiskIo
+                    } else {
+                        SyscallKind::NetIo
+                    };
+                    vec![
+                        Segment::cpu_ms_f64(cpu_ms * 0.4),
+                        Segment::block_ms(kind, io_ms),
+                        Segment::cpu_ms_f64(cpu_ms * 0.6),
+                    ]
+                } else {
+                    vec![Segment::cpu_ms_f64(cpu_ms)]
+                };
+                let class = if io_bound {
+                    WorkloadClass::NetIoIntensive
+                } else {
+                    WorkloadClass::CpuIntensive
+                };
+                if spec.profile_classes > 0 {
+                    profiles.push((segments.clone(), class));
+                }
+                (segments, class)
             };
             ids.push(functions.len() as u32);
             functions.push(
@@ -153,6 +176,47 @@ mod tests {
         for f in &wf.functions {
             assert!(!f.block_time().is_zero(), "{} lacks I/O", f.name);
         }
+    }
+
+    #[test]
+    fn profile_classes_share_behaviour() {
+        let spec = SyntheticSpec {
+            stages: 6,
+            max_parallelism: 12,
+            profile_classes: 3,
+            ..Default::default()
+        };
+        let wf = synthetic(spec);
+        // Position i of every stage carries profile i % 3: collect the
+        // distinct (segments, class) pairs and check the bound holds.
+        let mut distinct: Vec<(&Vec<Segment>, WorkloadClass)> = Vec::new();
+        for f in &wf.functions {
+            if !distinct
+                .iter()
+                .any(|(s, c)| **s == f.segments && *c == f.class)
+            {
+                distinct.push((&f.segments, f.class));
+            }
+        }
+        assert!(
+            distinct.len() <= 3,
+            "expected at most 3 profiles, found {}",
+            distinct.len()
+        );
+        // Output sizes stay per-function even when behaviour is shared.
+        let wide = wf.stages.iter().map(|s| s.parallelism()).max().unwrap();
+        assert!(wide > 3, "need a stage wider than the class count");
+    }
+
+    #[test]
+    fn zero_classes_keeps_historic_output() {
+        // `profile_classes: 0` must not perturb the rng draw sequence.
+        let old = synthetic(SyntheticSpec::default());
+        let explicit = synthetic(SyntheticSpec {
+            profile_classes: 0,
+            ..Default::default()
+        });
+        assert_eq!(old, explicit);
     }
 
     #[test]

@@ -7,19 +7,65 @@
 //! that minimises a caller-supplied latency objective, records the gain of
 //! every swap, and finally applies the prefix of swaps with the largest
 //! cumulative gain.
+//!
+//! The objective is *per set*: the pair score is
+//! `max(objective(a), objective(b))`, computed here. Taking the sides
+//! separately lets the caller memoise each process independently (a swap
+//! changes both sets, but most candidate sets recur across swaps and
+//! rounds) and enables two exact prunes — `max` can only grow, so under
+//! strict `<` selection a candidate provably at or above the best score
+//! seen could never have won:
+//!
+//! * the second side is skipped when the first side's score already
+//!   matches or exceeds the best;
+//! * either side's *evaluation* is skipped entirely when a cheap lower
+//!   bound ([`KlObjective::lower_bound`]) already matches or exceeds the
+//!   best — for the scheduler this turns most candidate simulations into
+//!   an O(set) arithmetic check.
 
 use chiron_model::FunctionId;
 
+/// The latency objective driving a Kernighan–Lin pass, plus the optional
+/// machinery the exact prunes need. Any `FnMut(&[FunctionId]) -> f64`
+/// closure is an objective (with no usable bound); the scheduler's cached
+/// evaluator supplies a real [`lower_bound`](KlObjective::lower_bound),
+/// and its reference evaluator opts out of pruning altogether so the
+/// pre-optimisation cost model stays faithful.
+pub trait KlObjective {
+    /// Predicted latency (lower = better) of running `set` as one process.
+    fn eval(&mut self, set: &[FunctionId]) -> f64;
+
+    /// A cheap lower bound on [`eval`](KlObjective::eval). Must never
+    /// exceed the true score; `NEG_INFINITY` (the default) disables the
+    /// bound prune.
+    fn lower_bound(&mut self, _set: &[FunctionId]) -> f64 {
+        f64::NEG_INFINITY
+    }
+
+    /// Whether the pass may prune candidates that provably cannot win.
+    /// `false` reproduces the original exhaustive pass: both sides of
+    /// every candidate are evaluated.
+    fn prunes(&self) -> bool {
+        true
+    }
+}
+
+impl<F: FnMut(&[FunctionId]) -> f64> KlObjective for F {
+    fn eval(&mut self, set: &[FunctionId]) -> f64 {
+        self(set)
+    }
+}
+
 /// Runs one Kernighan–Lin pass over function sets `a` and `b`.
 ///
-/// `objective(a, b)` must return the predicted latency (lower = better) of
-/// executing the two candidate sets as two processes. On return, `a` and
-/// `b` hold the refined partition; the achieved latency improvement is
-/// returned (0.0 when no beneficial swap prefix exists).
+/// `objective` scores candidate sets (see [`KlObjective`]); the pair is
+/// scored by the worse side. On return, `a` and `b` hold the refined
+/// partition; the achieved latency improvement is returned (0.0 when no
+/// beneficial swap prefix exists).
 pub fn kernighan_lin(
     a: &mut [FunctionId],
     b: &mut [FunctionId],
-    mut objective: impl FnMut(&[FunctionId], &[FunctionId]) -> f64,
+    mut objective: impl KlObjective,
 ) -> f64 {
     if a.is_empty() || b.is_empty() {
         return 0.0;
@@ -31,10 +77,11 @@ pub fn kernighan_lin(
     let mut free_a: Vec<usize> = (0..wa.len()).collect();
     let mut free_b: Vec<usize> = (0..wb.len()).collect();
 
-    let initial = objective(&wa, &wb);
+    let initial = objective.eval(&wa).max(objective.eval(&wb));
     let mut current = initial;
     let mut gains: Vec<f64> = Vec::new();
     let mut swaps: Vec<(usize, usize)> = Vec::new();
+    let prunes = objective.prunes();
 
     // Line 20: until one working set is exhausted.
     while !free_a.is_empty() && !free_b.is_empty() {
@@ -43,7 +90,26 @@ pub fn kernighan_lin(
         for &ia in &free_a {
             for &ib in &free_b {
                 std::mem::swap(&mut wa[ia], &mut wb[ib]);
-                let score = objective(&wa, &wb);
+                // Exact prunes (skipped candidates score INFINITY, which
+                // never wins under strict `<`): a candidate is dead as soon
+                // as either side — or even a side's cheap lower bound —
+                // reaches the incumbent score, because the pair score is
+                // the max of the sides and can only grow.
+                let score = if !prunes {
+                    objective.eval(&wa).max(objective.eval(&wb))
+                } else {
+                    match best {
+                        Some((_, _, s)) if objective.lower_bound(&wa) >= s => f64::INFINITY,
+                        _ => {
+                            let score_a = objective.eval(&wa);
+                            match best {
+                                Some((_, _, s)) if score_a >= s => f64::INFINITY,
+                                Some((_, _, s)) if objective.lower_bound(&wb) >= s => f64::INFINITY,
+                                _ => score_a.max(objective.eval(&wb)),
+                            }
+                        }
+                    }
+                };
                 std::mem::swap(&mut wa[ia], &mut wb[ib]);
                 let better = match best {
                     Some((_, _, s)) => score < s,
@@ -92,14 +158,15 @@ mod tests {
         FunctionId(v)
     }
 
-    /// Objective: |sum(weights A) − sum(weights B)| — balanced partitions
-    /// minimise the max process latency for CPU-bound functions.
-    fn imbalance(weights: &[f64]) -> impl FnMut(&[FunctionId], &[FunctionId]) -> f64 + '_ {
-        move |a, b| {
-            let wa: f64 = a.iter().map(|f| weights[f.index()]).sum();
-            let wb: f64 = b.iter().map(|f| weights[f.index()]).sum();
-            wa.max(wb)
-        }
+    /// Objective: one set's total weight — the pair score (max of sides)
+    /// is minimised by balanced partitions for CPU-bound functions.
+    fn weight(weights: &[f64]) -> impl FnMut(&[FunctionId]) -> f64 + '_ {
+        move |set| set.iter().map(|f| weights[f.index()]).sum()
+    }
+
+    fn pair_score(weights: &[f64], a: &[FunctionId], b: &[FunctionId]) -> f64 {
+        let mut obj = weight(weights);
+        obj(a).max(obj(b))
     }
 
     #[test]
@@ -108,11 +175,9 @@ mod tests {
         let weights = [10.0, 10.0, 1.0, 1.0];
         let mut a = vec![fid(0), fid(1)];
         let mut b = vec![fid(2), fid(3)];
-        let gain = kernighan_lin(&mut a, &mut b, imbalance(&weights));
+        let gain = kernighan_lin(&mut a, &mut b, weight(&weights));
         assert!(gain > 0.0);
-        let wa: f64 = a.iter().map(|f| weights[f.index()]).sum();
-        let wb: f64 = b.iter().map(|f| weights[f.index()]).sum();
-        assert_eq!(wa.max(wb), 11.0, "a={a:?} b={b:?}");
+        assert_eq!(pair_score(&weights, &a, &b), 11.0, "a={a:?} b={b:?}");
     }
 
     #[test]
@@ -121,7 +186,7 @@ mod tests {
         let mut a = vec![fid(0), fid(1), fid(2)];
         let mut b = vec![fid(3), fid(4), fid(5)];
         let before = (a.clone(), b.clone());
-        let gain = kernighan_lin(&mut a, &mut b, imbalance(&weights));
+        let gain = kernighan_lin(&mut a, &mut b, weight(&weights));
         assert_eq!(gain, 0.0);
         assert_eq!((a, b), before, "no swap should be applied");
     }
@@ -130,7 +195,7 @@ mod tests {
     fn empty_set_is_noop() {
         let mut a: Vec<FunctionId> = vec![];
         let mut b = vec![fid(0)];
-        assert_eq!(kernighan_lin(&mut a, &mut b, |_, _| 0.0), 0.0);
+        assert_eq!(kernighan_lin(&mut a, &mut b, |_: &[FunctionId]| 0.0), 0.0);
     }
 
     #[test]
@@ -143,10 +208,9 @@ mod tests {
         let weights = [9.0, 1.0, 5.0, 5.0];
         let mut a = vec![fid(0), fid(1)];
         let mut b = vec![fid(2), fid(3)];
-        let mut obj = imbalance(&weights);
-        let before = obj(&a, &b);
-        kernighan_lin(&mut a, &mut b, imbalance(&weights));
-        let after = imbalance(&weights)(&a, &b);
+        let before = pair_score(&weights, &a, &b);
+        kernighan_lin(&mut a, &mut b, weight(&weights));
+        let after = pair_score(&weights, &a, &b);
         assert!(after <= before);
     }
 
@@ -155,11 +219,143 @@ mod tests {
         let weights = [3.0, 7.0, 2.0, 8.0, 5.0];
         let mut a = vec![fid(0), fid(1), fid(4)];
         let mut b = vec![fid(2), fid(3)];
-        kernighan_lin(&mut a, &mut b, imbalance(&weights));
+        kernighan_lin(&mut a, &mut b, weight(&weights));
         let mut all: Vec<u32> = a.iter().chain(b.iter()).map(|f| f.0).collect();
         all.sort_unstable();
         assert_eq!(all, [0, 1, 2, 3, 4]);
         assert_eq!(a.len(), 3);
         assert_eq!(b.len(), 2);
+    }
+
+    /// The pre-prune algorithm: every candidate pays both evaluations.
+    fn kl_exhaustive(
+        a: &mut [FunctionId],
+        b: &mut [FunctionId],
+        mut objective: impl FnMut(&[FunctionId]) -> f64,
+    ) -> f64 {
+        if a.is_empty() || b.is_empty() {
+            return 0.0;
+        }
+        let mut wa = a.to_vec();
+        let mut wb = b.to_vec();
+        let mut free_a: Vec<usize> = (0..wa.len()).collect();
+        let mut free_b: Vec<usize> = (0..wb.len()).collect();
+        let mut current = objective(&wa).max(objective(&wb));
+        let mut gains: Vec<f64> = Vec::new();
+        let mut swaps: Vec<(usize, usize)> = Vec::new();
+        while !free_a.is_empty() && !free_b.is_empty() {
+            let mut best: Option<(usize, usize, f64)> = None;
+            for &ia in &free_a {
+                for &ib in &free_b {
+                    std::mem::swap(&mut wa[ia], &mut wb[ib]);
+                    let score = objective(&wa).max(objective(&wb));
+                    std::mem::swap(&mut wa[ia], &mut wb[ib]);
+                    if best.is_none_or(|(_, _, s)| score < s) {
+                        best = Some((ia, ib, score));
+                    }
+                }
+            }
+            let (ia, ib, score) = best.unwrap();
+            std::mem::swap(&mut wa[ia], &mut wb[ib]);
+            gains.push(current - score);
+            current = score;
+            swaps.push((ia, ib));
+            free_a.retain(|&i| i != ia);
+            free_b.retain(|&i| i != ib);
+        }
+        let (mut best_k, mut best_sum, mut acc) = (0, 0.0, 0.0);
+        for (k, g) in gains.iter().enumerate() {
+            acc += g;
+            if acc > best_sum + 1e-12 {
+                best_sum = acc;
+                best_k = k + 1;
+            }
+        }
+        for &(ia, ib) in swaps.iter().take(best_k) {
+            std::mem::swap(&mut a[ia], &mut b[ib]);
+        }
+        best_sum
+    }
+
+    #[test]
+    fn pruning_matches_exhaustive_evaluation() {
+        // The second-side skip must not change the selected swap sequence
+        // or the applied prefix, across a spread of weight vectors.
+        let cases: [&[f64]; 4] = [
+            &[12.0, 3.0, 7.0, 1.0, 9.0, 4.0],
+            &[1.0, 1.0, 1.0, 1.0, 1.0, 1.0],
+            &[10.0, 10.0, 0.5, 0.5, 5.0, 5.0],
+            &[2.0, 11.0, 6.0, 6.0, 3.0, 8.0],
+        ];
+        for weights in cases {
+            let mut a1 = vec![fid(0), fid(1), fid(2)];
+            let mut b1 = vec![fid(3), fid(4), fid(5)];
+            let mut a2 = a1.clone();
+            let mut b2 = b1.clone();
+            let g1 = kernighan_lin(&mut a1, &mut b1, weight(weights));
+            let g2 = kl_exhaustive(&mut a2, &mut b2, weight(weights));
+            assert_eq!(g1, g2, "{weights:?}");
+            assert_eq!((a1, b1), (a2, b2), "{weights:?}");
+        }
+    }
+
+    /// Objective whose lower bound is a scaled-down copy of the true score
+    /// (always sound); counts how many full evaluations happened.
+    struct BoundedWeight<'w> {
+        weights: &'w [f64],
+        tightness: f64,
+        evals: &'w std::cell::Cell<usize>,
+    }
+
+    impl KlObjective for BoundedWeight<'_> {
+        fn eval(&mut self, set: &[FunctionId]) -> f64 {
+            self.evals.set(self.evals.get() + 1);
+            set.iter().map(|f| self.weights[f.index()]).sum()
+        }
+        fn lower_bound(&mut self, set: &[FunctionId]) -> f64 {
+            set.iter().map(|f| self.weights[f.index()]).sum::<f64>() * self.tightness
+        }
+    }
+
+    #[test]
+    fn lower_bound_prune_is_exact_and_saves_evaluations() {
+        let cases: [&[f64]; 4] = [
+            &[12.0, 3.0, 7.0, 1.0, 9.0, 4.0],
+            &[1.0, 1.0, 1.0, 1.0, 1.0, 1.0],
+            &[10.0, 10.0, 0.5, 0.5, 5.0, 5.0],
+            &[2.0, 11.0, 6.0, 6.0, 3.0, 8.0],
+        ];
+        for weights in cases {
+            let run = |tightness| {
+                let mut a = vec![fid(0), fid(1), fid(2)];
+                let mut b = vec![fid(3), fid(4), fid(5)];
+                let evals = std::cell::Cell::new(0);
+                let gain = kernighan_lin(
+                    &mut a,
+                    &mut b,
+                    BoundedWeight {
+                        weights,
+                        tightness,
+                        evals: &evals,
+                    },
+                );
+                (gain, a, b, evals.get())
+            };
+            let mut a2 = vec![fid(0), fid(1), fid(2)];
+            let mut b2 = vec![fid(3), fid(4), fid(5)];
+            let g2 = kl_exhaustive(&mut a2, &mut b2, weight(weights));
+            for tightness in [0.0, 0.5, 1.0] {
+                let (g1, a1, b1, _) = run(tightness);
+                assert_eq!(g1, g2, "{weights:?} tightness {tightness}");
+                assert_eq!(
+                    (a1, b1),
+                    (a2.clone(), b2.clone()),
+                    "{weights:?} tightness {tightness}"
+                );
+            }
+            // A perfectly tight bound must never evaluate more than no
+            // bound at all.
+            assert!(run(1.0).3 <= run(0.0).3, "{weights:?}");
+        }
     }
 }

@@ -13,5 +13,5 @@
 pub mod kl;
 pub mod scheduler;
 
-pub use kl::kernighan_lin;
+pub use kl::{kernighan_lin, KlObjective};
 pub use scheduler::{PgpConfig, PgpMode, PgpScheduler, ScheduleOutcome};

@@ -20,14 +20,29 @@
 //! §3.4's placement constraints are honoured: functions with conflicting
 //! language runtimes or overlapping output files are pinned into singleton
 //! wraps of their own.
+//!
+//! ## Performance
+//!
+//! Every prediction the search makes goes through a [`PgpEval`] evaluator.
+//! The default ([`CachedEval`]) memoises per-process Algorithm 1 outcomes
+//! in a content-addressed [`PredictionCache`] shared across KL rounds,
+//! candidate swaps, every value of `n`, the wrap-packing sweep and the
+//! CPU-trim loop — so each distinct process content is simulated exactly
+//! once per schedule — and runs those simulations allocation-free against
+//! a [`SegmentCatalog`]. The pre-optimisation path is preserved verbatim
+//! as [`PgpScheduler::schedule_reference`]; both produce byte-identical
+//! plans (enforced by the `identical_plans` property test).
 
-use crate::kl::kernighan_lin;
+use crate::kl::{kernighan_lin, KlObjective};
 use chiron_model::plan::{
     DeploymentPlan, IsolationKind, ProcessPlan, RuntimeKind, SandboxId, SandboxPlan,
     SchedulingKind, StagePlan, SystemKind, TransferKind, WrapPlan,
 };
 use chiron_model::{FunctionId, SimDuration, Workflow};
-use chiron_predict::{predict_threads, Predictor, SimThread};
+use chiron_predict::{
+    predict_threads, PredictScratch, PredictionCache, Predictor, SegmentCatalog, SimThread,
+    StaggeredSet,
+};
 use chiron_profiler::WorkflowProfile;
 
 /// Which execution mechanism the generated wraps use (§4's variants).
@@ -96,6 +111,133 @@ pub struct ScheduleOutcome {
     pub processes: usize,
 }
 
+/// The two predictions the Algorithm 2 search needs: the makespan of one
+/// candidate process (the KL objective) and the end-to-end latency of a
+/// candidate plan (packing, trimming, selection). Routing both through one
+/// trait lets the cached and reference implementations swap cleanly while
+/// the search logic stays shared — and byte-identical.
+trait PgpEval {
+    /// Makespan (ms) of `set` run as one process of clone-staggered
+    /// threads, unstretched — Algorithm 2's KL objective.
+    fn set_makespan_ms(&mut self, set: &[FunctionId]) -> f64;
+    /// A cheap lower bound on [`set_makespan_ms`](PgpEval::set_makespan_ms)
+    /// (`NEG_INFINITY` when none is available). Lets the KL pass discard
+    /// candidates without simulating them.
+    fn set_makespan_lower_bound_ms(&mut self, set: &[FunctionId]) -> f64;
+    /// Whether the KL pass may use its exact prunes. The reference
+    /// evaluator says no, preserving the pre-optimisation cost model.
+    fn kl_prunes(&self) -> bool;
+    /// Conservative end-to-end latency of `plan`.
+    fn plan_latency(&mut self, plan: &DeploymentPlan) -> SimDuration;
+}
+
+/// Adapts a [`PgpEval`] to the KL pass's objective interface.
+struct SetObjective<'e>(&'e mut dyn PgpEval);
+
+impl KlObjective for SetObjective<'_> {
+    fn eval(&mut self, set: &[FunctionId]) -> f64 {
+        self.0.set_makespan_ms(set)
+    }
+    fn lower_bound(&mut self, set: &[FunctionId]) -> f64 {
+        self.0.set_makespan_lower_bound_ms(set)
+    }
+    fn prunes(&self) -> bool {
+        self.0.kl_prunes()
+    }
+}
+
+/// Memoised, allocation-free evaluator (the default).
+struct CachedEval<'a> {
+    predictor: &'a Predictor,
+    check: &'a Predictor,
+    workflow: &'a Workflow,
+    catalog: &'a SegmentCatalog,
+    cache: &'a PredictionCache,
+    scratch: PredictScratch,
+}
+
+impl PgpEval for CachedEval<'_> {
+    fn set_makespan_ms(&mut self, set: &[FunctionId]) -> f64 {
+        let interval = self.predictor.costs.gil_switch_interval;
+        let src = StaggeredSet {
+            set,
+            catalog: self.catalog,
+            spacing: self.predictor.costs.thread_clone,
+            base: SimDuration::ZERO,
+        };
+        self.cache
+            .get_or_simulate(src.key(interval), &src, interval, &mut self.scratch.arena)
+            .makespan
+            .as_millis_f64()
+    }
+
+    fn set_makespan_lower_bound_ms(&mut self, set: &[FunctionId]) -> f64 {
+        StaggeredSet {
+            set,
+            catalog: self.catalog,
+            spacing: self.predictor.costs.thread_clone,
+            base: SimDuration::ZERO,
+        }
+        .makespan_lower_bound()
+        .as_millis_f64()
+    }
+
+    fn kl_prunes(&self) -> bool {
+        true
+    }
+
+    fn plan_latency(&mut self, plan: &DeploymentPlan) -> SimDuration {
+        self.check.predict_cached(
+            self.workflow,
+            plan,
+            self.catalog,
+            self.cache,
+            &mut self.scratch,
+        )
+    }
+}
+
+/// The pre-optimisation evaluator: owned `Vec<SimThread>` per objective
+/// call, no memoisation. Kept as the oracle for the identical-output
+/// guarantee and the before/after benchmarks.
+struct ReferenceEval<'a> {
+    predictor: &'a Predictor,
+    check: &'a Predictor,
+    workflow: &'a Workflow,
+    profile: &'a WorkflowProfile,
+}
+
+impl PgpEval for ReferenceEval<'_> {
+    fn set_makespan_ms(&mut self, set: &[FunctionId]) -> f64 {
+        let clone_cost = self.predictor.costs.thread_clone;
+        let threads: Vec<SimThread> = set
+            .iter()
+            .enumerate()
+            .map(|(ti, &fid)| SimThread {
+                created_at: clone_cost * ti as u64,
+                segments: self.profile.function(fid).segments(),
+            })
+            .collect();
+        predict_threads(&threads, self.predictor.costs.gil_switch_interval)
+            .makespan
+            .as_millis_f64()
+    }
+
+    fn set_makespan_lower_bound_ms(&mut self, _set: &[FunctionId]) -> f64 {
+        f64::NEG_INFINITY
+    }
+
+    // The pre-optimisation pass evaluated both sides of every candidate
+    // swap; disabling the prunes reproduces that cost model exactly.
+    fn kl_prunes(&self) -> bool {
+        false
+    }
+
+    fn plan_latency(&mut self, plan: &DeploymentPlan) -> SimDuration {
+        self.check.predict(self.workflow, self.profile, plan)
+    }
+}
+
 /// The PGP scheduler.
 #[derive(Debug, Clone)]
 pub struct PgpScheduler {
@@ -118,11 +260,62 @@ impl PgpScheduler {
         profile: &WorkflowProfile,
         config: &PgpConfig,
     ) -> ScheduleOutcome {
+        self.schedule_with_cache(workflow, profile, config, &PredictionCache::new())
+    }
+
+    /// [`PgpScheduler::schedule`] against a caller-owned prediction cache.
+    /// Keys are content-addressed, so one cache can outlive many schedules
+    /// (e.g. re-scheduling variants of a workflow, or online re-runs on
+    /// autoscale events) and keeps getting warmer.
+    pub fn schedule_with_cache(
+        &self,
+        workflow: &Workflow,
+        profile: &WorkflowProfile,
+        config: &PgpConfig,
+        cache: &PredictionCache,
+    ) -> ScheduleOutcome {
         let check = self.predictor.conservative(config.conservative_margin);
+        let catalog = SegmentCatalog::new(profile);
+        let mut eval = CachedEval {
+            predictor: &self.predictor,
+            check: &check,
+            workflow,
+            catalog: &catalog,
+            cache,
+            scratch: PredictScratch::new(),
+        };
+        self.dispatch(workflow, config, &mut eval)
+    }
+
+    /// The scheduler exactly as it was before memoisation: per-call owned
+    /// allocations, every candidate re-simulated. Oracle for the
+    /// byte-identical-plans property test and the before/after benches.
+    pub fn schedule_reference(
+        &self,
+        workflow: &Workflow,
+        profile: &WorkflowProfile,
+        config: &PgpConfig,
+    ) -> ScheduleOutcome {
+        let check = self.predictor.conservative(config.conservative_margin);
+        let mut eval = ReferenceEval {
+            predictor: &self.predictor,
+            check: &check,
+            workflow,
+            profile,
+        };
+        self.dispatch(workflow, config, &mut eval)
+    }
+
+    fn dispatch(
+        &self,
+        workflow: &Workflow,
+        config: &PgpConfig,
+        eval: &mut dyn PgpEval,
+    ) -> ScheduleOutcome {
         match config.mode {
-            PgpMode::Pool => self.schedule_pool(workflow, profile, config, &check),
-            PgpMode::Mpk => self.schedule_mpk(workflow, profile, config, &check),
-            PgpMode::NativeThread => self.schedule_native(workflow, profile, config, &check),
+            PgpMode::Pool => self.schedule_pool(workflow, config, eval),
+            PgpMode::Mpk => self.schedule_mpk(workflow, config, eval),
+            PgpMode::NativeThread => self.schedule_native(workflow, config, eval),
         }
     }
 
@@ -132,9 +325,8 @@ impl PgpScheduler {
     fn schedule_native(
         &self,
         workflow: &Workflow,
-        profile: &WorkflowProfile,
         config: &PgpConfig,
-        check: &Predictor,
+        eval: &mut dyn PgpEval,
     ) -> ScheduleOutcome {
         let max_n = workflow
             .max_parallelism()
@@ -145,18 +337,12 @@ impl PgpScheduler {
 
         for n in 1..=max_n {
             // Lines 6–11: initial partition + KL refinement per stage.
-            let partitions = self.partition_stages(workflow, profile, n);
+            let partitions = self.partition_stages(workflow, n, eval);
             // Lines 13–16 (and CPU minimisation): pack and trim under the
             // SLO, or latency-optimally without one.
-            let plan = self.pack_and_allocate(
-                workflow,
-                profile,
-                &partitions,
-                config,
-                check,
-                IsolationKind::None,
-            );
-            let predicted = check.predict(workflow, profile, &plan);
+            let plan =
+                self.pack_and_allocate(workflow, &partitions, config, IsolationKind::None, eval);
+            let predicted = eval.plan_latency(&plan);
             let improved = best
                 .as_ref()
                 .map(|(_, p, _)| predicted < *p)
@@ -196,69 +382,25 @@ impl PgpScheduler {
     fn partition_stages(
         &self,
         workflow: &Workflow,
-        profile: &WorkflowProfile,
         n: usize,
+        eval: &mut dyn PgpEval,
     ) -> Vec<Vec<Vec<FunctionId>>> {
-        let interval = self.predictor.costs.gil_switch_interval;
-        let clone_cost = self.predictor.costs.thread_clone;
-        let objective = |set: &[FunctionId]| -> f64 {
-            let threads: Vec<SimThread> = set
-                .iter()
-                .enumerate()
-                .map(|(ti, &fid)| SimThread {
-                    created_at: clone_cost * ti as u64,
-                    segments: profile.function(fid).segments(),
-                })
-                .collect();
-            predict_threads(&threads, interval).makespan.as_millis_f64()
-        };
-
         workflow
             .stages
             .iter()
-            .map(|stage| {
-                let fns = &stage.functions;
-                let n_eff = n.min(fns.len()).max(1);
-                // Line 9: {f1, f_{n+1}, ...}, {f2, ...}, ..., {f_n, ...}.
-                let mut sets: Vec<Vec<FunctionId>> = vec![Vec::new(); n_eff];
-                for (i, &f) in fns.iter().enumerate() {
-                    sets[i % n_eff].push(f);
-                }
-                // Lines 10–11: KL over every pair; objective = the slower
-                // of the two candidate processes. §7 identifies KL as PGP's
-                // complexity bottleneck; we bound each pass to pairs whose
-                // swap space is tractable (large same-stage sets are nearly
-                // homogeneous round-robin splits, where KL's gain vanishes).
-                const MAX_SWAP_SPACE: usize = 256;
-                for i in 0..n_eff {
-                    for j in (i + 1)..n_eff {
-                        let (left, right) = sets.split_at_mut(j);
-                        if left[i].len() * right[0].len() > MAX_SWAP_SPACE {
-                            continue;
-                        }
-                        let mut a = std::mem::take(&mut left[i]);
-                        let mut b = std::mem::take(&mut right[0]);
-                        kernighan_lin(&mut a, &mut b, |x, y| objective(x).max(objective(y)));
-                        left[i] = a;
-                        right[0] = b;
-                    }
-                }
-                sets
-            })
+            .map(|stage| partition_one_stage(&stage.functions, n, eval))
             .collect()
     }
 
     /// Packs each stage's processes into wraps and allocates CPUs
     /// (lines 13–16 plus the resource-efficiency objective).
-    #[allow(clippy::too_many_arguments)]
     fn pack_and_allocate(
         &self,
         workflow: &Workflow,
-        profile: &WorkflowProfile,
         partitions: &[Vec<Vec<FunctionId>>],
         config: &PgpConfig,
-        check: &Predictor,
         isolation: IsolationKind,
+        eval: &mut dyn PgpEval,
     ) -> DeploymentPlan {
         // Start from the most co-located plan (1 wrap per stage) and widen
         // the busiest stage until the SLO is met or wraps are singletons.
@@ -267,7 +409,7 @@ impl PgpScheduler {
         let mut best_lat = SimDuration::from_nanos(u64::MAX);
         for wraps in 1..=max_procs {
             let plan = self.build_plan(workflow, partitions, wraps, isolation, 0);
-            let lat = check.predict(workflow, profile, &plan);
+            let lat = eval.plan_latency(&plan);
             match config.slo {
                 Some(slo) => {
                     if lat <= slo {
@@ -289,17 +431,20 @@ impl PgpScheduler {
             }
         }
         let mut plan = chosen.expect("at least one packing evaluated");
-        self.trim_cpus(workflow, profile, &mut plan, config, check);
+        self.trim_cpus(&mut plan, config, eval);
         plan
     }
 
     /// Parallelised Algorithm 2 (§5: the Scheduler "can use multiple
     /// processes to explore wrap partition under various number of
-    /// processes in parallel to improve scheduling efficiency"): every
-    /// candidate `n` is partitioned, packed and CPU-trimmed on its own
-    /// worker thread, then the selection rule of [`Self::schedule`] is applied
-    /// to the gathered results. Unlike the sequential search it evaluates
-    /// the full candidate range (no stale-round early stop), so in
+    /// processes in parallel to improve scheduling efficiency"). Work is
+    /// fanned out at `(n, stage)` granularity for the KL partitioning phase
+    /// and at `n` granularity for packing/trimming, over `workers` scoped
+    /// threads sharing one [`PredictionCache`]: a process content first
+    /// simulated by any worker is a lock-protected lookup for every other.
+    /// The selection rule of [`PgpScheduler::schedule`] is then applied to
+    /// the gathered results. Unlike the sequential search it evaluates the
+    /// full candidate range (no stale-round early stop), so in
     /// latency-first mode it returns an equal-or-better plan.
     ///
     /// Only the native-thread mode has an `n` search to parallelise; the
@@ -311,36 +456,114 @@ impl PgpScheduler {
         config: &PgpConfig,
         workers: usize,
     ) -> ScheduleOutcome {
+        self.schedule_parallel_with_cache(
+            workflow,
+            profile,
+            config,
+            workers,
+            &PredictionCache::new(),
+        )
+    }
+
+    /// [`PgpScheduler::schedule_parallel`] against a caller-owned cache.
+    pub fn schedule_parallel_with_cache(
+        &self,
+        workflow: &Workflow,
+        profile: &WorkflowProfile,
+        config: &PgpConfig,
+        workers: usize,
+        cache: &PredictionCache,
+    ) -> ScheduleOutcome {
         if config.mode != PgpMode::NativeThread || workers <= 1 {
-            return self.schedule(workflow, profile, config);
+            return self.schedule_with_cache(workflow, profile, config, cache);
         }
         let check = self.predictor.conservative(config.conservative_margin);
+        let catalog = SegmentCatalog::new(profile);
         let max_n = workflow
             .max_parallelism()
             .min(config.max_process_search)
             .max(1);
-        let candidates: Vec<usize> = (1..=max_n).collect();
-        let n_workers = workers.min(candidates.len()).max(1);
-        let mut results: Vec<(usize, DeploymentPlan, SimDuration)> = std::thread::scope(|scope| {
+        let stage_count = workflow.stages.len();
+
+        // Phase 1: KL partitioning, fanned out over (n, stage) pairs —
+        // stages are independent given n, so large workflows parallelise
+        // even when max_n is small. Static striping keeps the work
+        // deterministic; cached outcomes are pure, so sharing the cache
+        // across workers cannot change any result.
+        let items: Vec<(usize, usize)> = (1..=max_n)
+            .flat_map(|n| (0..stage_count).map(move |s| (n, s)))
+            .collect();
+        let p1_workers = workers.min(items.len()).max(1);
+        // An `(n, stage)` cell's KL partition, as computed by a worker.
+        type StagePartition = ((usize, usize), Vec<Vec<FunctionId>>);
+        let partition_results: Vec<StagePartition> = std::thread::scope(|scope| {
             let check = &check;
-            let candidates = &candidates;
-            let handles: Vec<_> = (0..n_workers)
+            let catalog = &catalog;
+            let items = &items;
+            let handles: Vec<_> = (0..p1_workers)
                 .map(|w| {
                     scope.spawn(move || {
+                        let mut eval = CachedEval {
+                            predictor: &self.predictor,
+                            check,
+                            workflow,
+                            catalog,
+                            cache,
+                            scratch: PredictScratch::new(),
+                        };
                         let mut out = Vec::new();
-                        // Static striping keeps the work deterministic.
-                        for idx in (w..candidates.len()).step_by(n_workers) {
-                            let n = candidates[idx];
-                            let partitions = self.partition_stages(workflow, profile, n);
+                        for idx in (w..items.len()).step_by(p1_workers) {
+                            let (n, s) = items[idx];
+                            let sets =
+                                partition_one_stage(&workflow.stages[s].functions, n, &mut eval);
+                            out.push(((n, s), sets));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("pgp partition worker panicked"))
+                .collect()
+        });
+        let mut all_partitions: Vec<Vec<Vec<Vec<FunctionId>>>> =
+            vec![vec![Vec::new(); stage_count]; max_n];
+        for ((n, s), sets) in partition_results {
+            all_partitions[n - 1][s] = sets;
+        }
+
+        // Phase 2: pack + trim + predict per n, over the same shared cache
+        // (now warm with every KL set, which the wrap evaluator re-keys).
+        let ns: Vec<usize> = (1..=max_n).collect();
+        let p2_workers = workers.min(ns.len()).max(1);
+        let mut results: Vec<(usize, DeploymentPlan, SimDuration)> = std::thread::scope(|scope| {
+            let check = &check;
+            let catalog = &catalog;
+            let ns = &ns;
+            let all_partitions = &all_partitions;
+            let handles: Vec<_> = (0..p2_workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let mut eval = CachedEval {
+                            predictor: &self.predictor,
+                            check,
+                            workflow,
+                            catalog,
+                            cache,
+                            scratch: PredictScratch::new(),
+                        };
+                        let mut out = Vec::new();
+                        for idx in (w..ns.len()).step_by(p2_workers) {
+                            let n = ns[idx];
                             let plan = self.pack_and_allocate(
                                 workflow,
-                                profile,
-                                &partitions,
+                                &all_partitions[n - 1],
                                 config,
-                                check,
                                 IsolationKind::None,
+                                &mut eval,
                             );
-                            let predicted = check.predict(workflow, profile, &plan);
+                            let predicted = eval.plan_latency(&plan);
                             out.push((n, plan, predicted));
                         }
                         out
@@ -353,45 +576,47 @@ impl PgpScheduler {
                 .collect()
         });
         results.sort_by_key(|(n, _, _)| *n);
-        // Apply the sequential selection rule over the gathered candidates.
-        let mut best: Option<(DeploymentPlan, SimDuration, usize)> = None;
-        for (n, plan, predicted) in results {
-            if let Some(slo) = config.slo {
-                if predicted <= slo {
-                    // The sequential search returns the best plan seen up
-                    // to and including the first SLO-satisfying n.
-                    let better = best
-                        .as_ref()
-                        .map(|(_, p, _)| predicted < *p)
-                        .unwrap_or(true);
-                    if better {
-                        best = Some((plan, predicted, n));
-                    }
-                    let (plan, predicted, n) = best.expect("just considered");
-                    return ScheduleOutcome {
-                        plan,
-                        predicted,
-                        met_slo: true,
-                        processes: n,
-                    };
-                }
-            }
-            let better = best
-                .as_ref()
-                .map(|(_, p, _)| predicted < *p)
-                .unwrap_or(true);
-            if better {
-                best = Some((plan, predicted, n));
-            }
+        select_candidate(results, config)
+    }
+
+    /// Single-threaded oracle for [`PgpScheduler::schedule_parallel`]: the
+    /// pre-optimisation evaluator over the full candidate range with the
+    /// parallel path's selection rule. The parallel search must reproduce
+    /// this byte-for-byte regardless of worker count or interleaving.
+    pub fn schedule_parallel_reference(
+        &self,
+        workflow: &Workflow,
+        profile: &WorkflowProfile,
+        config: &PgpConfig,
+    ) -> ScheduleOutcome {
+        if config.mode != PgpMode::NativeThread {
+            return self.schedule_reference(workflow, profile, config);
         }
-        let (plan, predicted, n) = best.expect("n = 1 always evaluated");
-        let met_slo = config.slo.map(|slo| predicted <= slo).unwrap_or(true);
-        ScheduleOutcome {
-            plan,
-            predicted,
-            met_slo,
-            processes: n,
+        let check = self.predictor.conservative(config.conservative_margin);
+        let mut eval = ReferenceEval {
+            predictor: &self.predictor,
+            check: &check,
+            workflow,
+            profile,
+        };
+        let max_n = workflow
+            .max_parallelism()
+            .min(config.max_process_search)
+            .max(1);
+        let mut results = Vec::with_capacity(max_n);
+        for n in 1..=max_n {
+            let partitions = self.partition_stages(workflow, n, &mut eval);
+            let plan = self.pack_and_allocate(
+                workflow,
+                &partitions,
+                config,
+                IsolationKind::None,
+                &mut eval,
+            );
+            let predicted = eval.plan_latency(&plan);
+            results.push((n, plan, predicted));
         }
+        select_candidate(results, config)
     }
 
     /// Public access to the plan materialiser, used by the evaluation
@@ -416,7 +641,13 @@ impl PgpScheduler {
         profile: &WorkflowProfile,
         n: usize,
     ) -> Vec<Vec<Vec<FunctionId>>> {
-        self.partition_stages(workflow, profile, n)
+        let mut eval = ReferenceEval {
+            predictor: &self.predictor,
+            check: &self.predictor,
+            workflow,
+            profile,
+        };
+        self.partition_stages(workflow, n, &mut eval)
     }
 
     /// Materialises a plan: `wrap_count` wraps per parallel stage,
@@ -536,24 +767,17 @@ impl PgpScheduler {
     /// Greedily removes CPUs (non-uniform allocation, Observation 4) while
     /// the conservative prediction still meets the SLO. Without an SLO the
     /// trim keeps the latency-optimal allocation (removing a CPU must not
-    /// increase the prediction).
-    fn trim_cpus(
-        &self,
-        workflow: &Workflow,
-        profile: &WorkflowProfile,
-        plan: &mut DeploymentPlan,
-        config: &PgpConfig,
-        check: &Predictor,
-    ) {
-        let budget = |p: &DeploymentPlan| check.predict(workflow, profile, p);
-        let limit = config.slo.unwrap_or_else(|| budget(plan));
+    /// increase the prediction). The sandbox contents never change here, so
+    /// with the cached evaluator each candidate decrement is a lookup.
+    fn trim_cpus(&self, plan: &mut DeploymentPlan, config: &PgpConfig, eval: &mut dyn PgpEval) {
+        let limit = config.slo.unwrap_or_else(|| eval.plan_latency(plan));
         let mut changed = true;
         while changed {
             changed = false;
             for i in 0..plan.sandboxes.len() {
                 while plan.sandboxes[i].cpus > 1 {
                     plan.sandboxes[i].cpus -= 1;
-                    if budget(plan) <= limit {
+                    if eval.plan_latency(plan) <= limit {
                         changed = true;
                     } else {
                         plan.sandboxes[i].cpus += 1;
@@ -572,9 +796,8 @@ impl PgpScheduler {
     fn schedule_mpk(
         &self,
         workflow: &Workflow,
-        profile: &WorkflowProfile,
         config: &PgpConfig,
-        check: &Predictor,
+        eval: &mut dyn PgpEval,
     ) -> ScheduleOutcome {
         // Every parallel function its own process: n = stage parallelism.
         let partitions: Vec<Vec<Vec<FunctionId>>> = workflow
@@ -582,17 +805,10 @@ impl PgpScheduler {
             .iter()
             .map(|s| s.functions.iter().map(|&f| vec![f]).collect())
             .collect();
-        let plan = self.pack_and_allocate(
-            workflow,
-            profile,
-            &partitions,
-            config,
-            check,
-            IsolationKind::Mpk,
-        );
+        let plan = self.pack_and_allocate(workflow, &partitions, config, IsolationKind::Mpk, eval);
         let mut plan = plan;
         plan.system = SystemKind::ChironM;
-        let predicted = check.predict(workflow, profile, &plan);
+        let predicted = eval.plan_latency(&plan);
         let met_slo = config.slo.map(|slo| predicted <= slo).unwrap_or(true);
         let processes = workflow.max_parallelism();
         ScheduleOutcome {
@@ -609,9 +825,8 @@ impl PgpScheduler {
     fn schedule_pool(
         &self,
         workflow: &Workflow,
-        profile: &WorkflowProfile,
         config: &PgpConfig,
-        check: &Predictor,
+        eval: &mut dyn PgpEval,
     ) -> ScheduleOutcome {
         let partitions: Vec<Vec<Vec<FunctionId>>> = workflow
             .stages
@@ -641,8 +856,8 @@ impl PgpScheduler {
             pool_size,
         }];
         plan.system = SystemKind::ChironP;
-        self.trim_cpus(workflow, profile, &mut plan, config, check);
-        let predicted = check.predict(workflow, profile, &plan);
+        self.trim_cpus(&mut plan, config, eval);
+        let predicted = eval.plan_latency(&plan);
         let met_slo = config.slo.map(|slo| predicted <= slo).unwrap_or(true);
         ScheduleOutcome {
             plan,
@@ -650,6 +865,85 @@ impl PgpScheduler {
             met_slo,
             processes: pool_size as usize,
         }
+    }
+}
+
+/// Line 9 + lines 10–11 of Algorithm 2 for one stage: round-robin into `n`
+/// sets ({f1, f_{n+1}, ...}, {f2, ...}, ..., {f_n, ...}), then KL over
+/// every pair; objective = the slower of the two candidate processes. §7
+/// identifies KL as PGP's complexity bottleneck; we bound each pass to
+/// pairs whose swap space is tractable (large same-stage sets are nearly
+/// homogeneous round-robin splits, where KL's gain vanishes).
+fn partition_one_stage(
+    fns: &[FunctionId],
+    n: usize,
+    eval: &mut dyn PgpEval,
+) -> Vec<Vec<FunctionId>> {
+    let n_eff = n.min(fns.len()).max(1);
+    let mut sets: Vec<Vec<FunctionId>> = vec![Vec::new(); n_eff];
+    for (i, &f) in fns.iter().enumerate() {
+        sets[i % n_eff].push(f);
+    }
+    const MAX_SWAP_SPACE: usize = 256;
+    for i in 0..n_eff {
+        for j in (i + 1)..n_eff {
+            let (left, right) = sets.split_at_mut(j);
+            if left[i].len() * right[0].len() > MAX_SWAP_SPACE {
+                continue;
+            }
+            let mut a = std::mem::take(&mut left[i]);
+            let mut b = std::mem::take(&mut right[0]);
+            kernighan_lin(&mut a, &mut b, SetObjective(&mut *eval));
+            left[i] = a;
+            right[0] = b;
+        }
+    }
+    sets
+}
+
+/// The sequential selection rule applied to a full, `n`-ordered candidate
+/// list (shared by the parallel search and its reference oracle): with an
+/// SLO, the best plan seen up to and including the first SLO-satisfying
+/// `n`; without one, the global latency minimum (first `n` wins ties).
+fn select_candidate(
+    results: Vec<(usize, DeploymentPlan, SimDuration)>,
+    config: &PgpConfig,
+) -> ScheduleOutcome {
+    let mut best: Option<(DeploymentPlan, SimDuration, usize)> = None;
+    for (n, plan, predicted) in results {
+        if let Some(slo) = config.slo {
+            if predicted <= slo {
+                let better = best
+                    .as_ref()
+                    .map(|(_, p, _)| predicted < *p)
+                    .unwrap_or(true);
+                if better {
+                    best = Some((plan, predicted, n));
+                }
+                let (plan, predicted, n) = best.expect("just considered");
+                return ScheduleOutcome {
+                    plan,
+                    predicted,
+                    met_slo: true,
+                    processes: n,
+                };
+            }
+        }
+        let better = best
+            .as_ref()
+            .map(|(_, p, _)| predicted < *p)
+            .unwrap_or(true);
+        if better {
+            best = Some((plan, predicted, n));
+        }
+    }
+    let (plan, predicted, n) = best.expect("n = 1 always evaluated");
+    let met_slo = config.slo.map(|slo| predicted <= slo).unwrap_or(true);
+    ScheduleOutcome {
+        plan,
+        predicted,
+        met_slo,
+        processes: n,
     }
 }
 
@@ -811,6 +1105,26 @@ mod tests {
     }
 
     #[test]
+    fn cached_schedule_matches_reference() {
+        let sched = PgpScheduler::paper_calibrated();
+        for wf in [apps::finra(20), apps::slapp(), apps::social_network()] {
+            let prof = profile(&wf);
+            for mode in [PgpMode::NativeThread, PgpMode::Mpk, PgpMode::Pool] {
+                for config in [
+                    PgpConfig::performance_first().with_mode(mode),
+                    PgpConfig::with_slo(SimDuration::from_millis(200)).with_mode(mode),
+                ] {
+                    let fast = sched.schedule(&wf, &prof, &config);
+                    let slow = sched.schedule_reference(&wf, &prof, &config);
+                    assert_eq!(fast.plan, slow.plan, "{} {mode:?}", wf.name);
+                    assert_eq!(fast.predicted, slow.predicted, "{} {mode:?}", wf.name);
+                    assert_eq!(fast.processes, slow.processes, "{} {mode:?}", wf.name);
+                }
+            }
+        }
+    }
+
+    #[test]
     fn parallel_search_matches_sequential() {
         let sched = PgpScheduler::paper_calibrated();
         for wf in [apps::finra(20), apps::slapp(), apps::slapp_v()] {
@@ -829,6 +1143,23 @@ mod tests {
     }
 
     #[test]
+    fn parallel_search_matches_its_reference() {
+        let sched = PgpScheduler::paper_calibrated();
+        for wf in [apps::finra(20), apps::slapp()] {
+            let prof = profile(&wf);
+            for config in [
+                PgpConfig::performance_first(),
+                PgpConfig::with_slo(SimDuration::from_millis(200)),
+            ] {
+                let par = sched.schedule_parallel(&wf, &prof, &config, 4);
+                let oracle = sched.schedule_parallel_reference(&wf, &prof, &config);
+                assert_eq!(par.plan, oracle.plan, "{}", wf.name);
+                assert_eq!(par.predicted, oracle.predicted, "{}", wf.name);
+            }
+        }
+    }
+
+    #[test]
     fn parallel_search_single_worker_falls_back() {
         let wf = apps::finra(5);
         let prof = profile(&wf);
@@ -837,6 +1168,28 @@ mod tests {
         let a = sched.schedule(&wf, &prof, &config);
         let b = sched.schedule_parallel(&wf, &prof, &config, 1);
         assert_eq!(a.plan, b.plan);
+    }
+
+    #[test]
+    fn shared_cache_is_exercised_and_harmless() {
+        // One cache across repeated schedules: hit rate climbs, outputs
+        // stay identical to cold-cache runs.
+        let wf = apps::finra(20);
+        let prof = profile(&wf);
+        let sched = PgpScheduler::paper_calibrated();
+        let config = PgpConfig::performance_first();
+        let cold = sched.schedule(&wf, &prof, &config);
+        let cache = PredictionCache::new();
+        let first = sched.schedule_with_cache(&wf, &prof, &config, &cache);
+        let after_first = cache.stats();
+        assert!(after_first.hits > 0, "memoisation must be exercised");
+        let second = sched.schedule_with_cache(&wf, &prof, &config, &cache);
+        let after_second = cache.stats();
+        assert_eq!(cold.plan, first.plan);
+        assert_eq!(first.plan, second.plan);
+        // The second run re-uses the first run's entries: no new misses.
+        assert_eq!(after_first.misses, after_second.misses);
+        assert_eq!(after_first.entries, after_second.entries);
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! The identical-output guarantee of the scheduler fast paths.
+//!
+//! The memoised evaluator ([`PgpScheduler::schedule`]) and the
+//! cache-sharing parallel search ([`PgpScheduler::schedule_parallel`])
+//! are pure optimisations: for every workflow, execution mode and SLO
+//! setting they must emit plans byte-identical to their pre-optimisation
+//! reference implementations, while actually exercising the memo cache.
+
+use chiron_model::{FunctionSpec, Segment, SimDuration, SyscallKind, Workflow};
+use chiron_pgp::{PgpConfig, PgpMode, PgpScheduler};
+use chiron_predict::PredictionCache;
+use chiron_profiler::Profiler;
+use proptest::prelude::*;
+
+/// Synthetic two-stage workflows: an entry function followed by a parallel
+/// stage of CPU-bound and IO-punctuated functions with varied durations —
+/// the shapes that drive PGP through different `n`, KL swap sequences and
+/// wrap packings.
+fn arb_workflow() -> impl Strategy<Value = Workflow> {
+    prop::collection::vec((0u8..2, 1u64..20, 1u64..4), 2..14).prop_map(|parts| {
+        let fns: Vec<FunctionSpec> = parts
+            .iter()
+            .enumerate()
+            .map(|(i, &(kind, ms, lead))| {
+                let segments = if kind == 0 {
+                    vec![Segment::cpu_ms(ms)]
+                } else {
+                    vec![
+                        Segment::cpu_ms(lead),
+                        Segment::Block {
+                            kind: SyscallKind::NetIo,
+                            dur: SimDuration::from_millis(ms),
+                        },
+                        Segment::cpu_ms(1),
+                    ]
+                };
+                FunctionSpec::new(format!("f{i:02}"), segments)
+            })
+            .collect();
+        let parallel: Vec<u32> = (1..fns.len() as u32).collect();
+        Workflow::new("synthetic", fns, vec![vec![0], parallel]).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn optimised_schedulers_match_reference(wf in arb_workflow(), slo_ms in 5u64..250) {
+        let prof = Profiler::default().profile_workflow(&wf);
+        let sched = PgpScheduler::paper_calibrated();
+        let mut total_hits = 0u64;
+        for mode in [PgpMode::NativeThread, PgpMode::Mpk, PgpMode::Pool] {
+            for config in [
+                PgpConfig::performance_first().with_mode(mode),
+                PgpConfig::with_slo(SimDuration::from_millis(slo_ms)).with_mode(mode),
+            ] {
+                let cache = PredictionCache::new();
+                let fast = sched.schedule_with_cache(&wf, &prof, &config, &cache);
+                let slow = sched.schedule_reference(&wf, &prof, &config);
+                prop_assert_eq!(&fast.plan, &slow.plan);
+                prop_assert_eq!(fast.predicted, slow.predicted);
+                prop_assert_eq!(fast.processes, slow.processes);
+                prop_assert_eq!(fast.met_slo, slow.met_slo);
+                total_hits += cache.stats().hits;
+
+                let par = sched.schedule_parallel(&wf, &prof, &config, 4);
+                let oracle = sched.schedule_parallel_reference(&wf, &prof, &config);
+                prop_assert_eq!(&par.plan, &oracle.plan);
+                prop_assert_eq!(par.predicted, oracle.predicted);
+                prop_assert_eq!(par.processes, oracle.processes);
+            }
+        }
+        // The fast paths must actually run memoised: identical process
+        // contents recur across the n-search, KL rounds and CPU trimming.
+        prop_assert!(total_hits > 0, "prediction cache was never hit");
+    }
+}

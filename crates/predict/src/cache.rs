@@ -1,0 +1,595 @@
+//! Content-addressed memoisation of Algorithm 1 simulations.
+//!
+//! The PGP scheduler evaluates the same process contents over and over:
+//! every KL candidate swap re-proposes sets that earlier swaps (or earlier
+//! values of `n`, or the CPU-trim loop) already simulated. Because
+//! [`predict_threads_src`] is a pure function of the thread *contents*
+//! (creation times + segment lists + switch interval), its outcome can be
+//! keyed by a content hash and shared across KL rounds, candidate swaps,
+//! process counts, and search workers.
+//!
+//! Keys hash actual content, not function ids: two functions with identical
+//! profiles (e.g. FINRA's repeated rule checks) collapse to one entry. The
+//! key is *order-sensitive* — Algorithm 1 is not invariant under thread
+//! permutation because creation times stagger by position — so identical
+//! ordered contents are required for a hit, which is exactly the guarantee
+//! needed for byte-identical plans.
+//!
+//! [`PredictionCache`] is sharded behind `parking_lot` mutexes so
+//! `schedule_parallel`'s scoped workers share one cache with negligible
+//! contention; values are deterministic, so racing duplicate computations
+//! of the same key is harmless.
+
+use crate::threadsim::{predict_threads_src, SimArena, SimOutcome, ThreadSource};
+use chiron_model::{FunctionId, Segment, SimDuration};
+use chiron_profiler::WorkflowProfile;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Domain separation between the two key schemes below, so a staggered-set
+/// key can never collide with a flat-content key by construction.
+const SALT_STAGGERED: u64 = 0x5347_5354_4147_4745; // "SGSTAGGE"
+const SALT_FLAT: u64 = 0x5347_464c_4154_5448; // "SGFLATTH"
+
+/// Incremental FNV-1a.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    pub fn new() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+
+    pub fn write_u8(&mut self, b: u8) {
+        self.0 = (self.0 ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+
+    pub fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.write_u8(b);
+        }
+    }
+
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+/// Finaliser used to mix per-position element hashes into a set key.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn hash_segment(h: &mut Fnv1a, seg: &Segment) {
+    match seg {
+        Segment::Cpu(d) => {
+            h.write_u8(0);
+            h.write_u64(d.as_nanos());
+        }
+        Segment::Block { kind, dur } => {
+            h.write_u8(1 + *kind as u8);
+            h.write_u64(dur.as_nanos());
+        }
+    }
+}
+
+/// Flattened, pre-hashed segment lists for every function in a workflow.
+/// Built once per schedule from the [`WorkflowProfile`]; replaces the
+/// per-call `FunctionProfile::segments()` `Vec` reconstruction with a
+/// borrow, and precomputes each function's content hash for fast set keys.
+#[derive(Debug, Clone)]
+pub struct SegmentCatalog {
+    flat: Vec<Segment>,
+    ranges: Vec<(u32, u32)>,
+    hashes: Vec<u64>,
+    /// Per function: (total CPU time, total segment span). Feed the KL
+    /// bound prune — see [`StaggeredSet::makespan_lower_bound`].
+    totals: Vec<(SimDuration, SimDuration)>,
+}
+
+impl SegmentCatalog {
+    pub fn new(profile: &WorkflowProfile) -> Self {
+        let mut flat = Vec::new();
+        let mut ranges = Vec::with_capacity(profile.functions.len());
+        let mut hashes = Vec::with_capacity(profile.functions.len());
+        let mut totals = Vec::with_capacity(profile.functions.len());
+        for f in &profile.functions {
+            let start = flat.len() as u32;
+            flat.extend(f.segments());
+            ranges.push((start, flat.len() as u32));
+            let mut h = Fnv1a::new();
+            let mut cpu = SimDuration::ZERO;
+            let mut span = SimDuration::ZERO;
+            for seg in &flat[start as usize..] {
+                hash_segment(&mut h, seg);
+                match seg {
+                    Segment::Cpu(d) => {
+                        cpu += *d;
+                        span += *d;
+                    }
+                    Segment::Block { dur, .. } => span += *dur,
+                }
+            }
+            hashes.push(h.finish());
+            totals.push((cpu, span));
+        }
+        SegmentCatalog {
+            flat,
+            ranges,
+            hashes,
+            totals,
+        }
+    }
+
+    /// The function's profiled segment list, borrowed.
+    pub fn segments(&self, f: FunctionId) -> &[Segment] {
+        let (s, e) = self.ranges[f.index()];
+        &self.flat[s as usize..e as usize]
+    }
+
+    /// FNV-1a over the function's segment contents.
+    pub fn content_hash(&self, f: FunctionId) -> u64 {
+        self.hashes[f.index()]
+    }
+
+    /// Total CPU time of the function's profiled segments.
+    pub fn cpu_total(&self, f: FunctionId) -> SimDuration {
+        self.totals[f.index()].0
+    }
+
+    /// Total duration (CPU + blocks) of the function's profiled segments.
+    pub fn span(&self, f: FunctionId) -> SimDuration {
+        self.totals[f.index()].1
+    }
+}
+
+/// [`ThreadSource`] for the scheduler's canonical process shape: the set's
+/// functions started `spacing` apart (thread clone cost), all offset by
+/// `base` (isolation startup + input read, zero in the KL objective), with
+/// *unstretched* profiled segments borrowed from the catalog.
+#[derive(Debug, Clone, Copy)]
+pub struct StaggeredSet<'a> {
+    pub set: &'a [FunctionId],
+    pub catalog: &'a SegmentCatalog,
+    pub spacing: SimDuration,
+    pub base: SimDuration,
+}
+
+impl ThreadSource for StaggeredSet<'_> {
+    fn count(&self) -> usize {
+        self.set.len()
+    }
+    fn created_at(&self, i: usize) -> SimDuration {
+        self.base + self.spacing * i as u64
+    }
+    fn segments(&self, i: usize) -> &[Segment] {
+        self.catalog.segments(self.set[i])
+    }
+}
+
+impl StaggeredSet<'_> {
+    /// Content key: a salt over the scalar parameters mixed with each
+    /// position's function-content hash. Shared between the KL objective
+    /// and the pack/trim plan evaluator, so a set first simulated during
+    /// partitioning is a cache hit when the packed plan is priced.
+    pub fn key(&self, interval: SimDuration) -> u64 {
+        let mut salt = Fnv1a::new();
+        salt.write_u64(SALT_STAGGERED);
+        salt.write_u64(interval.as_nanos());
+        salt.write_u64(self.spacing.as_nanos());
+        salt.write_u64(self.base.as_nanos());
+        salt.write_u64(self.set.len() as u64);
+        let mut key = salt.finish();
+        for (i, &f) in self.set.iter().enumerate() {
+            key ^= splitmix64(
+                self.catalog
+                    .content_hash(f)
+                    .wrapping_add((i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+            );
+        }
+        key
+    }
+
+    /// A cheap, exact lower bound on the simulated makespan, from the
+    /// catalog's per-function totals (no simulation, no allocation):
+    ///
+    /// * the GIL serialises CPU, so the set cannot finish before
+    ///   `base + Σ cpu_total`;
+    /// * thread `i` runs its segments sequentially even alone, so it cannot
+    ///   finish before `created_at(i) + span(i)`.
+    ///
+    /// Both are true of every Algorithm 1 run, so a candidate whose bound
+    /// already meets the incumbent score is provably not an improvement —
+    /// the KL search uses this to skip whole simulations.
+    pub fn makespan_lower_bound(&self) -> SimDuration {
+        let mut cpu_sum = SimDuration::ZERO;
+        let mut tail = SimDuration::ZERO;
+        for (i, &f) in self.set.iter().enumerate() {
+            cpu_sum += self.catalog.cpu_total(f);
+            let end = self.spacing * i as u64 + self.catalog.span(f);
+            tail = tail.max(end);
+        }
+        self.base + cpu_sum.max(tail)
+    }
+}
+
+/// [`ThreadSource`] over caller-owned flat buffers; used for isolated
+/// (segment-stretched) processes that must be materialised before
+/// simulation, without allocating per call.
+#[derive(Debug, Clone, Copy)]
+pub struct FlatThreads<'a> {
+    pub created: &'a [SimDuration],
+    pub ranges: &'a [(u32, u32)],
+    pub segments: &'a [Segment],
+}
+
+impl ThreadSource for FlatThreads<'_> {
+    fn count(&self) -> usize {
+        self.created.len()
+    }
+    fn created_at(&self, i: usize) -> SimDuration {
+        self.created[i]
+    }
+    fn segments(&self, i: usize) -> &[Segment] {
+        let (s, e) = self.ranges[i];
+        &self.segments[s as usize..e as usize]
+    }
+}
+
+/// Full-content key for an arbitrary thread source (order-sensitive FNV
+/// over creation times and every segment).
+pub fn content_key(src: &impl ThreadSource, interval: SimDuration) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(SALT_FLAT);
+    h.write_u64(interval.as_nanos());
+    let n = src.count();
+    h.write_u64(n as u64);
+    for i in 0..n {
+        h.write_u64(src.created_at(i).as_nanos());
+        for seg in src.segments(i) {
+            hash_segment(&mut h, seg);
+        }
+    }
+    h.finish()
+}
+
+/// Keys are already uniformly mixed hashes; storing them under a second
+/// hash would be wasted work, so the map hasher is the identity.
+#[derive(Debug, Default, Clone)]
+pub struct IdentityHasher(u64);
+
+impl Hasher for IdentityHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+type Shard = Mutex<HashMap<u64, SimOutcome, BuildHasherDefault<IdentityHasher>>>;
+
+const SHARD_COUNT: usize = 16;
+
+/// Hit/miss counters snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub entries: usize,
+}
+
+impl CacheStats {
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Sharded content-addressed store of Algorithm 1 outcomes. One instance
+/// serves a whole schedule (or the manager's lifetime — keys are pure
+/// content, so entries never go stale) and is shared by reference across
+/// `schedule_parallel`'s scoped workers.
+pub struct PredictionCache {
+    shards: Vec<Shard>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PredictionCache {
+    pub fn new() -> Self {
+        PredictionCache {
+            shards: (0..SHARD_COUNT).map(|_| Shard::default()).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Shard {
+        // Identity-hashed maps bucket on the key's low bits; shard on the
+        // high bits so the two partitions are independent.
+        &self.shards[(key >> 60) as usize & (SHARD_COUNT - 1)]
+    }
+
+    pub fn get(&self, key: u64) -> Option<SimOutcome> {
+        let out = self.shard(key).lock().get(&key).copied();
+        match out {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        out
+    }
+
+    pub fn put(&self, key: u64, outcome: SimOutcome) {
+        self.shard(key).lock().insert(key, outcome);
+    }
+
+    /// Memoised Algorithm 1: look up `key`, else simulate `src` (lock
+    /// dropped during the simulation) and store the result. Concurrent
+    /// workers may race to compute the same key; outcomes are deterministic
+    /// so last-write-wins is correct.
+    pub fn get_or_simulate(
+        &self,
+        key: u64,
+        src: &impl ThreadSource,
+        interval: SimDuration,
+        arena: &mut SimArena,
+    ) -> SimOutcome {
+        if let Some(out) = self.get(key) {
+            return out;
+        }
+        let out = predict_threads_src(src, interval, arena);
+        self.put(key, out);
+        out
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.shards.iter().map(|s| s.lock().len()).sum(),
+        }
+    }
+
+    /// Drops all entries and resets the counters.
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock().clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for PredictionCache {
+    fn default() -> Self {
+        PredictionCache::new()
+    }
+}
+
+impl std::fmt::Debug for PredictionCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PredictionCache")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::threadsim::predict_threads;
+    use crate::SimThread;
+    use chiron_model::{apps, SyscallKind};
+    use chiron_profiler::Profiler;
+
+    fn catalog_for(n: usize) -> (SegmentCatalog, usize) {
+        let wf = apps::finra(n);
+        let profile = Profiler::default().profile_workflow(&wf);
+        (SegmentCatalog::new(&profile), profile.functions.len())
+    }
+
+    #[test]
+    fn catalog_matches_profile_segments() {
+        let wf = apps::finra(5);
+        let profile = Profiler::default().profile_workflow(&wf);
+        let catalog = SegmentCatalog::new(&profile);
+        for f in &profile.functions {
+            assert_eq!(catalog.segments(f.function), f.segments().as_slice());
+        }
+    }
+
+    #[test]
+    fn identical_profiles_share_content_hash() {
+        // FINRA's rule durations cycle with period 5, so rule_000 (id 1)
+        // and rule_005 (id 6) have identical profile content.
+        let (catalog, n) = catalog_for(8);
+        assert!(n > 6);
+        assert_eq!(
+            catalog.content_hash(FunctionId(1)),
+            catalog.content_hash(FunctionId(6))
+        );
+        assert_ne!(
+            catalog.content_hash(FunctionId(1)),
+            catalog.content_hash(FunctionId(2))
+        );
+    }
+
+    #[test]
+    fn staggered_key_is_order_sensitive() {
+        let (catalog, _) = catalog_for(5);
+        // fetch_market_data (0) and validate_rule_000 (1) differ in content.
+        assert_ne!(
+            catalog.content_hash(FunctionId(0)),
+            catalog.content_hash(FunctionId(1))
+        );
+        let i = SimDuration::from_millis(5);
+        let ab = StaggeredSet {
+            set: &[FunctionId(0), FunctionId(1)],
+            catalog: &catalog,
+            spacing: SimDuration::from_micros(100),
+            base: SimDuration::ZERO,
+        };
+        let ba = StaggeredSet {
+            set: &[FunctionId(1), FunctionId(0)],
+            catalog: &catalog,
+            spacing: SimDuration::from_micros(100),
+            base: SimDuration::ZERO,
+        };
+        assert_ne!(ab.key(i), ba.key(i));
+    }
+
+    #[test]
+    fn staggered_key_matches_flat_content_semantics() {
+        // Same ordered contents under different fids hash equal; any
+        // parameter change hashes different. In FINRA-12, rules repeat
+        // every 5 ids: [1, 2] and [6, 7] carry identical contents.
+        let (catalog, _) = catalog_for(12);
+        let i = SimDuration::from_millis(5);
+        let spacing = SimDuration::from_micros(100);
+        let a = StaggeredSet {
+            set: &[FunctionId(1), FunctionId(2)],
+            catalog: &catalog,
+            spacing,
+            base: SimDuration::ZERO,
+        };
+        let b = StaggeredSet {
+            set: &[FunctionId(6), FunctionId(7)],
+            catalog: &catalog,
+            spacing,
+            base: SimDuration::ZERO,
+        };
+        assert_eq!(a.key(i), b.key(i));
+        let wider = StaggeredSet {
+            spacing: spacing * 2,
+            ..a
+        };
+        assert_ne!(a.key(i), wider.key(i));
+        assert_ne!(a.key(i), a.key(SimDuration::from_millis(6)));
+    }
+
+    #[test]
+    fn cached_simulation_matches_uncached() {
+        let (catalog, _) = catalog_for(5);
+        let i = SimDuration::from_millis(5);
+        let spacing = SimDuration::from_micros(100);
+        let set = [FunctionId(0), FunctionId(2), FunctionId(4)];
+        let src = StaggeredSet {
+            set: &set,
+            catalog: &catalog,
+            spacing,
+            base: SimDuration::ZERO,
+        };
+        let threads: Vec<SimThread> = set
+            .iter()
+            .enumerate()
+            .map(|(ti, &f)| SimThread {
+                created_at: spacing * ti as u64,
+                segments: catalog.segments(f).to_vec(),
+            })
+            .collect();
+        let expected = predict_threads(&threads, i);
+
+        let cache = PredictionCache::new();
+        let mut arena = SimArena::new();
+        let first = cache.get_or_simulate(src.key(i), &src, i, &mut arena);
+        let second = cache.get_or_simulate(src.key(i), &src, i, &mut arena);
+        assert_eq!(first, expected);
+        assert_eq!(second, expected);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!(stats.hit_rate() > 0.49);
+    }
+
+    #[test]
+    fn makespan_lower_bound_never_exceeds_simulation() {
+        // The KL prune is only exact if the bound is a true lower bound of
+        // every simulated makespan; sweep contiguous FINRA sets of several
+        // sizes (mixed CPU-only rules and the blocking fetch function).
+        let (catalog, n) = catalog_for(12);
+        let interval = SimDuration::from_millis(5);
+        let spacing = SimDuration::from_micros(100);
+        let mut arena = SimArena::new();
+        let all: Vec<FunctionId> = (0..n as u32).map(FunctionId).collect();
+        for window in [1usize, 2, 3, 5, 8] {
+            for start in 0..=(n - window) {
+                let src = StaggeredSet {
+                    set: &all[start..start + window],
+                    catalog: &catalog,
+                    spacing,
+                    base: SimDuration::from_micros(250 * (start % 2) as u64),
+                };
+                let out = predict_threads_src(&src, interval, &mut arena);
+                assert!(
+                    src.makespan_lower_bound() <= out.makespan,
+                    "bound exceeds makespan for window {window} at {start}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn content_key_covers_every_field() {
+        let seg = |ms| Segment::cpu_ms(ms);
+        let block = Segment::Block {
+            kind: SyscallKind::DiskIo,
+            dur: SimDuration::from_millis(3),
+        };
+        let created = [SimDuration::ZERO, SimDuration::from_millis(1)];
+        let segments = [seg(2), block, seg(4)];
+        let ranges = [(0u32, 2u32), (2, 3)];
+        let src = FlatThreads {
+            created: &created,
+            ranges: &ranges,
+            segments: &segments,
+        };
+        let i = SimDuration::from_millis(5);
+        let base = content_key(&src, i);
+        let shifted = [SimDuration::ZERO, SimDuration::from_millis(2)];
+        assert_ne!(
+            base,
+            content_key(
+                &FlatThreads {
+                    created: &shifted,
+                    ..src
+                },
+                i
+            )
+        );
+        let resized = [(0u32, 1u32), (1, 3)];
+        assert_ne!(
+            base,
+            content_key(
+                &FlatThreads {
+                    ranges: &resized,
+                    ..src
+                },
+                i
+            )
+        );
+        assert_ne!(base, content_key(&src, SimDuration::from_millis(6)));
+    }
+}

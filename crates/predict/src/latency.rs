@@ -13,7 +13,8 @@
 //! parameters — the gap to the jittered, contention-accurate virtual
 //! platform is Chiron's prediction error (Fig. 12).
 
-use crate::threadsim::{predict_threads, predict_true_parallel, SimThread};
+use crate::cache::{content_key, FlatThreads, PredictionCache, SegmentCatalog, StaggeredSet};
+use crate::threadsim::{predict_threads, predict_true_parallel, SimArena, SimThread};
 use chiron_isolation::IsolationCosts;
 use chiron_model::plan::ProcessSpawn;
 use chiron_model::{
@@ -71,6 +72,39 @@ impl Predictor {
         plan: &DeploymentPlan,
     ) -> SimDuration {
         let iso = IsolationCosts::for_kind(plan.isolation);
+        self.compose(workflow, plan, &mut |wrap, bytes, read, write| {
+            self.wrap_latency(workflow, profile, plan, wrap, bytes, read, write, &iso)
+        })
+    }
+
+    /// [`Predictor::predict`] with per-process Algorithm 1 results memoised
+    /// in `cache` (keyed by thread content) and all per-call allocations
+    /// replaced by `catalog` borrows and `scratch` reuse. Returns exactly
+    /// the same latency as `predict` for the same inputs.
+    pub fn predict_cached(
+        &self,
+        workflow: &Workflow,
+        plan: &DeploymentPlan,
+        catalog: &SegmentCatalog,
+        cache: &PredictionCache,
+        scratch: &mut PredictScratch,
+    ) -> SimDuration {
+        let iso = IsolationCosts::for_kind(plan.isolation);
+        self.compose(workflow, plan, &mut |wrap, bytes, read, write| {
+            self.wrap_latency_cached(
+                workflow, plan, wrap, bytes, read, write, &iso, catalog, cache, scratch,
+            )
+        })
+    }
+
+    /// Eq. 1 + Eq. 2: stage composition over a per-wrap latency evaluator
+    /// (`predict` and `predict_cached` differ only in that evaluator).
+    fn compose(
+        &self,
+        workflow: &Workflow,
+        plan: &DeploymentPlan,
+        wrap_latency: &mut dyn FnMut(&WrapPlan, u64, bool, bool) -> SimDuration,
+    ) -> SimDuration {
         let store_based = plan.transfer != TransferKind::RpcPayload;
         let last_stage = plan.stages.len() - 1;
         let mut total = SimDuration::ZERO;
@@ -117,16 +151,7 @@ impl Predictor {
                 };
                 let read_input = store_based && si > 0;
                 let write_output = store_based && si < last_stage;
-                let wrap_dur = self.wrap_latency(
-                    workflow,
-                    profile,
-                    plan,
-                    wrap,
-                    stage_input_bytes,
-                    read_input,
-                    write_output,
-                    &iso,
-                );
+                let wrap_dur = wrap_latency(wrap, stage_input_bytes, read_input, write_output);
                 let remote_return = plan.scheduling != SchedulingKind::PreDeployed || k > 0;
                 let mut end = invoke + wrap_dur;
                 if remote_return {
@@ -243,6 +268,160 @@ impl Predictor {
         // Eq. 3's serial result drain over the pipe.
         let ipc = self.costs.ipc_pipe * (wrap.processes.len() as u64 - 1);
         exec_end + ipc + max_write
+    }
+
+    /// `wrap_latency` with memoised, allocation-free process simulations.
+    #[allow(clippy::too_many_arguments)]
+    fn wrap_latency_cached(
+        &self,
+        workflow: &Workflow,
+        plan: &DeploymentPlan,
+        wrap: &WrapPlan,
+        stage_input_bytes: u64,
+        read_input: bool,
+        write_output: bool,
+        iso: &IsolationCosts,
+        catalog: &SegmentCatalog,
+        cache: &PredictionCache,
+        scratch: &mut PredictScratch,
+    ) -> SimDuration {
+        let cpus = plan.sandbox(wrap.sandbox).expect("validated plan").cpus;
+        let interval = self.costs.gil_switch_interval;
+        let mut fork_idx: u64 = 0;
+        let mut max_end = SimDuration::ZERO;
+        let mut total_cpu = SimDuration::ZERO;
+        let mut max_write = SimDuration::ZERO;
+
+        for proc in &wrap.processes {
+            let start = match proc.spawn {
+                ProcessSpawn::Fork => {
+                    let s = self.costs.process_block * fork_idx + self.costs.process_startup;
+                    fork_idx += 1;
+                    s
+                }
+                ProcessSpawn::Pool => {
+                    self.costs.pool_dispatch + self.transfer.cross_process(stage_input_bytes)
+                }
+                ProcessSpawn::MainReuse => SimDuration::ZERO,
+            };
+            let isolated = proc.spawn == ProcessSpawn::MainReuse || proc.functions.len() > 1;
+            let mut extra = SimDuration::ZERO;
+            if isolated {
+                extra += iso.startup;
+            }
+            if read_input {
+                extra += self
+                    .transfer
+                    .cross_sandbox(plan.transfer, stage_input_bytes);
+            }
+            // Identity stretches (IsolationKind::None has zero overheads)
+            // leave segments bit-identical, so the catalog's unstretched
+            // slices can be simulated directly.
+            let stretched = isolated && (iso.cpu_overhead != 0.0 || iso.io_overhead != 0.0);
+
+            let exec = match plan.runtime {
+                chiron_model::RuntimeKind::PseudoParallel if !stretched => {
+                    let src = StaggeredSet {
+                        set: &proc.functions,
+                        catalog,
+                        spacing: self.costs.thread_clone,
+                        base: extra,
+                    };
+                    cache.get_or_simulate(src.key(interval), &src, interval, &mut scratch.arena)
+                }
+                chiron_model::RuntimeKind::PseudoParallel => {
+                    let PredictScratch {
+                        arena,
+                        created,
+                        ranges,
+                        segments,
+                    } = scratch;
+                    created.clear();
+                    ranges.clear();
+                    segments.clear();
+                    for (ti, &fid) in proc.functions.iter().enumerate() {
+                        created.push(self.costs.thread_clone * ti as u64 + extra);
+                        let from = segments.len() as u32;
+                        segments.extend(catalog.segments(fid).iter().map(|&seg| match seg {
+                            Segment::Cpu(_) => Segment::Cpu(iso.stretch_segment(seg)),
+                            Segment::Block { kind, .. } => Segment::Block {
+                                kind,
+                                dur: iso.stretch_segment(seg),
+                            },
+                        }));
+                        ranges.push((from, segments.len() as u32));
+                    }
+                    let src = FlatThreads {
+                        created,
+                        ranges,
+                        segments,
+                    };
+                    cache.get_or_simulate(content_key(&src, interval), &src, interval, arena)
+                }
+                chiron_model::RuntimeKind::TrueParallel => {
+                    // Cold path: PGP never emits truly parallel plans, so
+                    // this mirrors the uncached build without memoisation.
+                    let mut max_created = SimDuration::ZERO;
+                    let mut tasks: Vec<Vec<Segment>> = Vec::with_capacity(proc.functions.len());
+                    for (ti, &fid) in proc.functions.iter().enumerate() {
+                        max_created = max_created.max(self.costs.thread_clone * ti as u64 + extra);
+                        tasks.push(
+                            catalog
+                                .segments(fid)
+                                .iter()
+                                .map(|&seg| {
+                                    if !stretched {
+                                        return seg;
+                                    }
+                                    match seg {
+                                        Segment::Cpu(_) => Segment::Cpu(iso.stretch_segment(seg)),
+                                        Segment::Block { kind, .. } => Segment::Block {
+                                            kind,
+                                            dur: iso.stretch_segment(seg),
+                                        },
+                                    }
+                                })
+                                .collect(),
+                        );
+                    }
+                    let mut out = predict_true_parallel(&tasks, cpus);
+                    out.makespan += max_created;
+                    out
+                }
+            };
+            max_end = max_end.max(start + exec.makespan);
+            total_cpu += exec.cpu_time;
+
+            if write_output {
+                for &fid in &proc.functions {
+                    let bytes = workflow.function(fid).output_bytes;
+                    max_write = max_write.max(self.transfer.cross_sandbox(plan.transfer, bytes));
+                }
+            }
+        }
+
+        let packed =
+            SimDuration::from_nanos((total_cpu.as_nanos() as f64 / f64::from(cpus)).ceil() as u64);
+        let exec_end = max_end.max(packed);
+        let ipc = self.costs.ipc_pipe * (wrap.processes.len() as u64 - 1);
+        exec_end + ipc + max_write
+    }
+}
+
+/// Reusable buffers for [`Predictor::predict_cached`]: the Algorithm 1
+/// state arena plus flat thread-materialisation buffers for isolated
+/// (segment-stretched) processes. One per caller or worker thread.
+#[derive(Debug, Default)]
+pub struct PredictScratch {
+    pub arena: SimArena,
+    created: Vec<SimDuration>,
+    ranges: Vec<(u32, u32)>,
+    segments: Vec<Segment>,
+}
+
+impl PredictScratch {
+    pub fn new() -> Self {
+        PredictScratch::default()
     }
 }
 

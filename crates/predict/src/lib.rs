@@ -6,12 +6,25 @@
 //! composition from processes through wraps and stages to the workflow's
 //! end-to-end latency. Also provides the conservative (inflated-parameter)
 //! variant PGP uses to guarantee SLOs (§6.2, Fig. 14).
+//!
+//! The hot path is allocation-free and memoised: [`SegmentCatalog`] borrows
+//! profiled segments, [`SimArena`] reuses simulation state, and
+//! [`PredictionCache`] shares content-addressed Algorithm 1 outcomes across
+//! the PGP scheduler's KL rounds, candidate swaps, process counts, and
+//! parallel search workers.
 
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod latency;
 pub mod threadsim;
 
-pub use latency::Predictor;
-pub use threadsim::{predict_threads, predict_true_parallel, SimOutcome, SimThread};
+pub use cache::{
+    content_key, CacheStats, FlatThreads, PredictionCache, SegmentCatalog, StaggeredSet,
+};
+pub use latency::{PredictScratch, Predictor};
+pub use threadsim::{
+    predict_threads, predict_threads_src, predict_true_parallel, SimArena, SimOutcome, SimThread,
+    ThreadSource,
+};

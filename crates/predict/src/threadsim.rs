@@ -11,6 +11,12 @@
 //! simulation in `chiron-runtime`: it assumes a dedicated CPU for the
 //! process and constant-cost thread creation. The residual between the two
 //! (plus platform jitter) is Chiron's prediction error (Fig. 12).
+//!
+//! The simulator itself is allocation-free on the hot path: thread inputs
+//! are described by a [`ThreadSource`] (segments borrowed as `&[Segment]`,
+//! not owned), and per-thread bookkeeping lives in a reusable [`SimArena`]
+//! so the PGP scheduler's millions of objective evaluations allocate
+//! nothing after warm-up.
 
 use chiron_model::{Segment, SimDuration};
 
@@ -22,6 +28,27 @@ pub struct SimThread {
     pub segments: Vec<Segment>,
 }
 
+/// Borrowed description of the thread set fed to Algorithm 1. Implementors
+/// hand out segment slices without cloning, which keeps the simulation
+/// allocation-free regardless of where the segments actually live.
+pub trait ThreadSource {
+    fn count(&self) -> usize;
+    fn created_at(&self, i: usize) -> SimDuration;
+    fn segments(&self, i: usize) -> &[Segment];
+}
+
+impl ThreadSource for [SimThread] {
+    fn count(&self) -> usize {
+        self.len()
+    }
+    fn created_at(&self, i: usize) -> SimDuration {
+        self[i].created_at
+    }
+    fn segments(&self, i: usize) -> &[Segment] {
+        &self[i].segments
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum SimPhase {
     Waiting,
@@ -30,14 +57,36 @@ enum SimPhase {
     Done { at: SimDuration },
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy)]
 struct SimState {
     created_at: SimDuration,
-    segments: Vec<Segment>,
     seg_idx: usize,
     offset: SimDuration,
     phase: SimPhase,
     cpu_used: SimDuration,
+}
+
+/// Reusable per-thread state buffer for [`predict_threads_src`]. One arena
+/// per caller (or per worker thread) amortises the `Vec<SimState>` across
+/// every simulation it runs.
+#[derive(Debug, Default)]
+pub struct SimArena {
+    states: Vec<SimState>,
+}
+
+impl SimArena {
+    pub fn new() -> Self {
+        SimArena::default()
+    }
+
+    /// Convenience: run Algorithm 1 over `src` reusing this arena.
+    pub fn predict(
+        &mut self,
+        src: &(impl ThreadSource + ?Sized),
+        interval: SimDuration,
+    ) -> SimOutcome {
+        predict_threads_src(src, interval, self)
+    }
 }
 
 /// Output of the Algorithm 1 simulation.
@@ -51,35 +100,48 @@ pub struct SimOutcome {
 
 /// Runs Algorithm 1 over `threads` with GIL switch interval `interval`.
 pub fn predict_threads(threads: &[SimThread], interval: SimDuration) -> SimOutcome {
+    predict_threads_src(threads, interval, &mut SimArena::new())
+}
+
+/// Runs Algorithm 1 over the borrowed thread set `src`, reusing `arena`
+/// for per-thread state so the call allocates nothing once the arena has
+/// grown to the largest set it has seen.
+pub fn predict_threads_src(
+    src: &(impl ThreadSource + ?Sized),
+    interval: SimDuration,
+    arena: &mut SimArena,
+) -> SimOutcome {
     assert!(!interval.is_zero(), "switch interval must be positive");
-    if threads.is_empty() {
+    let n = src.count();
+    if n == 0 {
         return SimOutcome {
             makespan: SimDuration::ZERO,
             cpu_time: SimDuration::ZERO,
         };
     }
-    let mut states: Vec<SimState> = threads
-        .iter()
-        .map(|t| SimState {
-            created_at: t.created_at,
-            segments: t.segments.clone(),
+    let states = &mut arena.states;
+    states.clear();
+    states.reserve(n);
+    for i in 0..n {
+        states.push(SimState {
+            created_at: src.created_at(i),
             seg_idx: 0,
             offset: SimDuration::ZERO,
             phase: SimPhase::Waiting,
             cpu_used: SimDuration::ZERO,
-        })
-        .collect();
+        });
+    }
 
     let mut clock = SimDuration::ZERO;
     let mut total_cpu = SimDuration::ZERO;
     loop {
         // Wake arrivals and completed I/O.
-        for s in states.iter_mut() {
+        for (i, s) in states.iter_mut().enumerate() {
             match s.phase {
-                SimPhase::Waiting if s.created_at <= clock => enter(s, clock),
+                SimPhase::Waiting if s.created_at <= clock => enter(s, src.segments(i), clock),
                 SimPhase::Blocked { until } if until <= clock => {
                     s.seg_idx += 1;
-                    enter(s, clock);
+                    enter(s, src.segments(i), clock);
                 }
                 _ => {}
             }
@@ -116,7 +178,8 @@ pub fn predict_threads(threads: &[SimThread], interval: SimDuration) -> SimOutco
         };
 
         let s = &mut states[i];
-        let Segment::Cpu(seg_dur) = s.segments[s.seg_idx] else {
+        let segs = src.segments(i);
+        let Segment::Cpu(seg_dur) = segs[s.seg_idx] else {
             unreachable!("ready thread always sits on a CPU segment")
         };
         let remaining = seg_dur - s.offset;
@@ -130,7 +193,7 @@ pub fn predict_threads(threads: &[SimThread], interval: SimDuration) -> SimOutco
         if s.offset >= seg_dur {
             s.seg_idx += 1;
             s.offset = SimDuration::ZERO;
-            enter(s, clock);
+            enter(s, segs, clock);
         }
         // Otherwise the quantum expired mid-segment; the thread returns to
         // the ready set and line 17 picks the next holder.
@@ -151,12 +214,12 @@ pub fn predict_threads(threads: &[SimThread], interval: SimDuration) -> SimOutco
 }
 
 /// Positions a thread on its current segment at `clock`.
-fn enter(s: &mut SimState, clock: SimDuration) {
-    match s.segments.get(s.seg_idx) {
+fn enter(s: &mut SimState, segs: &[Segment], clock: SimDuration) {
+    match segs.get(s.seg_idx) {
         None => s.phase = SimPhase::Done { at: clock },
         Some(Segment::Cpu(d)) if d.is_zero() => {
             s.seg_idx += 1;
-            enter(s, clock);
+            enter(s, segs, clock);
         }
         Some(Segment::Cpu(_)) => {
             s.offset = SimDuration::ZERO;
@@ -267,6 +330,28 @@ mod tests {
     fn empty_input() {
         let out = predict_threads(&[], I);
         assert_eq!(out.makespan, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn arena_reuse_is_equivalent() {
+        // Reusing one arena across differently sized simulations yields the
+        // same outcomes as fresh allocations per call.
+        let sets: Vec<Vec<SimThread>> = vec![
+            vec![at(0, vec![cpu(10), io(5), cpu(3)])],
+            vec![at(0, vec![cpu(2), io(4), cpu(2)]), at(0, vec![cpu(20)])],
+            vec![
+                at(0, vec![io(20)]),
+                at(0, vec![cpu(20)]),
+                at(3, vec![cpu(1)]),
+            ],
+            vec![at(10, vec![cpu(5)])],
+        ];
+        let mut arena = SimArena::new();
+        for set in &sets {
+            let fresh = predict_threads(set, I);
+            let reused = arena.predict(set.as_slice(), I);
+            assert_eq!(fresh, reused);
+        }
     }
 
     #[test]

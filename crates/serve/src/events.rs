@@ -62,6 +62,16 @@ impl EventQueue {
         Self::default()
     }
 
+    /// Pre-sizes the heap. The simulator's heap holds one in-flight
+    /// completion per busy replica plus a handful of control events, so a
+    /// capacity around the replica cap avoids every growth reallocation.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+        }
+    }
+
     pub fn push(&mut self, at: SimTime, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;

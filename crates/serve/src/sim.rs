@@ -164,6 +164,13 @@ struct Run<'a> {
     records: Vec<RequestRecord>,
     /// Current queue shard of each request (for re-queues).
     shards: Vec<Shard>,
+    /// Scratch: whether each node hosts a usable replica. Refreshed by
+    /// [`Run::refresh_node_usable`]; reused across events so the hot
+    /// dispatch path (one lookup per completion) allocates nothing.
+    node_usable: Vec<bool>,
+    /// Scratch: ascending node indices with a usable replica, derived from
+    /// `node_usable` by [`Run::refresh_hosts`].
+    hosts_scratch: Vec<usize>,
     /// Cumulative request count at the end of each phase.
     phase_ends: Vec<u64>,
     total: u64,
@@ -219,12 +226,16 @@ impl<'a> Run<'a> {
             cluster: ClusterState::new(sim.config.cluster.clone()),
             router: Router::new(sim.config.router, nodes),
             autoscaler: Autoscaler::new(sim.config.autoscaler),
-            events: EventQueue::new(),
+            events: EventQueue::with_capacity(
+                sim.config.replicas.max_replicas as usize + sim.faults.node_kills.len() + 8,
+            ),
             rng: StdRng::seed_from_u64(seed ^ 0x5e2e_5e2e_5e2e_5e2e),
             gaps: workload.arrivals.gaps(),
             replicas: Vec::new(),
             records: Vec::with_capacity(cum as usize),
             shards: Vec::with_capacity(cum as usize),
+            node_usable: Vec::with_capacity(nodes),
+            hosts_scratch: Vec::with_capacity(nodes),
             phase_ends,
             total: cum,
             arrived: 0,
@@ -330,8 +341,8 @@ impl<'a> Run<'a> {
             cold_start: false,
             requeues: 0,
         });
-        let hosts = self.hosts();
-        let shard = self.router.choose_shard(&hosts);
+        self.refresh_hosts();
+        let shard = self.router.choose_shard(&self.hosts_scratch);
         self.router.push_back(shard, id);
         self.shards.push(shard);
         self.kick(now);
@@ -380,8 +391,8 @@ impl<'a> Run<'a> {
         rep.served += 1;
         rep.state = ReplicaState::Idle { since: now };
         let node = rep.node;
-        let has = self.node_has_usable();
-        if let Some(next) = self.router.next_for(node, &has) {
+        self.refresh_node_usable();
+        if let Some(next) = self.router.next_for(node, &self.node_usable) {
             self.dispatch(replica, next, now);
         }
     }
@@ -435,36 +446,42 @@ impl<'a> Run<'a> {
     fn handle_node_death(&mut self, node: NodeId, now: SimTime) {
         let mut requeue = Vec::new();
         let mut dead = 0u32;
-        for i in 0..self.replicas.len() {
-            let touches = self.replicas[i]
-                .placement
-                .assignments
-                .iter()
-                .any(|&(_, n)| n == node);
-            if !touches || !self.replicas[i].usable() {
+        // Disjoint field borrows: the cluster refund reads the replica's
+        // placement in place instead of cloning it per failure.
+        let Run {
+            replicas,
+            cluster,
+            sim,
+            replicas_failed,
+            ..
+        } = self;
+        for rep in replicas.iter_mut() {
+            let touches = rep.placement.assignments.iter().any(|&(_, n)| n == node);
+            if !touches || !rep.usable() {
                 continue;
             }
-            if let ReplicaState::Busy { request, .. } = self.replicas[i].state {
+            if let ReplicaState::Busy { request, .. } = rep.state {
                 requeue.push(request);
             }
-            let placement = self.replicas[i].placement.clone();
-            self.replicas[i].state = ReplicaState::Dead;
-            self.replicas[i].ended_at = Some(now);
+            rep.state = ReplicaState::Dead;
+            rep.ended_at = Some(now);
             // Refunds only the replica's live-node share; the dead node's
             // capacity was written off by fail_node.
-            self.cluster
-                .remove_replica(&self.sim.plan, &self.sim.workflow, &placement);
-            self.replicas_failed += 1;
+            cluster.remove_replica(&sim.plan, &sim.workflow, &rep.placement);
+            *replicas_failed += 1;
             dead += 1;
         }
         self.push_timeline(now);
+
+        // The host set is stable for the rest of this handler (only the
+        // router changes below), so one refresh serves every re-shard.
+        self.refresh_hosts();
 
         // The dead node's own queue never dispatched: re-shard in order.
         if self.sim.config.router == RouterPolicy::PartitionedByNode {
             let stranded = self.router.drain_node(node.0 as usize);
             for req in stranded {
-                let hosts = self.hosts();
-                let shard = self.router.choose_shard(&hosts);
+                let shard = self.router.choose_shard(&self.hosts_scratch);
                 self.router.push_back(shard, req);
                 self.shards[req as usize] = shard;
             }
@@ -474,8 +491,7 @@ impl<'a> Run<'a> {
         requeue.sort_unstable();
         for &req in requeue.iter().rev() {
             self.records[req as usize].requeues += 1;
-            let hosts = self.hosts();
-            let shard = self.router.choose_shard(&hosts);
+            let shard = self.router.choose_shard(&self.hosts_scratch);
             self.router.push_front(shard, req);
             self.shards[req as usize] = shard;
         }
@@ -576,10 +592,15 @@ impl<'a> Run<'a> {
 
     /// Hands queued work to every idle replica that can take some.
     fn kick(&mut self, now: SimTime) {
-        let has = self.node_has_usable();
+        // Dispatching keeps replicas usable (Idle → Busy), so one refresh
+        // covers the whole sweep.
+        self.refresh_node_usable();
         for i in 0..self.replicas.len() {
             if matches!(self.replicas[i].state, ReplicaState::Idle { .. }) {
-                if let Some(req) = self.router.next_for(self.replicas[i].node, &has) {
+                if let Some(req) = self
+                    .router
+                    .next_for(self.replicas[i].node, &self.node_usable)
+                {
                     self.dispatch(i as u32, req, now);
                 }
             }
@@ -589,29 +610,43 @@ impl<'a> Run<'a> {
     fn retire_idle(&mut self, now: SimTime) {
         let keepalive = self.sim.config.replicas.keepalive;
         let min = self.sim.config.replicas.min_replicas;
-        for i in 0..self.replicas.len() {
-            if self.usable_count() <= min {
+        // Each retirement removes exactly one usable replica, so a local
+        // counter tracks `usable_count()` without re-scanning per replica;
+        // the disjoint field borrows avoid cloning each placement.
+        let mut usable = self.usable_count();
+        let Run {
+            replicas,
+            cluster,
+            router,
+            sim,
+            scale_downs,
+            peak_replicas,
+            timeline,
+            ..
+        } = self;
+        for rep in replicas.iter_mut() {
+            if usable <= min {
                 break;
             }
-            let ReplicaState::Idle { since } = self.replicas[i].state else {
+            let ReplicaState::Idle { since } = rep.state else {
                 continue;
             };
             if now.since(since) < keepalive {
                 continue;
             }
             // A partitioned replica with work sharded to its node stays.
-            if self.sim.config.router == RouterPolicy::PartitionedByNode
-                && self.router.queued_on(self.replicas[i].node) > 0
+            if sim.config.router == RouterPolicy::PartitionedByNode
+                && router.queued_on(rep.node) > 0
             {
                 continue;
             }
-            let placement = self.replicas[i].placement.clone();
-            self.replicas[i].state = ReplicaState::Retired;
-            self.replicas[i].ended_at = Some(now);
-            self.cluster
-                .remove_replica(&self.sim.plan, &self.sim.workflow, &placement);
-            self.scale_downs += 1;
-            self.push_timeline(now);
+            rep.state = ReplicaState::Retired;
+            rep.ended_at = Some(now);
+            cluster.remove_replica(&sim.plan, &sim.workflow, &rep.placement);
+            *scale_downs += 1;
+            usable -= 1;
+            *peak_replicas = (*peak_replicas).max(usable);
+            timeline.push((now.as_nanos(), usable));
         }
     }
 
@@ -628,22 +663,26 @@ impl<'a> Run<'a> {
         self.replicas.iter().filter(|r| r.usable()).count() as u32
     }
 
-    fn node_has_usable(&self) -> Vec<bool> {
-        let mut has = vec![false; self.sim.config.cluster.nodes as usize];
+    fn refresh_node_usable(&mut self) {
+        self.node_usable.clear();
+        self.node_usable
+            .resize(self.sim.config.cluster.nodes as usize, false);
         for r in &self.replicas {
             if r.usable() {
-                has[r.node] = true;
+                self.node_usable[r.node] = true;
             }
         }
-        has
     }
 
-    fn hosts(&self) -> Vec<usize> {
-        self.node_has_usable()
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &h)| h.then_some(i))
-            .collect()
+    fn refresh_hosts(&mut self) {
+        self.refresh_node_usable();
+        self.hosts_scratch.clear();
+        self.hosts_scratch.extend(
+            self.node_usable
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &h)| h.then_some(i)),
+        );
     }
 
     fn work_remains(&self) -> bool {

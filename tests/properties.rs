@@ -179,17 +179,15 @@ proptest! {
         let split = split.min(n - 1);
         let mut a: Vec<FunctionId> = (0..split as u32).map(FunctionId).collect();
         let mut b: Vec<FunctionId> = (split as u32..n as u32).map(FunctionId).collect();
-        let objective = |x: &[FunctionId], y: &[FunctionId]| {
-            let wx: f64 = x.iter().map(|f| weights[f.index()]).sum();
-            let wy: f64 = y.iter().map(|f| weights[f.index()]).sum();
-            wx.max(wy)
-        };
-        let before = objective(&a, &b);
+        let objective =
+            |set: &[FunctionId]| set.iter().map(|f| weights[f.index()]).sum::<f64>();
+        let pair = |x: &[FunctionId], y: &[FunctionId]| objective(x).max(objective(y));
+        let before = pair(&a, &b);
         let (la, lb) = (a.len(), b.len());
         kernighan_lin(&mut a, &mut b, objective);
         prop_assert_eq!(a.len(), la);
         prop_assert_eq!(b.len(), lb);
-        prop_assert!(objective(&a, &b) <= before + 1e-9);
+        prop_assert!(pair(&a, &b) <= before + 1e-9);
         let mut all: Vec<u32> = a.iter().chain(b.iter()).map(|f| f.0).collect();
         all.sort_unstable();
         let expect: Vec<u32> = (0..n as u32).collect();
