@@ -6,8 +6,9 @@
 //! * GIL switch-interval sensitivity of the thread-latency model.
 
 use crate::common::{ms, pct, ratio, Table};
+use crate::sweep;
 use chiron::model::{apps, IsolationKind, SimDuration};
-use chiron::{evaluate_plan, paper_slo, EvalConfig, PgpConfig, PgpMode, PgpScheduler};
+use chiron::{evaluate_plan, paper_slo, profile_for, EvalConfig, PgpConfig, PgpMode, PgpScheduler};
 use chiron_model::FunctionId;
 use chiron_predict::{predict_threads, SimThread};
 use chiron_profiler::Profiler;
@@ -16,7 +17,7 @@ use chiron_profiler::Profiler;
 /// the resulting plans on a workflow with heterogeneous parallel functions.
 pub fn ablation_kl() -> String {
     let wf = apps::finra(50);
-    let profile = Profiler::default().profile_workflow(&wf);
+    let profile = profile_for(&wf);
     let sched = PgpScheduler::paper_calibrated();
     let cfg = EvalConfig::default();
     let mut table = Table::new(vec![
@@ -29,7 +30,8 @@ pub fn ablation_kl() -> String {
     // the round-robin initial partition degenerates into same-cost sets
     // (one process gets every 12 ms rule) — exactly the imbalance KL's
     // swapping repairs.
-    for n in [5usize, 10, 15] {
+    let ns = [5usize, 10, 15];
+    let rows = sweep::par_map(&ns, |_, &n| {
         // Raw round-robin (no KL): rebuild the line-9 initial partition.
         let rr: Vec<Vec<Vec<FunctionId>>> = wf
             .stages
@@ -52,12 +54,15 @@ pub fn ablation_kl() -> String {
         let lat_kl = evaluate_plan(&wf, plan_kl, &cfg)
             .mean_latency
             .as_millis_f64();
-        table.row(vec![
+        vec![
             n.to_string(),
             ms(lat_rr),
             ms(lat_kl),
             pct(1.0 - lat_kl / lat_rr),
-        ]);
+        ]
+    });
+    for row in rows {
+        table.row(row);
     }
     format!(
         "Ablation — Kernighan–Lin refinement vs round-robin partition \
@@ -74,19 +79,29 @@ pub fn ablation_conservative() -> String {
         "margin 1.0 violations",
         "margin 1.25 violations",
     ]);
-    for wf in [apps::finra(50), apps::slapp(), apps::social_network()] {
-        let slo = paper_slo(&wf);
-        let profile = Profiler::default().profile_workflow(&wf);
+    let workflows = [apps::finra(50), apps::slapp(), apps::social_network()];
+    let cells: Vec<(usize, f64)> = workflows
+        .iter()
+        .enumerate()
+        .flat_map(|(wi, _)| [1.0, 1.25].into_iter().map(move |margin| (wi, margin)))
+        .collect();
+    let rates = sweep::par_map(&cells, |_, &(wi, margin)| {
+        let wf = &workflows[wi];
+        let slo = paper_slo(wf);
+        let profile = profile_for(wf);
         let sched = PgpScheduler::paper_calibrated();
-        let mut rates = Vec::new();
-        for margin in [1.0, 1.25] {
-            let mut config = PgpConfig::with_slo(slo).with_mode(PgpMode::NativeThread);
-            config.conservative_margin = margin;
-            let out = sched.schedule(&wf, &profile, &config);
-            let eval = evaluate_plan(&wf, out.plan, &cfg);
-            rates.push(eval.latencies.violation_rate(slo));
-        }
-        table.row(vec![wf.name.clone(), pct(rates[0]), pct(rates[1])]);
+        let mut config = PgpConfig::with_slo(slo).with_mode(PgpMode::NativeThread);
+        config.conservative_margin = margin;
+        let out = sched.schedule(wf, &profile, &config);
+        let eval = evaluate_plan(wf, out.plan, &cfg);
+        eval.latencies.violation_rate(slo)
+    });
+    for (wi, wf) in workflows.iter().enumerate() {
+        table.row(vec![
+            wf.name.clone(),
+            pct(rates[wi * 2]),
+            pct(rates[wi * 2 + 1]),
+        ]);
     }
     format!(
         "Ablation — conservative predictor parameters (§6.2: larger \
@@ -99,21 +114,25 @@ pub fn ablation_conservative() -> String {
 /// trade-off of Fig. 11).
 pub fn ablation_wrap_sweep() -> String {
     let wf = apps::finra(50);
-    let profile = Profiler::default().profile_workflow(&wf);
+    let profile = profile_for(&wf);
     let sched = PgpScheduler::paper_calibrated();
     let cfg = EvalConfig::default();
     let n = 10; // processes in the parallel stage
     let partitions = sched.partitions(&wf, &profile, n);
     let mut table = Table::new(vec!["wraps", "latency (ms)", "sandboxes", "memory (MB)"]);
-    for w in 1..=n {
+    let wraps: Vec<usize> = (1..=n).collect();
+    let rows = sweep::par_map(&wraps, |_, &w| {
         let plan = sched.materialize(&wf, &partitions, w, IsolationKind::None, 0);
         let eval = evaluate_plan(&wf, plan, &cfg);
-        table.row(vec![
+        vec![
             w.to_string(),
             ms(eval.mean_latency.as_millis_f64()),
             eval.plan.sandbox_count().to_string(),
             ms(eval.usage.memory_mb()),
-        ]);
+        ]
+    });
+    for row in rows {
+        table.row(row);
     }
     format!(
         "Ablation — wrap-count sweep, FINRA-50 with 10 processes (more \
@@ -126,9 +145,10 @@ pub fn ablation_wrap_sweep() -> String {
 /// GIL switch-interval sensitivity of the multi-thread latency model.
 pub fn ablation_gil_interval() -> String {
     let wf = apps::slapp();
-    let profile = Profiler::default().profile_workflow(&wf);
+    let profile = profile_for(&wf);
     let mut table = Table::new(vec!["interval (ms)", "predicted stage-2 latency (ms)"]);
-    for interval_ms in [1u64, 5, 20, 100] {
+    let intervals = [1u64, 5, 20, 100];
+    let rows = sweep::par_map(&intervals, |_, &interval_ms| {
         let threads: Vec<SimThread> = wf.stages[1]
             .functions
             .iter()
@@ -138,10 +158,10 @@ pub fn ablation_gil_interval() -> String {
             })
             .collect();
         let out = predict_threads(&threads, SimDuration::from_millis(interval_ms));
-        table.row(vec![
-            interval_ms.to_string(),
-            ms(out.makespan.as_millis_f64()),
-        ]);
+        vec![interval_ms.to_string(), ms(out.makespan.as_millis_f64())]
+    });
+    for row in rows {
+        table.row(row);
     }
     format!(
         "Ablation — GIL switch-interval sensitivity (SLApp stage 2 under \
@@ -289,8 +309,9 @@ pub fn ablation_pgp_scalability() -> String {
         "Ablation — PGP scheduling time on synthetic workflows: reference \
          (pre-memoisation) vs memoised (cold and warm cache) vs 4-worker \
          parallel search (§7: offline, parallelisable; memoisation \
-         preserves the plan exactly; the parallel search covers the full \
-         n range, so its plan is equal or better)\n{}",
+         preserves the plan exactly; above the work-size threshold the \
+         parallel search covers the full n range, so its plan is equal or \
+         better; below it, it takes the sequential memoised rule)\n{}",
         table.render()
     )
 }
@@ -304,10 +325,7 @@ pub fn ablation_cold_start() -> String {
     use chiron_runtime::VirtualPlatform;
 
     let wf = apps::finra(5);
-    let profile = Profiler::default().profile_workflow(&wf);
-    let warm_platform = VirtualPlatform::new(PlatformConfig::paper_calibrated());
-    let cold_platform =
-        VirtualPlatform::new(PlatformConfig::paper_calibrated()).with_cold_starts(true);
+    let profile = profile_for(&wf);
     let mut table = Table::new(vec![
         "system",
         "sandboxes",
@@ -315,28 +333,49 @@ pub fn ablation_cold_start() -> String {
         "first request (ms)",
         "cold penalty (ms)",
     ]);
-    for sys in [
+    let systems = [
         SystemKind::OpenFaas,
         SystemKind::Faastlane,
         SystemKind::FaastlanePlus,
         SystemKind::Chiron,
-    ] {
+    ];
+    let rows = sweep::par_map(&systems, |_, &sys| {
+        let warm_platform = VirtualPlatform::new(PlatformConfig::paper_calibrated());
+        let cold_platform =
+            VirtualPlatform::new(PlatformConfig::paper_calibrated()).with_cold_starts(true);
         let plan = plan_for(sys, &wf, &profile, None);
         let warm = warm_platform.execute(&wf, &plan, 0).unwrap().e2e;
         let cold = cold_platform.execute(&wf, &plan, 0).unwrap().e2e;
-        table.row(vec![
+        vec![
             sys.to_string(),
             plan.sandbox_count().to_string(),
             ms(warm.as_millis_f64()),
             ms(cold.as_millis_f64()),
             ms(cold.as_millis_f64() - warm.as_millis_f64()),
-        ]);
+        ]
+    });
+    for row in rows {
+        table.row(row);
     }
     format!(
         "Ablation — cold-start exposure by deployment model, FINRA-5 (one \
          167 ms sandbox start per *sandbox*: one-to-one cascades, wraps \
          amortise)\n{}",
         table.render()
+    )
+}
+
+/// The deterministic ablation tables — everything in [`ablations`] except
+/// the two timing/real-thread studies. This is what `perf-eval` compares
+/// byte-for-byte across worker counts.
+pub fn ablations_deterministic() -> String {
+    format!(
+        "{}\n{}\n{}\n{}\n{}",
+        ablation_kl(),
+        ablation_conservative(),
+        ablation_wrap_sweep(),
+        ablation_gil_interval(),
+        ablation_cold_start()
     )
 }
 

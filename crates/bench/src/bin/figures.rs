@@ -2,13 +2,43 @@
 //!
 //! ```text
 //! cargo run -p chiron-bench --release --bin figures -- all
-//! cargo run -p chiron-bench --release --bin figures -- fig6 fig13
+//! cargo run -p chiron-bench --release --bin figures -- --workers 4 fig6 fig13
+//! cargo run -p chiron-bench --release --bin figures -- perf-eval --workers 4
 //! ```
 
 use chiron_bench as bench;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = Vec::new();
+    let mut workers: Option<usize> = None;
+    let mut iter = raw.into_iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--workers" {
+            let value = iter.next().and_then(|v| v.parse().ok());
+            match value {
+                Some(n) if n >= 1 => workers = Some(n),
+                _ => {
+                    eprintln!("--workers expects a positive integer");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Some(v) = arg.strip_prefix("--workers=") {
+            match v.parse() {
+                Ok(n) if n >= 1 => workers = Some(n),
+                _ => {
+                    eprintln!("--workers expects a positive integer");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            args.push(arg);
+        }
+    }
+    let workers = workers.unwrap_or_else(|| {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    });
+    bench::sweep::set_workers(workers);
     let targets: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "fig3",
@@ -57,6 +87,14 @@ fn main() {
                 match std::fs::write("BENCH_PGP.json", &json) {
                     Ok(()) => eprintln!("wrote BENCH_PGP.json"),
                     Err(e) => eprintln!("could not write BENCH_PGP.json: {e}"),
+                }
+                json
+            }
+            "perf-eval" => {
+                let json = bench::perf_eval(workers);
+                match std::fs::write("BENCH_EVAL.json", &json) {
+                    Ok(()) => eprintln!("wrote BENCH_EVAL.json"),
+                    Err(e) => eprintln!("could not write BENCH_EVAL.json: {e}"),
                 }
                 json
             }

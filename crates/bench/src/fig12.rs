@@ -113,32 +113,43 @@ pub fn enumerate_plans(
 /// Builds the full sample set for one mode: enumerate, measure (jittered
 /// ground truth), and attach the Chiron prediction.
 pub fn build_samples(mode: Fig12Mode, truth_seeds: u32) -> Vec<Sample> {
-    let platform = VirtualPlatform::new(
-        PlatformConfig::paper_calibrated().with_jitter(JitterModel::cluster()),
-    );
-    let predictor = Predictor::paper_calibrated();
-    let mut samples = Vec::new();
-    for (wi, wf) in workflows().iter().enumerate() {
-        let profile = Profiler::default().profile_workflow(wf);
-        for plan in enumerate_plans(wf, &profile, mode) {
-            let mut total = SimDuration::ZERO;
-            for seed in 0..truth_seeds.max(1) {
-                total += platform
-                    .execute(wf, &plan, 1000 + u64::from(seed))
-                    .expect("enumerated plans validate")
-                    .e2e;
-            }
-            let actual = total / u64::from(truth_seeds.max(1));
-            let predicted_chiron = predictor.predict(wf, &profile, &plan);
-            samples.push(Sample {
-                workflow_idx: wi,
-                plan,
-                actual,
-                predicted_chiron,
-            });
+    let wfs = workflows();
+    let profiles: Vec<WorkflowProfile> = wfs
+        .iter()
+        .map(|wf| Profiler::default().profile_workflow(wf))
+        .collect();
+    // Enumerate every candidate plan up front; each (workflow, plan) pair
+    // is then one sweep cell measuring jittered ground truth from fixed
+    // seeds, so worker count cannot change any sample.
+    let cells: Vec<(usize, DeploymentPlan)> = wfs
+        .iter()
+        .enumerate()
+        .flat_map(|(wi, wf)| {
+            enumerate_plans(wf, &profiles[wi], mode)
+                .into_iter()
+                .map(move |plan| (wi, plan))
+        })
+        .collect();
+    crate::sweep::par_map(&cells, |_, (wi, plan)| {
+        let platform = VirtualPlatform::new(
+            PlatformConfig::paper_calibrated().with_jitter(JitterModel::cluster()),
+        );
+        let predictor = Predictor::paper_calibrated();
+        let wf = &wfs[*wi];
+        let mut total = SimDuration::ZERO;
+        for seed in 0..truth_seeds.max(1) {
+            total += platform
+                .execute(wf, plan, 1000 + u64::from(seed))
+                .expect("enumerated plans validate")
+                .e2e;
         }
-    }
-    samples
+        Sample {
+            workflow_idx: *wi,
+            plan: plan.clone(),
+            actual: total / u64::from(truth_seeds.max(1)),
+            predicted_chiron: predictor.predict(wf, &profiles[*wi], plan),
+        }
+    })
 }
 
 /// Per-workflow mean absolute prediction errors of the four predictors.
@@ -176,8 +187,11 @@ pub fn run_mode(mode: Fig12Mode, fast: bool) -> Vec<Fig12Row> {
         .collect();
     let targets: Vec<f64> = samples.iter().map(|s| s.actual.as_millis_f64()).collect();
 
-    let mut rows = Vec::new();
-    for (wi, wf) in wfs.iter().enumerate() {
+    // One sweep cell per held-out workflow: training is deterministic
+    // given the (fixed) sample split, so the cells are independent.
+    let holdouts: Vec<usize> = (0..wfs.len()).collect();
+    crate::sweep::par_map(&holdouts, |_, &wi| {
+        let wf = &wfs[wi];
         let test: Vec<usize> = (0..samples.len())
             .filter(|&i| samples[i].workflow_idx == wi)
             .collect();
@@ -238,15 +252,14 @@ pub fn run_mode(mode: Fig12Mode, fast: bool) -> Vec<Fig12Row> {
                 .map(|&i| rel_err(gnn.predict(&graphs[i].0, &graphs[i].1), targets[i])),
         );
 
-        rows.push(Fig12Row {
+        Fig12Row {
             workflow: wf.name.clone(),
             chiron: chiron_err,
             rfr: rfr_err,
             lstm: lstm_err,
             gnn: gnn_err,
-        });
-    }
-    rows
+        }
+    })
 }
 
 fn rel_err(predicted: f64, actual: f64) -> f64 {

@@ -1,10 +1,11 @@
 //! Regeneration of the headline evaluation: Fig. 13–19 (§6.2–6.3).
 
 use crate::common::{ms, pct, ratio, suite, Table, FIG13_SYSTEMS, FIG16_SYSTEMS};
+use crate::sweep;
 use chiron::deploy;
 use chiron::model::SystemKind;
-use chiron::{evaluate_plan, evaluate_system, paper_slo, EvalConfig, SystemEval};
-use chiron_model::{apps, Workflow};
+use chiron::{evaluate_plan, evaluate_system, paper_slo, system_plan, EvalConfig, SystemEval};
+use chiron_model::{apps, DeploymentPlan, SimDuration, Workflow};
 
 fn eval_with_slo(sys: SystemKind, wf: &Workflow, cfg: &EvalConfig) -> SystemEval {
     let slo = match sys {
@@ -14,22 +15,36 @@ fn eval_with_slo(sys: SystemKind, wf: &Workflow, cfg: &EvalConfig) -> SystemEval
     evaluate_system(sys, wf, slo, cfg)
 }
 
+/// Evaluates the full `workflows × systems` grid on the sweep engine, one
+/// `(workflow, system)` cell each; results come back in grid order.
+fn eval_grid(workflows: &[Workflow], systems: &[SystemKind], cfg: &EvalConfig) -> Vec<SystemEval> {
+    let cells: Vec<(usize, SystemKind)> = workflows
+        .iter()
+        .enumerate()
+        .flat_map(|(wi, _)| systems.iter().map(move |&sys| (wi, sys)))
+        .collect();
+    sweep::par_map(&cells, |_, &(wi, sys)| {
+        eval_with_slo(sys, &workflows[wi], cfg)
+    })
+}
+
 /// Fig. 13: normalised end-to-end latency of nine systems on the suite.
 pub fn fig13() -> String {
     let cfg = EvalConfig::default();
     let mut header: Vec<String> = vec!["workflow".into(), "Chiron (ms)".into()];
     header.extend(FIG13_SYSTEMS.iter().map(|s| format!("{s} (norm)")));
     let mut table = Table::new(header);
-    for wf in suite() {
-        let chiron = eval_with_slo(SystemKind::Chiron, &wf, &cfg);
+    let workflows = suite();
+    let evals = eval_grid(&workflows, &FIG13_SYSTEMS, &cfg);
+    for (wi, wf) in workflows.iter().enumerate() {
+        let row_evals = &evals[wi * FIG13_SYSTEMS.len()..(wi + 1) * FIG13_SYSTEMS.len()];
+        let chiron = row_evals
+            .iter()
+            .find(|e| e.system == SystemKind::Chiron)
+            .expect("chiron evaluated");
         let base = chiron.mean_latency.as_millis_f64();
         let mut row = vec![wf.name.clone(), ms(base)];
-        for sys in FIG13_SYSTEMS {
-            let eval = if sys == SystemKind::Chiron {
-                chiron.clone()
-            } else {
-                eval_with_slo(sys, &wf, &cfg)
-            };
+        for eval in row_evals {
             row.push(ratio(eval.mean_latency.as_millis_f64() / base));
         }
         table.row(row);
@@ -47,12 +62,50 @@ pub fn fig14() -> String {
     let cfg = EvalConfig::jittered(200);
     let mut table = Table::new(vec!["workflow", "SLO (ms)", "Faastlane", "Chiron"]);
     let mut chiron_rates = Vec::new();
-    for wf in suite() {
-        let slo = paper_slo(&wf);
-        let faastlane = evaluate_system(SystemKind::Faastlane, &wf, None, &cfg);
-        let chiron = evaluate_system(SystemKind::Chiron, &wf, Some(slo), &cfg);
-        let fv = faastlane.latencies.violation_rate(slo);
-        let cv = chiron.latencies.violation_rate(slo);
+    let workflows = suite();
+    // Plans and SLOs are hoisted out of the Monte Carlo; each of the 200
+    // jittered replays per (workflow, system) is then an independent sweep
+    // cell whose jitter seed comes from its request index.
+    let plans: Vec<(SimDuration, DeploymentPlan, DeploymentPlan)> = workflows
+        .iter()
+        .map(|wf| {
+            let slo = paper_slo(wf);
+            let faastlane = system_plan(SystemKind::Faastlane, wf, None);
+            let chiron = system_plan(SystemKind::Chiron, wf, Some(slo));
+            (slo, faastlane, chiron)
+        })
+        .collect();
+    let requests = cfg.requests.max(1);
+    let cells: Vec<(usize, usize, u32)> = workflows
+        .iter()
+        .enumerate()
+        .flat_map(|(wi, _)| {
+            (0..2usize).flat_map(move |which| (0..requests).map(move |r| (wi, which, r)))
+        })
+        .collect();
+    let latencies = sweep::par_map(&cells, |_, &(wi, which, r)| {
+        let plan = if which == 0 {
+            &plans[wi].1
+        } else {
+            &plans[wi].2
+        };
+        cfg.platform()
+            .execute(&workflows[wi], plan, cfg.request_seed(r))
+            .expect("plan validated by the planner")
+            .e2e
+    });
+    for (wi, wf) in workflows.iter().enumerate() {
+        let slo = plans[wi].0;
+        let base = wi * 2 * requests as usize;
+        let samples = |which: usize| -> chiron::metrics::LatencySamples {
+            let start = base + which * requests as usize;
+            latencies[start..start + requests as usize]
+                .iter()
+                .copied()
+                .collect()
+        };
+        let fv = samples(0).violation_rate(slo);
+        let cv = samples(1).violation_rate(slo);
         chiron_rates.push(cv);
         table.row(vec![
             wf.name.clone(),
@@ -142,11 +195,10 @@ pub fn fig16() -> String {
         "Faastlane-P",
         "Chiron-P",
     ]);
-    for wf in suite() {
-        let evals: Vec<SystemEval> = FIG16_SYSTEMS
-            .iter()
-            .map(|&s| eval_with_slo(s, &wf, &cfg))
-            .collect();
+    let workflows = suite();
+    let all_evals = eval_grid(&workflows, &FIG16_SYSTEMS, &cfg);
+    for (wi, wf) in workflows.iter().enumerate() {
+        let evals = &all_evals[wi * FIG16_SYSTEMS.len()..(wi + 1) * FIG16_SYSTEMS.len()];
         let chiron = evals
             .iter()
             .find(|e| e.system == SystemKind::Chiron)
@@ -209,11 +261,13 @@ pub fn fig17() -> String {
     header.extend(systems.iter().map(|s| s.to_string()));
     let mut table = Table::new(header);
     let mut savings = Vec::new();
-    for wf in suite() {
+    let workflows = suite();
+    let evals = eval_grid(&workflows, &systems, &cfg);
+    for (wi, wf) in workflows.iter().enumerate() {
         let mut row = vec![wf.name.clone()];
         let mut cpus = Vec::new();
-        for sys in systems {
-            let eval = eval_with_slo(sys, &wf, &cfg);
+        for (si, _) in systems.iter().enumerate() {
+            let eval = &evals[wi * systems.len() + si];
             cpus.push(eval.usage.cpus);
             row.push(eval.usage.cpus.to_string());
         }
@@ -305,23 +359,24 @@ pub fn fig19() -> String {
     let mut header: Vec<String> = vec!["system".into()];
     header.extend(workflows.iter().map(|w| w.name.clone()));
     let mut table = Table::new(header);
-    // Chiron's absolute cost row first, then everyone normalised to it.
-    let chiron_costs: Vec<f64> = workflows
+    let evals = eval_grid(&workflows, &systems, &cfg);
+    let eval_of = |sys_index: usize, wi: usize| &evals[wi * systems.len() + sys_index];
+    let chiron_index = systems
         .iter()
-        .map(|wf| {
-            eval_with_slo(SystemKind::Chiron, wf, &cfg)
-                .cost
-                .usd_per_million
-        })
+        .position(|&s| s == SystemKind::Chiron)
+        .expect("chiron in the system list");
+    // Chiron's absolute cost row first, then everyone normalised to it.
+    let chiron_costs: Vec<f64> = (0..workflows.len())
+        .map(|wi| eval_of(chiron_index, wi).cost.usd_per_million)
         .collect();
-    for sys in systems {
+    for (si, sys) in systems.iter().enumerate() {
         let mut row = vec![sys.to_string()];
-        for (wi, wf) in workflows.iter().enumerate() {
-            if sys == SystemKind::Chiron {
-                row.push(format!("${:.2}", chiron_costs[wi]));
+        for (wi, &chiron_cost) in chiron_costs.iter().enumerate() {
+            if *sys == SystemKind::Chiron {
+                row.push(format!("${chiron_cost:.2}"));
             } else {
-                let eval = eval_with_slo(sys, wf, &cfg);
-                row.push(ratio(eval.cost.usd_per_million / chiron_costs[wi]));
+                let eval = eval_of(si, wi);
+                row.push(ratio(eval.cost.usd_per_million / chiron_cost));
             }
         }
         table.row(row);

@@ -9,6 +9,7 @@
 //! architectures.
 
 use crate::common::{ms, pct, Table};
+use crate::sweep;
 use chiron::serving::{FaultPlan, RouterPolicy, ServeConfig, ServeSimulation, Workload};
 use chiron::{Chiron, PgpMode};
 use chiron_deploy::NodeId;
@@ -18,14 +19,13 @@ use chiron_model::{apps, SimTime};
 const SEED: u64 = 2023;
 
 fn row_for(
-    table: &mut Table,
     scenario: &str,
     router: RouterPolicy,
     sim: &ServeSimulation,
     workload: &Workload,
-) {
+) -> Vec<String> {
     let report = sim.run(workload, SEED).expect("serving run");
-    table.row(vec![
+    vec![
         scenario.to_string(),
         router.name().to_string(),
         ms(report.sojourns.percentile(0.50).as_millis_f64()),
@@ -38,7 +38,7 @@ fn row_for(
             "{:.2}",
             report.cost_usd / report.completed.max(1) as f64 * 1e6
         ),
-    ]);
+    ]
 }
 
 /// The serving-plane comparison (no paper figure; §7 made operational).
@@ -63,14 +63,26 @@ pub fn serve_figure() -> String {
         "lost",
         "$ / 1M req",
     ]);
-    for router in RouterPolicy::ALL {
+    // Each (router, scenario) run is an independent simulation from the
+    // same seed — one sweep cell each, rows reassembled in sweep order.
+    let cells: Vec<(RouterPolicy, usize)> = RouterPolicy::ALL
+        .into_iter()
+        .flat_map(|router| (0..3usize).map(move |scenario| (router, scenario)))
+        .collect();
+    let rows = sweep::par_map(&cells, |_, &(router, scenario)| {
         let config = ServeConfig::paper_testbed().with_router(router);
-        let sim = ServeSimulation::new(wf.clone(), deployment.plan().clone(), config.clone());
-        row_for(&mut table, "steady 50 rps", router, &sim, &steady);
-        row_for(&mut table, "step 10 -> 100 rps", router, &sim, &step);
-        let faulty = ServeSimulation::new(wf.clone(), deployment.plan().clone(), config)
-            .with_faults(FaultPlan::none().kill_at(kill_at, NodeId(0)));
-        row_for(&mut table, "steady + node kill", router, &faulty, &steady);
+        let sim = ServeSimulation::new(wf.clone(), deployment.plan().clone(), config);
+        match scenario {
+            0 => row_for("steady 50 rps", router, &sim, &steady),
+            1 => row_for("step 10 -> 100 rps", router, &sim, &step),
+            _ => {
+                let faulty = sim.with_faults(FaultPlan::none().kill_at(kill_at, NodeId(0)));
+                row_for("steady + node kill", router, &faulty, &steady)
+            }
+        }
+    });
+    for row in rows {
+        table.row(row);
     }
     format!(
         "Serving plane — FINRA-12 under Chiron's plan on the 8-node testbed \

@@ -48,6 +48,11 @@ fn scheduler_entry(label: &str, wf: &Workflow) -> String {
     let (_, warm_ms) = timed(|| sched.schedule_with_cache(wf, &profile, &config, &cache));
     let (_, parallel_ms) = timed(|| sched.schedule_parallel(wf, &profile, &config, 4));
 
+    // Mirror the scheduler's work-size heuristic so the row records
+    // whether the 4-worker run actually fanned out or fell back inline.
+    let max_n = wf.max_parallelism().min(config.max_process_search).max(1);
+    let fallback = wf.function_count() * max_n < chiron::PARALLEL_WORK_THRESHOLD;
+
     format!(
         concat!(
             "{{\"workflow\": \"{}\", \"functions\": {}, ",
@@ -55,6 +60,7 @@ fn scheduler_entry(label: &str, wf: &Workflow) -> String {
             "\"memoised_warm_ms\": {}, \"parallel4_ms\": {}, ",
             "\"speedup_memoised\": {}, \"speedup_parallel4\": {}, ",
             "\"cache_hit_rate\": {}, \"cache_entries\": {}, ",
+            "\"parallel_threshold\": {}, \"parallel_fallback\": {}, ",
             "\"plans_identical\": {}}}"
         ),
         label,
@@ -67,6 +73,8 @@ fn scheduler_entry(label: &str, wf: &Workflow) -> String {
         num(reference_ms / parallel_ms),
         num(stats.hit_rate()),
         stats.entries,
+        chiron::PARALLEL_WORK_THRESHOLD,
+        fallback,
         memoised.plan == reference.plan,
     )
 }

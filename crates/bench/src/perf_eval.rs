@@ -1,0 +1,191 @@
+//! `figures -- perf-eval`: harness-performance evaluation of the sweep
+//! engine, written to `BENCH_EVAL.json`.
+//!
+//! Every parallelised figure is regenerated under two configurations
+//! (each timed twice, interleaved, minimum reported):
+//!
+//! * **sequential** — one worker, cross-figure memoisation off, the cache
+//!   dropped first, and requests executed by the retained pre-optimisation
+//!   [reference engine](chiron_runtime::set_reference_engine): the seed
+//!   harness, re-deriving every plan, profile and SLO from scratch and
+//!   allocating every simulation buffer per call;
+//! * **parallel** — `N` sweep workers, memoisation on, the incremental
+//!   scratch-backed engine, i.e. what `figures -- all --workers N`
+//!   actually runs.
+//!
+//! Both passes must produce byte-identical figure text
+//! (`rows_identical`) — the sweep's determinism contract — and the
+//! memoised planner must return plans structurally identical to the
+//! uncached ones (`plans_identical`). CI fails if either field is ever
+//! false. The report also carries the DES hot-loop counters: buffer pool
+//! traffic and fluid event-loop iterations for the whole run.
+
+use crate::common::{suite, FIG13_SYSTEMS};
+use crate::sweep;
+use chiron::{reset_eval_cache, set_eval_caching, system_plan};
+use std::time::Instant;
+
+/// A figure generator, as routed by the `figures` binary.
+type FigureFn = fn() -> String;
+
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".into()
+    }
+}
+
+/// The memoised planner must be invisible in the output: every plan it
+/// serves from cache must equal the one a cold planner derives.
+fn plans_identical() -> bool {
+    let workflows = suite();
+    let mut identical = true;
+    for wf in &workflows {
+        for &sys in FIG13_SYSTEMS.iter() {
+            set_eval_caching(false);
+            reset_eval_cache();
+            let cold = system_plan(sys, wf, None);
+            set_eval_caching(true);
+            reset_eval_cache();
+            let warm_a = system_plan(sys, wf, None);
+            let warm_b = system_plan(sys, wf, None);
+            identical &= cold == warm_a && warm_a == warm_b;
+        }
+    }
+    identical
+}
+
+/// Sequential baseline: the seed harness (reference engine, no
+/// memoisation, one worker).
+fn sequential_pass(f: FigureFn) -> (String, f64) {
+    sweep::set_workers(1);
+    set_eval_caching(false);
+    reset_eval_cache();
+    chiron_runtime::set_reference_engine(true);
+    let t0 = Instant::now();
+    let out = f();
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    (out, ms)
+}
+
+/// Parallel engine, as `figures -- all --workers N` runs it.
+fn parallel_pass(f: FigureFn, workers: usize) -> (String, f64) {
+    chiron_runtime::set_reference_engine(false);
+    sweep::set_workers(workers);
+    set_eval_caching(true);
+    reset_eval_cache();
+    sweep::reset_cell_count();
+    let t0 = Instant::now();
+    let out = f();
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    (out, ms)
+}
+
+fn figure_entry(name: &str, workers: usize, f: FigureFn) -> (String, f64, f64) {
+    // Each configuration is timed twice, interleaved so both see the same
+    // heap and scheduler history, and the minimum is reported — the usual
+    // guard against one-off interference on a shared box. Every pass must
+    // emit the same bytes regardless of engine, memoisation or workers.
+    let (seq_a, seq_ms_a) = sequential_pass(f);
+    let (par_a, par_ms_a) = parallel_pass(f, workers);
+    let (seq_b, seq_ms_b) = sequential_pass(f);
+    let (par_b, par_ms_b) = parallel_pass(f, workers);
+    let cells = sweep::cell_count();
+    let sequential_ms = seq_ms_a.min(seq_ms_b);
+    let parallel_ms = par_ms_a.min(par_ms_b);
+    let rows_identical = seq_a == par_a && seq_a == seq_b && seq_a == par_b;
+
+    let entry = format!(
+        concat!(
+            "{{\"figure\": \"{}\", \"cells\": {}, ",
+            "\"sequential_ms\": {}, \"parallel_ms\": {}, \"speedup\": {}, ",
+            "\"cells_per_sec\": {}, \"rows_identical\": {}}}"
+        ),
+        name,
+        cells,
+        num(sequential_ms),
+        num(parallel_ms),
+        num(sequential_ms / parallel_ms),
+        num(cells as f64 / (parallel_ms / 1e3)),
+        rows_identical,
+    );
+    (entry, sequential_ms, parallel_ms)
+}
+
+/// The harness-performance report (see module docs). `workers` is the
+/// sweep width of the parallel pass.
+pub fn perf_eval(workers: usize) -> String {
+    let saved_workers = sweep::workers();
+    let saved_caching = chiron::eval_caching();
+    chiron_runtime::reset_alloc_stats();
+
+    let figures: [(&str, FigureFn); 7] = [
+        ("fig12", crate::fig12),
+        ("fig13", crate::fig13),
+        ("fig14", crate::fig14),
+        ("fig16", crate::fig16),
+        ("fig17", crate::fig17),
+        ("fig19", crate::fig19),
+        ("serve", crate::serve_figure),
+    ];
+    let mut entries = Vec::with_capacity(figures.len() + 1);
+    let mut total_seq = 0.0;
+    let mut total_par = 0.0;
+    for (name, f) in figures {
+        let (entry, seq_ms, par_ms) = figure_entry(name, workers, f);
+        entries.push(entry);
+        total_seq += seq_ms;
+        total_par += par_ms;
+    }
+    let (abl, abl_seq, abl_par) = figure_entry(
+        "ablations",
+        workers,
+        crate::ablations::ablations_deterministic,
+    );
+    entries.push(abl);
+    total_seq += abl_seq;
+    total_par += abl_par;
+
+    let stats = chiron_runtime::alloc_stats();
+    let plans_ok = plans_identical();
+
+    // Leave the globals as the caller set them.
+    sweep::set_workers(saved_workers);
+    set_eval_caching(saved_caching);
+    reset_eval_cache();
+
+    format!(
+        concat!(
+            "{{\n  \"workers\": {},\n  \"figures\": [\n    {}\n  ],\n",
+            "  \"figures_all\": {{\"sequential_ms\": {}, \"parallel_ms\": {}, ",
+            "\"speedup\": {}}},\n",
+            "  \"des_hot_loop\": {{\"buffer_allocs\": {}, \"buffer_reuses\": {}, ",
+            "\"reuse_fraction\": {}, \"sim_events\": {}}},\n",
+            "  \"plans_identical\": {}\n}}"
+        ),
+        workers,
+        entries.join(",\n    "),
+        num(total_seq),
+        num(total_par),
+        num(total_seq / total_par),
+        stats.buffer_allocs,
+        stats.buffer_reuses,
+        num(stats.buffer_reuses as f64 / (stats.buffer_allocs + stats.buffer_reuses) as f64),
+        stats.events,
+        plans_ok,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memoised_plans_match_cold_plans() {
+        assert!(plans_identical());
+        // Leave the cross-figure cache in its default state for other tests.
+        set_eval_caching(true);
+        reset_eval_cache();
+    }
+}

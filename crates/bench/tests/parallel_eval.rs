@@ -1,0 +1,117 @@
+//! Cross-crate determinism guarantees of the parallel evaluation engine.
+//!
+//! The sweep engine (`chiron_bench::sweep`), the scratch-reusing simulator
+//! hot path (`chiron_runtime`) and the PGP planner compose into the figure
+//! harness; these properties pin the contract the composition rests on:
+//!
+//! * a sweep over jittered request cells is byte-identical for every
+//!   worker count — seeds derive from the cell index, never the worker;
+//! * a reused [`SimScratch`] produces outcomes equal to fresh-allocation
+//!   runs, which in turn equal the retained pre-optimisation reference
+//!   engine.
+//!
+//! Workflows and plans are random: the planner turns each generated
+//! workflow into a real deployment plan before it reaches the simulator,
+//! so the properties cover plan shapes no hand-written fixture pins down.
+
+use chiron_bench::sweep::par_map_workers;
+use chiron_model::{
+    FunctionSpec, JitterModel, PlatformConfig, Segment, SimDuration, SyscallKind, Workflow,
+};
+use chiron_pgp::{PgpConfig, PgpMode, PgpScheduler};
+use chiron_profiler::Profiler;
+use chiron_runtime::{SimScratch, VirtualPlatform};
+use proptest::prelude::*;
+
+/// Two-stage workflows — an entry function, then a parallel stage mixing
+/// CPU-bound and IO-punctuated functions — the shapes that drive both the
+/// planner's process search and the fluid engine's GIL/CFS interleaving.
+fn arb_workflow() -> impl Strategy<Value = Workflow> {
+    prop::collection::vec((0u8..2, 1u64..20, 1u64..4), 2..10).prop_map(|parts| {
+        let fns: Vec<FunctionSpec> = parts
+            .iter()
+            .enumerate()
+            .map(|(i, &(kind, ms, lead))| {
+                let segments = if kind == 0 {
+                    vec![Segment::cpu_ms(ms)]
+                } else {
+                    vec![
+                        Segment::cpu_ms(lead),
+                        Segment::Block {
+                            kind: SyscallKind::NetIo,
+                            dur: SimDuration::from_millis(ms),
+                        },
+                        Segment::cpu_ms(1),
+                    ]
+                };
+                FunctionSpec::new(format!("f{i:02}"), segments)
+            })
+            .collect();
+        let parallel: Vec<u32> = (1..fns.len() as u32).collect();
+        Workflow::new("synthetic", fns, vec![vec![0], parallel]).unwrap()
+    })
+}
+
+/// Plans the workflow the way the harness does: profile, then PGP.
+fn plan_for(wf: &Workflow, mode: PgpMode) -> chiron_model::DeploymentPlan {
+    let prof = Profiler::default().profile_workflow(wf);
+    let sched = PgpScheduler::paper_calibrated();
+    let config = PgpConfig::performance_first().with_mode(mode);
+    sched.schedule(wf, &prof, &config).plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Sweeping jittered request cells is worker-count invariant: rows are
+    /// formatted inside the cells, and every worker count must reproduce
+    /// the single-threaded bytes exactly.
+    #[test]
+    fn sweep_rows_are_worker_count_invariant(wf in arb_workflow(), base in 0u64..1000) {
+        let plan = plan_for(&wf, PgpMode::NativeThread);
+        let platform = VirtualPlatform::new(
+            PlatformConfig::paper_calibrated().with_jitter(JitterModel::cluster()),
+        );
+        let cells: Vec<u64> = (0..13).collect();
+        let row = |i: usize, _: &u64| {
+            // Seed from the cell index alone — the determinism contract.
+            let seed = base.wrapping_add(i as u64);
+            let out = platform.execute(&wf, &plan, seed).expect("valid plan");
+            format!("{} {:?} {:?}", i, out.e2e, out.stage_windows)
+        };
+        let solo = par_map_workers(&cells, 1, row);
+        for workers in [2usize, 4, 7] {
+            prop_assert_eq!(
+                &par_map_workers(&cells, workers, row),
+                &solo,
+                "workers={}", workers
+            );
+        }
+    }
+
+    /// One scratch arena reused across requests, fresh scratch per
+    /// request, and the retained reference engine all agree exactly.
+    #[test]
+    fn scratch_reuse_matches_fresh_and_reference(wf in arb_workflow()) {
+        for mode in [PgpMode::NativeThread, PgpMode::Mpk] {
+            let plan = plan_for(&wf, mode);
+            let platform = VirtualPlatform::new(
+                PlatformConfig::paper_calibrated().with_jitter(JitterModel::cluster()),
+            );
+            let mut reused = SimScratch::new();
+            for seed in [0u64, 1, 7, 2023] {
+                let warm = platform
+                    .execute_with_scratch(&wf, &plan, seed, &mut reused)
+                    .expect("valid plan");
+                let fresh = platform
+                    .execute_with_scratch(&wf, &plan, seed, &mut SimScratch::new())
+                    .expect("valid plan");
+                let reference = platform
+                    .execute_reference(&wf, &plan, seed)
+                    .expect("valid plan");
+                prop_assert_eq!(&warm, &fresh, "seed={} mode={:?}", seed, mode);
+                prop_assert_eq!(&warm, &reference, "seed={} mode={:?}", seed, mode);
+            }
+        }
+    }
+}

@@ -24,7 +24,8 @@ pub mod eval;
 pub mod manager;
 
 pub use eval::{
-    evaluate_plan, evaluate_system, paper_slo, plan_for, state_transitions, EvalConfig, SystemEval,
+    eval_caching, evaluate_plan, evaluate_system, paper_slo, plan_for, profile_for,
+    reset_eval_cache, set_eval_caching, state_transitions, system_plan, EvalConfig, SystemEval,
 };
 pub use manager::{Chiron, Deployment};
 
@@ -35,7 +36,7 @@ pub use chiron_isolation as isolation;
 pub use chiron_metrics as metrics;
 pub use chiron_ml as ml;
 pub use chiron_model as model;
-pub use chiron_pgp::{PgpConfig, PgpMode, PgpScheduler, ScheduleOutcome};
+pub use chiron_pgp::{PgpConfig, PgpMode, PgpScheduler, ScheduleOutcome, PARALLEL_WORK_THRESHOLD};
 pub use chiron_predict as predict;
 pub use chiron_profiler as profiler;
 pub use chiron_runtime as runtime;

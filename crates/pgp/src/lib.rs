@@ -14,4 +14,4 @@ pub mod kl;
 pub mod scheduler;
 
 pub use kl::{kernighan_lin, KlObjective};
-pub use scheduler::{PgpConfig, PgpMode, PgpScheduler, ScheduleOutcome};
+pub use scheduler::{PgpConfig, PgpMode, PgpScheduler, ScheduleOutcome, PARALLEL_WORK_THRESHOLD};

@@ -45,6 +45,16 @@ use chiron_predict::{
 };
 use chiron_profiler::WorkflowProfile;
 
+/// Work-size threshold (functions × candidate process counts) below which
+/// [`PgpScheduler::schedule_parallel`] delegates to the sequential
+/// memoised rule instead of fanning out worker threads: small searches
+/// finish in microseconds per cell, so thread spawn/join — and the
+/// parallel contract's full-range `n` sweep — cost more than they save.
+/// [`PgpScheduler::schedule_parallel_reference`] applies the same
+/// threshold, so the parallel search stays byte-identical to its oracle
+/// at every work size.
+pub const PARALLEL_WORK_THRESHOLD: usize = 2000;
+
 /// Which execution mechanism the generated wraps use (§4's variants).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PgpMode {
@@ -448,7 +458,10 @@ impl PgpScheduler {
     /// latency-first mode it returns an equal-or-better plan.
     ///
     /// Only the native-thread mode has an `n` search to parallelise; the
-    /// MPK/pool modes fall back to the sequential path.
+    /// MPK/pool modes fall back to the sequential path, as do workflows
+    /// whose search space is below [`PARALLEL_WORK_THRESHOLD`] — there the
+    /// fan-out (and the full-range contract itself) costs more than it
+    /// saves, so small workflows take the sequential memoised rule.
     pub fn schedule_parallel(
         &self,
         workflow: &Workflow,
@@ -477,13 +490,25 @@ impl PgpScheduler {
         if config.mode != PgpMode::NativeThread || workers <= 1 {
             return self.schedule_with_cache(workflow, profile, config, cache);
         }
-        let check = self.predictor.conservative(config.conservative_margin);
-        let catalog = SegmentCatalog::new(profile);
         let max_n = workflow
             .max_parallelism()
             .min(config.max_process_search)
             .max(1);
         let stage_count = workflow.stages.len();
+
+        // Small searches lose more to thread spawning than they gain from
+        // extra cores (BENCH_PGP showed a 32-function search 3× slower
+        // parallel than memoised-sequential), and covering the full `n`
+        // range sequentially still costs ~3× the early-stopped search.
+        // Below the work threshold the whole parallel contract is a bad
+        // trade: delegate to the sequential memoised rule, exactly as a
+        // single-worker call does. The reference oracle applies the same
+        // threshold, so the byte-identity guarantee is unchanged.
+        if workflow.function_count() * max_n < PARALLEL_WORK_THRESHOLD {
+            return self.schedule_with_cache(workflow, profile, config, cache);
+        }
+        let check = self.predictor.conservative(config.conservative_margin);
+        let catalog = SegmentCatalog::new(profile);
 
         // Phase 1: KL partitioning, fanned out over (n, stage) pairs —
         // stages are independent given n, so large workflows parallelise
@@ -583,6 +608,9 @@ impl PgpScheduler {
     /// pre-optimisation evaluator over the full candidate range with the
     /// parallel path's selection rule. The parallel search must reproduce
     /// this byte-for-byte regardless of worker count or interleaving.
+    /// Mirrors the [`PARALLEL_WORK_THRESHOLD`] delegation: below it both
+    /// paths take their sequential rule, whose plans are already
+    /// byte-identical to each other.
     pub fn schedule_parallel_reference(
         &self,
         workflow: &Workflow,
@@ -592,6 +620,13 @@ impl PgpScheduler {
         if config.mode != PgpMode::NativeThread {
             return self.schedule_reference(workflow, profile, config);
         }
+        let max_n = workflow
+            .max_parallelism()
+            .min(config.max_process_search)
+            .max(1);
+        if workflow.function_count() * max_n < PARALLEL_WORK_THRESHOLD {
+            return self.schedule_reference(workflow, profile, config);
+        }
         let check = self.predictor.conservative(config.conservative_margin);
         let mut eval = ReferenceEval {
             predictor: &self.predictor,
@@ -599,10 +634,6 @@ impl PgpScheduler {
             workflow,
             profile,
         };
-        let max_n = workflow
-            .max_parallelism()
-            .min(config.max_process_search)
-            .max(1);
         let mut results = Vec::with_capacity(max_n);
         for n in 1..=max_n {
             let partitions = self.partition_stages(workflow, n, &mut eval);
@@ -1145,7 +1176,10 @@ mod tests {
     #[test]
     fn parallel_search_matches_its_reference() {
         let sched = PgpScheduler::paper_calibrated();
-        for wf in [apps::finra(20), apps::slapp()] {
+        // finra(63) sits just above PARALLEL_WORK_THRESHOLD (64 × 32 =
+        // 2048), exercising the fanned-out path; the smaller workflows
+        // exercise the below-threshold delegation.
+        for wf in [apps::finra(20), apps::slapp(), apps::finra(63)] {
             let prof = profile(&wf);
             for config in [
                 PgpConfig::performance_first(),

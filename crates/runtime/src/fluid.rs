@@ -25,8 +25,11 @@
 // consulting `holder`/`quantum_end`, which iterator forms cannot express.
 #![allow(clippy::needless_range_loop)]
 
+use crate::scratch::{self, SimScratch};
 use crate::span::{Span, SpanKind};
 use chiron_model::{RuntimeKind, Segment, SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// One thread to execute: absolute start time plus its segment list
 /// (already stretched by isolation overheads and jittered by the caller).
@@ -68,8 +71,6 @@ enum Phase {
 #[derive(Debug)]
 struct ThreadState {
     process: usize,
-    start: SimTime,
-    segments: Vec<Segment>,
     seg_idx: usize,
     /// Remaining nanoseconds of work in the current segment.
     remaining: f64,
@@ -80,6 +81,40 @@ struct ThreadState {
     spans: Vec<Span>,
     open: Option<(SpanKind, SimTime)>,
 }
+
+/// The engine's per-call state, kept between calls so a hot loop of
+/// `run_wrap`s reuses every buffer. All scheduling structures are
+/// incremental replacements for what used to be full per-event scans:
+///
+/// * `ready` — one min-heap per process ordered by `(cpu_used, index)`.
+///   A `Ready` thread's `cpu_used` is frozen (it only accumulates while
+///   `Running`, and the only exit from `Ready` is being granted, which
+///   pops its entry), so entries can never go stale and the heap's
+///   minimum is exactly the CFS `min_by(cpu_used).then(index)` victim —
+///   no re-sorting. IEEE-754 bits of a non-negative f64 order like the
+///   float itself, so the key is the bit pattern.
+/// * `wake` — min-heap of fixed future times: thread arrivals (`start`)
+///   and I/O completions (`until`), both immutable once pushed.
+/// * `running` + `run_pos` — the running set as a swap-remove list, so
+///   the fluid rate is `cpus / running.len()` with no O(threads) count
+///   and steps 5/6 only touch running threads.
+/// * `ready_total` — total ready entries; when zero (e.g. 200 forked
+///   single-thread processes) the preemption/grant/quantum scans are
+///   skipped outright.
+#[derive(Debug, Default)]
+pub(crate) struct FluidScratch {
+    threads: Vec<ThreadState>,
+    holder: Vec<Option<usize>>,
+    quantum_end: Vec<SimTime>,
+    ready: Vec<BinaryHeap<Reverse<(u64, usize)>>>,
+    ready_fifo: Vec<usize>,
+    wake: BinaryHeap<Reverse<(SimTime, usize)>>,
+    running: Vec<usize>,
+    run_pos: Vec<usize>,
+    results: Vec<ThreadResult>,
+}
+
+const NOT_RUNNING: usize = usize::MAX;
 
 impl ThreadState {
     fn open_span(&mut self, kind: SpanKind, now: SimTime) {
@@ -110,14 +145,393 @@ pub fn execute_sandbox(
     runtime: RuntimeKind,
     gil_interval: SimDuration,
 ) -> Vec<ThreadResult> {
+    let mut scratch = SimScratch::new();
+    execute_sandbox_scratch(tasks, cpus, runtime, gil_interval, &mut scratch).to_vec()
+}
+
+/// [`execute_sandbox`] writing into `scratch`'s reusable buffers. The
+/// returned slice lives until the next simulation call on the same
+/// scratch; results are byte-identical to [`execute_sandbox`].
+pub fn execute_sandbox_scratch<'a>(
+    tasks: &[ThreadTask],
+    cpus: u32,
+    runtime: RuntimeKind,
+    gil_interval: SimDuration,
+    scratch: &'a mut SimScratch,
+) -> &'a [ThreadResult] {
     assert!(cpus > 0, "sandbox needs at least one CPU");
     assert!(
         runtime == RuntimeKind::TrueParallel || !gil_interval.is_zero(),
         "GIL switch interval must be positive"
     );
-    let mut threads: Vec<ThreadState> = tasks
+    let span_pool = &mut scratch.spans;
+    let FluidScratch {
+        threads,
+        holder,
+        quantum_end,
+        ready,
+        ready_fifo,
+        wake,
+        running,
+        run_pos,
+        results,
+    } = &mut scratch.fluid;
+
+    // Recycle the previous call's span buffers and rebuild thread state.
+    for r in results.drain(..) {
+        span_pool.put(r.spans);
+    }
+    threads.clear();
+    for t in tasks {
+        threads.push(ThreadState {
+            process: t.process,
+            seg_idx: 0,
+            remaining: 0.0,
+            phase: Phase::NotStarted,
+            cpu_used: 0.0,
+            exec_start: None,
+            end: t.start,
+            spans: span_pool.take(),
+            open: None,
+        });
+    }
+    if tasks.is_empty() {
+        return results;
+    }
+
+    let n_procs = tasks.iter().map(|t| t.process).max().unwrap_or(0) + 1;
+    holder.clear();
+    holder.resize(n_procs, None);
+    quantum_end.clear();
+    quantum_end.resize(n_procs, SimTime::FAR_FUTURE);
+    for heap in ready.iter_mut() {
+        heap.clear();
+    }
+    if ready.len() < n_procs {
+        ready.resize_with(n_procs, BinaryHeap::new);
+    }
+    ready_fifo.clear();
+    wake.clear();
+    running.clear();
+    run_pos.clear();
+    run_pos.resize(tasks.len(), NOT_RUNNING);
+    let mut ready_total: usize = 0;
+    let mut events: u64 = 0;
+
+    for (i, t) in tasks.iter().enumerate() {
+        wake.push(Reverse((t.start, i)));
+    }
+    let Some(&Reverse((mut now, _))) = wake.peek() else {
+        unreachable!("non-empty task list")
+    };
+
+    loop {
+        events += 1;
+        // -- 1. Activate arrivals and I/O completions at `now`. -----------
+        // Wake times are immutable once pushed (thread starts are fixed,
+        // an Io `until` never changes), so each heap entry matches exactly
+        // one pending arrival or I/O episode of its thread.
+        while let Some(&Reverse((due, i))) = wake.peek() {
+            if due > now {
+                break;
+            }
+            wake.pop();
+            match threads[i].phase {
+                Phase::NotStarted => {}
+                Phase::Io { until } => {
+                    debug_assert!(until <= now);
+                    threads[i].close_span(now);
+                    threads[i].seg_idx += 1;
+                }
+                _ => unreachable!("stale wake entry"),
+            }
+            enter_segment(
+                &mut threads[i],
+                i,
+                &tasks[i].segments,
+                now,
+                runtime,
+                ready,
+                ready_fifo,
+                &mut ready_total,
+                wake,
+            );
+        }
+
+        // -- 2. Preempt expired GIL quanta (pseudo-parallel only). --------
+        // `ready_total == 0` (e.g. every process single-threaded) means no
+        // waiter anywhere: nothing to preempt, grant or time out.
+        if runtime == RuntimeKind::PseudoParallel && ready_total > 0 {
+            for p in 0..n_procs {
+                if let Some(h) = holder[p] {
+                    if quantum_end[p] <= now && !ready[p].is_empty() {
+                        // The holder is asked to drop the GIL (Fig. 2) and
+                        // re-queues behind the CFS rule.
+                        let t = &mut threads[h];
+                        t.close_span(now);
+                        t.phase = Phase::Ready;
+                        t.open_span(SpanKind::GilWait, now);
+                        ready[p].push(Reverse((t.cpu_used.to_bits(), h)));
+                        ready_total += 1;
+                        holder[p] = None;
+                        remove_running(running, run_pos, h);
+                    }
+                }
+            }
+        }
+
+        // -- 3. Grant the GIL / run slots. ---------------------------------
+        match runtime {
+            RuntimeKind::PseudoParallel => {
+                if ready_total > 0 {
+                    for p in 0..n_procs {
+                        if holder[p].is_none() {
+                            // CFS rule: the heap minimum is the ready thread
+                            // with the least CPU time (ties to lowest index).
+                            if let Some(Reverse((_, i))) = ready[p].pop() {
+                                ready_total -= 1;
+                                let t = &mut threads[i];
+                                t.close_span(now);
+                                t.phase = Phase::Running;
+                                t.exec_start.get_or_insert(now);
+                                t.open_span(SpanKind::Exec, now);
+                                holder[p] = Some(i);
+                                quantum_end[p] = now + gil_interval;
+                                run_pos[i] = running.len();
+                                running.push(i);
+                            }
+                        }
+                    }
+                }
+            }
+            RuntimeKind::TrueParallel => {
+                for &i in ready_fifo.iter() {
+                    let t = &mut threads[i];
+                    t.close_span(now);
+                    t.phase = Phase::Running;
+                    t.exec_start.get_or_insert(now);
+                    t.open_span(SpanKind::Exec, now);
+                    run_pos[i] = running.len();
+                    running.push(i);
+                }
+                ready_fifo.clear();
+            }
+        }
+
+        // -- 4. Fluid rate for the running set. ----------------------------
+        let rate = if running.is_empty() {
+            0.0
+        } else {
+            (f64::from(cpus) / running.len() as f64).min(1.0)
+        };
+
+        // -- 5. Find the next event. ---------------------------------------
+        let mut next = SimTime::FAR_FUTURE;
+        if let Some(&Reverse((due, _))) = wake.peek() {
+            next = next.min(due);
+        }
+        for &i in running.iter() {
+            let ns = (threads[i].remaining / rate).ceil() as u64;
+            next = next.min(now + SimDuration::from_nanos(ns));
+        }
+        if runtime == RuntimeKind::PseudoParallel && ready_total > 0 {
+            for p in 0..n_procs {
+                if holder[p].is_some() && !ready[p].is_empty() {
+                    next = next.min(quantum_end[p]);
+                }
+            }
+        }
+        if next == SimTime::FAR_FUTURE {
+            break; // every thread is Done
+        }
+        debug_assert!(next >= now, "time must advance monotonically");
+
+        // -- 6. Advance running threads by `dt`. ----------------------------
+        let dt = next.since(now).as_nanos() as f64;
+        if dt > 0.0 && rate > 0.0 {
+            for &i in running.iter() {
+                let t = &mut threads[i];
+                let progress = (dt * rate).min(t.remaining);
+                t.remaining -= progress;
+                t.cpu_used += progress;
+            }
+        }
+        now = next;
+
+        // -- 7. Complete finished CPU segments. -----------------------------
+        let mut k = 0;
+        while k < running.len() {
+            let i = running[k];
+            if threads[i].remaining > 0.5 {
+                k += 1;
+                continue;
+            }
+            threads[i].close_span(now);
+            let p = threads[i].process;
+            if holder[p] == Some(i) {
+                holder[p] = None;
+            }
+            running.swap_remove(k);
+            run_pos[i] = NOT_RUNNING;
+            if let Some(&j) = running.get(k) {
+                run_pos[j] = k;
+            }
+            threads[i].seg_idx += 1;
+            // A CPU segment followed directly by another CPU segment
+            // keeps the GIL: re-grant immediately in the next loop
+            // iteration (the thread is Ready with min cpu time unless a
+            // starved sibling takes over — which is exactly CFS).
+            enter_segment(
+                &mut threads[i],
+                i,
+                &tasks[i].segments,
+                now,
+                runtime,
+                ready,
+                ready_fifo,
+                &mut ready_total,
+                wake,
+            );
+        }
+    }
+
+    scratch::count_events(events);
+    for t in threads.drain(..) {
+        debug_assert_eq!(t.phase, Phase::Done);
+        results.push(ThreadResult {
+            exec_start: t.exec_start.unwrap_or(t.end),
+            end: t.end,
+            spans: t.spans,
+            cpu_time: SimDuration::from_nanos(t.cpu_used.round() as u64),
+        });
+    }
+    results
+}
+
+/// Unlinks thread `i` from the running list in O(1).
+fn remove_running(running: &mut Vec<usize>, run_pos: &mut [usize], i: usize) {
+    let pos = run_pos[i];
+    debug_assert_ne!(pos, NOT_RUNNING);
+    running.swap_remove(pos);
+    run_pos[i] = NOT_RUNNING;
+    if let Some(&j) = running.get(pos) {
+        run_pos[j] = pos;
+    }
+}
+
+/// Starts the thread's current segment at `now` (or finishes the thread),
+/// skipping zero-length segments, and registers the thread with the
+/// scheduler structure its new phase belongs to.
+#[allow(clippy::too_many_arguments)]
+fn enter_segment(
+    t: &mut ThreadState,
+    i: usize,
+    segments: &[Segment],
+    now: SimTime,
+    runtime: RuntimeKind,
+    ready: &mut [BinaryHeap<Reverse<(u64, usize)>>],
+    ready_fifo: &mut Vec<usize>,
+    ready_total: &mut usize,
+    wake: &mut BinaryHeap<Reverse<(SimTime, usize)>>,
+) {
+    loop {
+        match segments.get(t.seg_idx) {
+            None => {
+                t.phase = Phase::Done;
+                t.end = now;
+                return;
+            }
+            Some(&Segment::Cpu(d)) => {
+                if d.is_zero() {
+                    t.seg_idx += 1;
+                    continue;
+                }
+                t.remaining = d.as_nanos() as f64;
+                t.phase = Phase::Ready;
+                t.open_span(SpanKind::GilWait, now);
+                match runtime {
+                    RuntimeKind::PseudoParallel => {
+                        ready[t.process].push(Reverse((t.cpu_used.to_bits(), i)));
+                        *ready_total += 1;
+                    }
+                    RuntimeKind::TrueParallel => ready_fifo.push(i),
+                }
+                return;
+            }
+            Some(&Segment::Block { dur, .. }) => {
+                t.exec_start.get_or_insert(now);
+                if dur.is_zero() {
+                    t.seg_idx += 1;
+                    continue;
+                }
+                t.phase = Phase::Io { until: now + dur };
+                t.open_span(SpanKind::Io, now);
+                wake.push(Reverse((now + dur, i)));
+                return;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference engine
+// ---------------------------------------------------------------------------
+
+/// Thread state of the reference engine, which re-scans every thread per
+/// event and allocates all buffers per call.
+#[derive(Debug)]
+struct RefThreadState {
+    process: usize,
+    start: SimTime,
+    segments: Vec<Segment>,
+    seg_idx: usize,
+    remaining: f64,
+    phase: Phase,
+    cpu_used: f64,
+    exec_start: Option<SimTime>,
+    end: SimTime,
+    spans: Vec<Span>,
+    open: Option<(SpanKind, SimTime)>,
+}
+
+impl RefThreadState {
+    fn open_span(&mut self, kind: SpanKind, now: SimTime) {
+        debug_assert!(self.open.is_none(), "span already open");
+        self.open = Some((kind, now));
+    }
+
+    fn close_span(&mut self, now: SimTime) {
+        if let Some((kind, start)) = self.open.take() {
+            if now > start {
+                self.spans.push(Span {
+                    kind,
+                    start,
+                    end: now,
+                });
+            }
+        }
+    }
+}
+
+/// The pre-optimisation fluid engine, retained verbatim as a reference:
+/// `figures -- perf-eval` measures the incremental engine against it, and
+/// the property tests assert both produce byte-identical results. Unlike
+/// [`execute_sandbox_scratch`] it allocates every buffer per call and
+/// re-scans all threads at every event.
+pub fn execute_sandbox_reference(
+    tasks: &[ThreadTask],
+    cpus: u32,
+    runtime: RuntimeKind,
+    gil_interval: SimDuration,
+) -> Vec<ThreadResult> {
+    assert!(cpus > 0, "sandbox needs at least one CPU");
+    assert!(
+        runtime == RuntimeKind::TrueParallel || !gil_interval.is_zero(),
+        "GIL switch interval must be positive"
+    );
+    let mut threads: Vec<RefThreadState> = tasks
         .iter()
-        .map(|t| ThreadState {
+        .map(|t| RefThreadState {
             process: t.process,
             start: t.start,
             segments: t.segments.clone(),
@@ -146,12 +560,12 @@ pub fn execute_sandbox(
         // -- 1. Activate arrivals and I/O completions at `now`. -----------
         for i in 0..threads.len() {
             if threads[i].phase == Phase::NotStarted && threads[i].start <= now {
-                enter_segment(&mut threads[i], now);
+                ref_enter_segment(&mut threads[i], now);
             }
             if let Phase::Io { until } = threads[i].phase {
                 if until <= now {
                     threads[i].close_span(now);
-                    advance_segment(&mut threads[i], now);
+                    ref_advance_segment(&mut threads[i], now);
                 }
             }
         }
@@ -280,11 +694,7 @@ pub fn execute_sandbox(
                         *h = None;
                     }
                 }
-                advance_segment(&mut threads[i], now);
-                // A CPU segment followed directly by another CPU segment
-                // keeps the GIL: re-grant immediately in the next loop
-                // iteration (the thread is Ready with min cpu time unless a
-                // starved sibling takes over — which is exactly CFS).
+                ref_advance_segment(&mut threads[i], now);
             }
         }
     }
@@ -304,7 +714,7 @@ pub fn execute_sandbox(
 }
 
 /// Starts the thread's current segment at `now` (or finishes the thread).
-fn enter_segment(t: &mut ThreadState, now: SimTime) {
+fn ref_enter_segment(t: &mut RefThreadState, now: SimTime) {
     match t.segments.get(t.seg_idx) {
         None => {
             t.phase = Phase::Done;
@@ -313,7 +723,7 @@ fn enter_segment(t: &mut ThreadState, now: SimTime) {
         Some(&Segment::Cpu(d)) => {
             if d.is_zero() {
                 t.seg_idx += 1;
-                enter_segment(t, now);
+                ref_enter_segment(t, now);
                 return;
             }
             t.remaining = d.as_nanos() as f64;
@@ -324,7 +734,7 @@ fn enter_segment(t: &mut ThreadState, now: SimTime) {
             t.exec_start.get_or_insert(now);
             if dur.is_zero() {
                 t.seg_idx += 1;
-                enter_segment(t, now);
+                ref_enter_segment(t, now);
                 return;
             }
             t.phase = Phase::Io { until: now + dur };
@@ -334,9 +744,9 @@ fn enter_segment(t: &mut ThreadState, now: SimTime) {
 }
 
 /// Moves to the next segment after the current one completed at `now`.
-fn advance_segment(t: &mut ThreadState, now: SimTime) {
+fn ref_advance_segment(t: &mut RefThreadState, now: SimTime) {
     t.seg_idx += 1;
-    enter_segment(t, now);
+    ref_enter_segment(t, now);
 }
 
 #[cfg(test)]

@@ -14,10 +14,12 @@ pub mod fluid;
 pub mod jitter;
 pub mod platform;
 pub mod rt;
+pub mod scratch;
 pub mod span;
 
 pub use export::to_chrome_trace;
-pub use fluid::{execute_sandbox, ThreadResult, ThreadTask};
-pub use platform::VirtualPlatform;
+pub use fluid::{execute_sandbox, execute_sandbox_reference, ThreadResult, ThreadTask};
+pub use platform::{reference_engine, set_reference_engine, VirtualPlatform};
 pub use rt::{run_realtime, RtResult, RtTask};
+pub use scratch::{alloc_stats, reset_alloc_stats, AllocStats, SimScratch};
 pub use span::{FunctionTimeline, RequestOutcome, Span, SpanKind};

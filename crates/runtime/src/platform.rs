@@ -21,8 +21,9 @@
 //! * CPU contention, the GIL, and true parallelism are simulated by the
 //!   [`fluid`](crate::fluid) engine.
 
-use crate::fluid::{execute_sandbox, ThreadTask};
+use crate::fluid::{execute_sandbox_scratch, ThreadTask};
 use crate::jitter::Jitter;
+use crate::scratch::SimScratch;
 use crate::span::{FunctionTimeline, RequestOutcome, Span, SpanKind};
 use chiron_isolation::IsolationCosts;
 use chiron_model::plan::ProcessSpawn;
@@ -31,10 +32,72 @@ use chiron_model::{
     SimTime, TransferKind, Workflow, WrapPlan,
 };
 use chiron_store::TransferModel;
+use std::cell::RefCell;
 use std::collections::HashSet;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static REFERENCE_ENGINE: AtomicBool = AtomicBool::new(false);
+
+/// Routes [`VirtualPlatform::execute`] through the retained
+/// pre-optimisation engine ([`VirtualPlatform::execute_reference`]).
+/// `figures -- perf-eval` uses this for its sequential baseline; results
+/// are byte-identical either way, only wall-clock changes.
+pub fn set_reference_engine(enabled: bool) {
+    REFERENCE_ENGINE.store(enabled, Ordering::SeqCst);
+}
+
+/// Whether [`execute`](VirtualPlatform::execute) currently routes through
+/// the reference engine.
+pub fn reference_engine() -> bool {
+    REFERENCE_ENGINE.load(Ordering::SeqCst)
+}
 
 /// Size of the initial request payload entering stage 1.
 const REQUEST_PAYLOAD_BYTES: u64 = 1 << 10;
+
+thread_local! {
+    /// Default scratch for callers that don't manage their own (one per OS
+    /// thread, so sweep workers never contend).
+    static SCRATCH: RefCell<SimScratch> = RefCell::new(SimScratch::new());
+}
+
+/// Reusable buffers for [`VirtualPlatform::execute`] and `run_wrap`.
+/// `pre_all` holds every pre-execution span of the current wrap
+/// back-to-back; each thread's metadata keeps a [`Range`] into it instead
+/// of an owned clone, so the only per-function allocation left is the
+/// timeline's final span vector (which is returned to the caller and
+/// therefore cannot be pooled).
+#[derive(Debug, Default)]
+pub(crate) struct WrapScratch {
+    // -- per-request buffers (execute) --
+    stage_sets: Vec<Vec<FunctionId>>,
+    warm: HashSet<chiron_model::SandboxId>,
+    wrap_ends: Vec<SimTime>,
+    // -- per-wrap buffers (run_wrap), taken wholesale so the fluid engine
+    //    can borrow the rest of the scratch during the simulation --
+    bufs: WrapBufs,
+}
+
+#[derive(Debug, Default)]
+struct WrapBufs {
+    tasks: Vec<ThreadTask>,
+    metas: Vec<ThreadMeta>,
+    pre_all: Vec<Span>,
+    proc_end: Vec<SimTime>,
+    order: Vec<usize>,
+    ipc_span: Vec<Option<Span>>,
+    first_meta: Vec<usize>,
+}
+
+#[derive(Debug)]
+struct ThreadMeta {
+    function: FunctionId,
+    process: usize,
+    /// This thread's pre-execution spans, as a range into `pre_all`.
+    pre: Range<usize>,
+    dispatched: SimTime,
+}
 
 /// The virtual platform.
 #[derive(Debug, Clone)]
@@ -69,8 +132,442 @@ impl VirtualPlatform {
     }
 
     /// Executes one request; `seed` drives the jitter model (ignored when
-    /// jitter is off).
+    /// jitter is off). Uses a thread-local [`SimScratch`]; callers that want
+    /// explicit control over buffer reuse use
+    /// [`execute_with_scratch`](Self::execute_with_scratch).
     pub fn execute(
+        &self,
+        workflow: &Workflow,
+        plan: &DeploymentPlan,
+        seed: u64,
+    ) -> Result<RequestOutcome, PlanError> {
+        if reference_engine() {
+            return self.execute_reference(workflow, plan, seed);
+        }
+        SCRATCH.with(|s| self.execute_with_scratch(workflow, plan, seed, &mut s.borrow_mut()))
+    }
+
+    /// Like [`execute`](Self::execute), but drawing every internal buffer
+    /// from `scratch`. Byte-identical to a fresh-allocation run: buffers are
+    /// cleared before reuse and carry no state between requests.
+    pub fn execute_with_scratch(
+        &self,
+        workflow: &Workflow,
+        plan: &DeploymentPlan,
+        seed: u64,
+        scratch: &mut SimScratch,
+    ) -> Result<RequestOutcome, PlanError> {
+        {
+            let stage_sets = &mut scratch.wrap.stage_sets;
+            for (i, s) in workflow.stages.iter().enumerate() {
+                if let Some(set) = stage_sets.get_mut(i) {
+                    set.clear();
+                    set.extend_from_slice(&s.functions);
+                } else {
+                    stage_sets.push(s.functions.clone());
+                }
+            }
+            stage_sets.truncate(workflow.stages.len());
+        }
+        plan.validate(&scratch.wrap.stage_sets)?;
+
+        let costs = &self.config.costs;
+        let mut jit = Jitter::new(self.config.jitter, seed);
+        let iso = IsolationCosts::for_kind(plan.isolation);
+        let store_based = plan.transfer != TransferKind::RpcPayload;
+        let last_stage = plan.stages.len() - 1;
+
+        let mut timelines: Vec<Option<FunctionTimeline>> = vec![None; workflow.function_count()];
+        let mut warm = std::mem::take(&mut scratch.wrap.warm);
+        warm.clear();
+        let mut wrap_ends = std::mem::take(&mut scratch.wrap.wrap_ends);
+        let mut stage_windows = Vec::with_capacity(plan.stages.len());
+        let mut t = SimTime::ZERO;
+        let mut prev_primary = None;
+
+        for (si, stage_plan) in plan.stages.iter().enumerate() {
+            let stage_input_bytes = if si == 0 {
+                REQUEST_PAYLOAD_BYTES
+            } else {
+                workflow.stage_output_bytes(si - 1)
+            };
+
+            // Cross-stage control handoff between pre-deployed wraps in
+            // different sandboxes.
+            let primary = stage_plan.wraps[0].sandbox;
+            if plan.scheduling == SchedulingKind::PreDeployed {
+                if let Some(prev) = prev_primary {
+                    if prev != primary {
+                        t = t
+                            + jit.comm(costs.rpc)
+                            + jit.comm(
+                                self.transfer
+                                    .cross_sandbox(TransferKind::RpcPayload, stage_input_bytes),
+                            );
+                    }
+                }
+            }
+            prev_primary = Some(primary);
+
+            let stage_start = t;
+            wrap_ends.clear();
+
+            for (k, wrap) in stage_plan.wraps.iter().enumerate() {
+                // ---- invocation time of this wrap -----------------------
+                let mut avail = match plan.scheduling {
+                    SchedulingKind::Asf => {
+                        stage_start + jit.comm(self.config.scheduling.asf_schedule_time(k as u32))
+                    }
+                    SchedulingKind::OpenFaasGateway => {
+                        stage_start
+                            + jit.comm(self.config.scheduling.openfaas_stage_overhead(k as u32 + 1))
+                            + jit.comm(costs.rpc)
+                    }
+                    SchedulingKind::PreDeployed => {
+                        if k == 0 {
+                            stage_start
+                        } else {
+                            stage_start
+                                + jit.comm(costs.inv * k as u64)
+                                + jit.comm(costs.rpc)
+                                + jit.comm(
+                                    self.transfer
+                                        .cross_sandbox(TransferKind::RpcPayload, stage_input_bytes),
+                                )
+                        }
+                    }
+                };
+                if self.include_cold_start && !warm.contains(&wrap.sandbox) {
+                    avail += jit.startup(costs.sandbox_cold_start);
+                }
+                warm.insert(wrap.sandbox);
+
+                let read_input = store_based && si > 0;
+                let write_output = store_based && si < last_stage;
+                let end = self.run_wrap(
+                    WrapRun {
+                        workflow,
+                        plan,
+                        wrap,
+                        stage: si,
+                        stage_start,
+                        avail,
+                        stage_input_bytes,
+                        read_input,
+                        write_output,
+                        iso: &iso,
+                        jit: &mut jit,
+                        timelines: &mut timelines,
+                    },
+                    scratch,
+                );
+                wrap_ends.push(end);
+            }
+
+            // ---- stage completion (Eq. 2) -------------------------------
+            let remote_return = plan.scheduling != SchedulingKind::PreDeployed;
+            let mut stage_end = SimTime::ZERO;
+            for (k, &end) in wrap_ends.iter().enumerate() {
+                let e = if k == 0 && !remote_return {
+                    end
+                } else {
+                    end + jit.comm(costs.rpc)
+                };
+                stage_end = stage_end.max(e);
+            }
+            t = stage_end;
+            stage_windows.push((stage_start, stage_end));
+        }
+
+        scratch.wrap.warm = warm;
+        scratch.wrap.wrap_ends = wrap_ends;
+        let timelines: Vec<FunctionTimeline> = timelines
+            .into_iter()
+            .map(|t| t.expect("every function executed"))
+            .collect();
+        Ok(RequestOutcome {
+            e2e: t.since(SimTime::ZERO),
+            timelines,
+            stage_windows,
+        })
+    }
+
+    /// Executes one wrap and returns the instant its result set is complete
+    /// inside its sandbox.
+    fn run_wrap(&self, run: WrapRun<'_>, scratch: &mut SimScratch) -> SimTime {
+        let WrapRun {
+            workflow,
+            plan,
+            wrap,
+            stage,
+            stage_start,
+            avail,
+            stage_input_bytes,
+            read_input,
+            write_output,
+            iso,
+            jit,
+            timelines,
+        } = run;
+        let costs = &self.config.costs;
+        let sb = plan.sandbox(wrap.sandbox).expect("validated plan");
+
+        // The wrap buffers move out of the scratch so the fluid engine can
+        // borrow the rest of it during the simulation; they go back below.
+        let mut ws = std::mem::take(&mut scratch.wrap.bufs);
+        let WrapBufs {
+            tasks,
+            metas,
+            pre_all,
+            proc_end,
+            order,
+            ipc_span,
+            first_meta,
+        } = &mut ws;
+        tasks.clear();
+        metas.clear();
+        pre_all.clear();
+
+        let mut cum_block = SimDuration::ZERO;
+        let mut forked_before = false;
+        for (pi, proc) in wrap.processes.iter().enumerate() {
+            // ---- process materialisation --------------------------------
+            let proc_pre_start = pre_all.len();
+            if avail > stage_start {
+                pre_all.push(Span {
+                    kind: SpanKind::Scheduled,
+                    start: stage_start,
+                    end: avail,
+                });
+            }
+            let mut cursor = avail;
+            match proc.spawn {
+                ProcessSpawn::Fork => {
+                    if forked_before {
+                        cum_block += jit.startup(costs.process_block);
+                    }
+                    forked_before = true;
+                    if !cum_block.is_zero() {
+                        let end = cursor + cum_block;
+                        pre_all.push(Span {
+                            kind: SpanKind::BlockWait,
+                            start: cursor,
+                            end,
+                        });
+                        cursor = end;
+                    }
+                    let startup = jit.startup(costs.process_startup);
+                    let end = cursor + startup;
+                    pre_all.push(Span {
+                        kind: SpanKind::Startup,
+                        start: cursor,
+                        end,
+                    });
+                    cursor = end;
+                }
+                ProcessSpawn::Pool => {
+                    let dispatch = jit.startup(costs.pool_dispatch)
+                        + jit.comm(self.transfer.cross_process(stage_input_bytes));
+                    let end = cursor + dispatch;
+                    pre_all.push(Span {
+                        kind: SpanKind::Startup,
+                        start: cursor,
+                        end,
+                    });
+                    cursor = end;
+                }
+                ProcessSpawn::MainReuse => {}
+            }
+            let proc_pre_end = pre_all.len();
+            let proc_ready = cursor;
+
+            // MPK/SFI isolation wraps thread execution: it applies wherever
+            // a function shares an address space (the orchestrator's
+            // process, or a multi-function process). A forked or pooled
+            // process hosting a single function is isolated by the process
+            // boundary itself.
+            let isolated = proc.spawn == ProcessSpawn::MainReuse || proc.functions.len() > 1;
+
+            for (ti, &fid) in proc.functions.iter().enumerate() {
+                // Each thread's pre-spans begin with its process's prefix.
+                let pre_start = pre_all.len();
+                for i in proc_pre_start..proc_pre_end {
+                    let span = pre_all[i];
+                    pre_all.push(span);
+                }
+                let mut cursor = proc_ready;
+                if ti > 0 {
+                    // Threads are cloned serially by the process main.
+                    let clone_cost = jit.startup(costs.thread_clone) * ti as u64;
+                    let end = cursor + clone_cost;
+                    pre_all.push(Span {
+                        kind: SpanKind::Startup,
+                        start: cursor,
+                        end,
+                    });
+                    cursor = end;
+                }
+                if isolated && !iso.startup.is_zero() {
+                    let end = cursor + jit.startup(iso.startup);
+                    pre_all.push(Span {
+                        kind: SpanKind::Startup,
+                        start: cursor,
+                        end,
+                    });
+                    cursor = end;
+                }
+                if read_input {
+                    let read = jit.comm(
+                        self.transfer
+                            .cross_sandbox(plan.transfer, stage_input_bytes),
+                    );
+                    let end = cursor + read;
+                    pre_all.push(Span {
+                        kind: SpanKind::TransferIn,
+                        start: cursor,
+                        end,
+                    });
+                    cursor = end;
+                }
+                let spec = workflow.function(fid);
+                let mut segments = scratch.segs.take();
+                segments.extend(spec.segments.iter().map(|&seg| {
+                    let stretched = if isolated {
+                        iso.stretch_segment(seg)
+                    } else {
+                        seg.duration()
+                    };
+                    match seg {
+                        Segment::Cpu(_) => Segment::Cpu(jit.cpu(stretched)),
+                        Segment::Block { kind, .. } => Segment::Block {
+                            kind,
+                            dur: jit.io(stretched),
+                        },
+                    }
+                }));
+                tasks.push(ThreadTask {
+                    process: pi,
+                    start: cursor,
+                    segments,
+                });
+                metas.push(ThreadMeta {
+                    function: fid,
+                    process: pi,
+                    pre: pre_start..pre_all.len(),
+                    dispatched: stage_start,
+                });
+            }
+        }
+
+        let results = execute_sandbox_scratch(
+            tasks,
+            sb.cpus,
+            plan.runtime,
+            costs.gil_switch_interval,
+            scratch,
+        );
+
+        // ---- per-process completion and IPC drain (Eq. 3) ---------------
+        let n_procs = wrap.processes.len();
+        proc_end.clear();
+        proc_end.resize(n_procs, SimTime::ZERO);
+        first_meta.clear();
+        first_meta.resize(n_procs, usize::MAX);
+        for (mi, (meta, result)) in metas.iter().zip(results).enumerate() {
+            proc_end[meta.process] = proc_end[meta.process].max(result.end);
+            if first_meta[meta.process] == usize::MAX {
+                first_meta[meta.process] = mi;
+            }
+        }
+        order.clear();
+        order.extend(0..n_procs);
+        order.sort_by_key(|&p| proc_end[p]);
+        let mut drain = SimTime::ZERO;
+        ipc_span.clear();
+        ipc_span.resize(n_procs, None);
+        for (rank, &p) in order.iter().enumerate() {
+            if rank == 0 {
+                drain = proc_end[p];
+                continue;
+            }
+            let start = drain.max(proc_end[p]);
+            let out_bytes: u64 = wrap.processes[p]
+                .functions
+                .iter()
+                .map(|&fid| workflow.function(fid).output_bytes)
+                .sum();
+            let cost = jit.comm(costs.ipc_pipe + self.transfer.cross_process(out_bytes));
+            drain = start + cost;
+            ipc_span[p] = Some(Span {
+                kind: SpanKind::Ipc,
+                start,
+                end: drain,
+            });
+        }
+        let mut wrap_end = drain;
+
+        // ---- assemble timelines ------------------------------------------
+        for (mi, (meta, result)) in metas.iter().zip(results).enumerate() {
+            // IPC span attaches to the process's functions (recorded once,
+            // on the process's first function).
+            let ipc = ipc_span[meta.process].filter(|_| first_meta[meta.process] == mi);
+            let mut spans = Vec::with_capacity(
+                meta.pre.len()
+                    + result.spans.len()
+                    + usize::from(ipc.is_some())
+                    + usize::from(write_output),
+            );
+            spans.extend_from_slice(&pre_all[meta.pre.clone()]);
+            spans.extend_from_slice(&result.spans);
+            let mut completed = result.end;
+            if let Some(ipc) = ipc {
+                spans.push(ipc);
+            }
+            if write_output {
+                let write =
+                    jit.comm(self.transfer.cross_sandbox(
+                        plan.transfer,
+                        workflow.function(meta.function).output_bytes,
+                    ));
+                // The write starts when the function's own result exists.
+                let start = completed;
+                completed = start + write;
+                spans.push(Span {
+                    kind: SpanKind::TransferOut,
+                    start,
+                    end: completed,
+                });
+                wrap_end = wrap_end.max(completed);
+            }
+            timelines[meta.function.index()] = Some(FunctionTimeline {
+                function: meta.function,
+                sandbox: wrap.sandbox,
+                stage,
+                dispatched: meta.dispatched,
+                exec_start: result.exec_start,
+                completed,
+                spans,
+            });
+        }
+
+        // Recycle the task segment buffers, then hand the wrap buffers back.
+        for task in tasks.drain(..) {
+            scratch.segs.put(task.segments);
+        }
+        scratch.wrap.bufs = ws;
+        wrap_end
+    }
+
+    // -----------------------------------------------------------------------
+    // Reference engine
+    // -----------------------------------------------------------------------
+
+    /// The pre-optimisation execution path, retained verbatim: allocates
+    /// every buffer per request and simulates sandboxes with
+    /// [`execute_sandbox_reference`](crate::fluid::execute_sandbox_reference).
+    /// Byte-identical to [`execute`](Self::execute) — `figures -- perf-eval`
+    /// benchmarks against it and the property tests assert the equality.
+    pub fn execute_reference(
         &self,
         workflow: &Workflow,
         plan: &DeploymentPlan,
@@ -154,7 +651,7 @@ impl VirtualPlatform {
 
                 let read_input = store_based && si > 0;
                 let write_output = store_based && si < last_stage;
-                let end = self.run_wrap(WrapRun {
+                let end = self.run_wrap_reference(WrapRun {
                     workflow,
                     plan,
                     wrap,
@@ -197,9 +694,9 @@ impl VirtualPlatform {
         })
     }
 
-    /// Executes one wrap and returns the instant its result set is complete
-    /// inside its sandbox.
-    fn run_wrap(&self, run: WrapRun<'_>) -> SimTime {
+    /// `run_wrap` as it was before buffer reuse: per-call vectors, cloned
+    /// pre-span lists and the re-scanning fluid engine.
+    fn run_wrap_reference(&self, run: WrapRun<'_>) -> SimTime {
         let WrapRun {
             workflow,
             plan,
@@ -217,14 +714,14 @@ impl VirtualPlatform {
         let costs = &self.config.costs;
         let sb = plan.sandbox(wrap.sandbox).expect("validated plan");
 
-        struct ThreadMeta {
+        struct RefMeta {
             function: FunctionId,
             process: usize,
             pre_spans: Vec<Span>,
             dispatched: SimTime,
         }
         let mut tasks: Vec<ThreadTask> = Vec::with_capacity(wrap.function_count());
-        let mut metas: Vec<ThreadMeta> = Vec::with_capacity(wrap.function_count());
+        let mut metas: Vec<RefMeta> = Vec::with_capacity(wrap.function_count());
 
         let mut cum_block = SimDuration::ZERO;
         let mut forked_before = false;
@@ -278,11 +775,6 @@ impl VirtualPlatform {
             }
             let proc_ready = cursor;
 
-            // MPK/SFI isolation wraps thread execution: it applies wherever
-            // a function shares an address space (the orchestrator's
-            // process, or a multi-function process). A forked or pooled
-            // process hosting a single function is isolated by the process
-            // boundary itself.
             let isolated = proc.spawn == ProcessSpawn::MainReuse || proc.functions.len() > 1;
 
             for (ti, &fid) in proc.functions.iter().enumerate() {
@@ -345,7 +837,7 @@ impl VirtualPlatform {
                     start: cursor,
                     segments,
                 });
-                metas.push(ThreadMeta {
+                metas.push(RefMeta {
                     function: fid,
                     process: pi,
                     pre_spans: spans,
@@ -354,7 +846,12 @@ impl VirtualPlatform {
             }
         }
 
-        let results = execute_sandbox(&tasks, sb.cpus, plan.runtime, costs.gil_switch_interval);
+        let results = crate::fluid::execute_sandbox_reference(
+            &tasks,
+            sb.cpus,
+            plan.runtime,
+            costs.gil_switch_interval,
+        );
 
         // ---- per-process completion and IPC drain (Eq. 3) ---------------
         let n_procs = wrap.processes.len();
@@ -826,5 +1323,42 @@ mod tests {
         let (wf, mut plan) = solo();
         plan.stages.clear();
         assert!(platform().execute(&wf, &plan, 0).is_err());
+    }
+
+    #[test]
+    fn reference_engine_matches_optimised_engine() {
+        let p = VirtualPlatform::new(
+            PlatformConfig::paper_calibrated().with_jitter(chiron_model::JitterModel::cluster()),
+        );
+        let (solo_wf, solo_plan) = solo();
+        let (finra_wf, finra_plan) = finra5_faastlane();
+        let cases = [(&solo_wf, &solo_plan), (&finra_wf, &finra_plan)];
+        for (wf, plan) in cases {
+            for seed in [0u64, 1, 2023] {
+                let fast = p.execute(wf, plan, seed).unwrap();
+                let reference = p.execute_reference(wf, plan, seed).unwrap();
+                assert_eq!(
+                    fast, reference,
+                    "engines diverge on {} seed {seed}",
+                    wf.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_scratch() {
+        let p = platform();
+        let (wf, plan) = finra5_faastlane();
+        let mut reused = crate::scratch::SimScratch::new();
+        for seed in 0..5u64 {
+            let warm = p
+                .execute_with_scratch(&wf, &plan, seed, &mut reused)
+                .unwrap();
+            let fresh = p
+                .execute_with_scratch(&wf, &plan, seed, &mut crate::scratch::SimScratch::new())
+                .unwrap();
+            assert_eq!(warm, fresh, "scratch reuse changed the outcome");
+        }
     }
 }

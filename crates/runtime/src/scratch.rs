@@ -1,0 +1,128 @@
+//! Reusable per-worker simulation buffers.
+//!
+//! Every `run_wrap` used to allocate its thread-state, span and timeline
+//! vectors from scratch — millions of short-lived allocations over a full
+//! figure regeneration. [`SimScratch`] keeps those buffers alive between
+//! requests: one scratch per sweep worker (or the thread-local default),
+//! never shared, so reuse is free of synchronisation. Buffers are always
+//! cleared before reuse, which is why a scratch-backed run is
+//! byte-identical to a fresh-allocation run (the property tests check
+//! exactly that).
+//!
+//! The module also counts pool traffic globally so `figures -- perf-eval`
+//! can report first-run vs steady-state allocation counts for the DES hot
+//! loop.
+
+use crate::span::Span;
+use chiron_model::Segment;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static BUFFER_ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BUFFER_REUSES: AtomicU64 = AtomicU64::new(0);
+static SIM_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+/// Global pool-traffic counters for the DES hot loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Buffers newly allocated because no pooled one was available.
+    pub buffer_allocs: u64,
+    /// Buffers served from a scratch pool.
+    pub buffer_reuses: u64,
+    /// Fluid-simulator event-loop iterations.
+    pub events: u64,
+}
+
+pub fn reset_alloc_stats() {
+    BUFFER_ALLOCS.store(0, Ordering::SeqCst);
+    BUFFER_REUSES.store(0, Ordering::SeqCst);
+    SIM_EVENTS.store(0, Ordering::SeqCst);
+}
+
+pub fn alloc_stats() -> AllocStats {
+    AllocStats {
+        buffer_allocs: BUFFER_ALLOCS.load(Ordering::SeqCst),
+        buffer_reuses: BUFFER_REUSES.load(Ordering::SeqCst),
+        events: SIM_EVENTS.load(Ordering::SeqCst),
+    }
+}
+
+pub(crate) fn count_events(n: u64) {
+    SIM_EVENTS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// A pool of recycled `Vec<T>` buffers; `take` hands back a cleared buffer
+/// with its old capacity intact.
+#[derive(Debug)]
+pub(crate) struct Pool<T>(Vec<Vec<T>>);
+
+impl<T> Default for Pool<T> {
+    fn default() -> Self {
+        Pool(Vec::new())
+    }
+}
+
+impl<T> Pool<T> {
+    pub(crate) fn take(&mut self) -> Vec<T> {
+        match self.0.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                BUFFER_REUSES.fetch_add(1, Ordering::Relaxed);
+                buf
+            }
+            None => {
+                BUFFER_ALLOCS.fetch_add(1, Ordering::Relaxed);
+                Vec::new()
+            }
+        }
+    }
+
+    pub(crate) fn put(&mut self, buf: Vec<T>) {
+        self.0.push(buf);
+    }
+}
+
+/// Reusable buffers for one simulation worker. Not shared between
+/// workers: each sweep worker (or the thread-local default) owns its own,
+/// mirroring `chiron-predict`'s `PredictScratch`.
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    pub(crate) spans: Pool<Span>,
+    pub(crate) segs: Pool<Segment>,
+    pub(crate) fluid: crate::fluid::FluidScratch,
+    pub(crate) wrap: crate::platform::WrapScratch,
+}
+
+impl SimScratch {
+    pub fn new() -> Self {
+        SimScratch::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_recycle_buffers() {
+        let mut pool: Pool<Span> = Pool::default();
+        let mut spans = pool.take();
+        spans.reserve(16);
+        let cap = spans.capacity();
+        pool.put(spans);
+        let again = pool.take();
+        assert!(again.is_empty());
+        assert!(again.capacity() >= cap);
+    }
+
+    #[test]
+    fn stats_track_allocs_and_reuses() {
+        reset_alloc_stats();
+        let mut pool: Pool<Span> = Pool::default();
+        let buf = pool.take();
+        pool.put(buf);
+        let _ = pool.take();
+        let stats = alloc_stats();
+        assert!(stats.buffer_allocs >= 1);
+        assert!(stats.buffer_reuses >= 1);
+    }
+}

@@ -105,7 +105,15 @@ impl Router {
 
     /// Empties a dead node's queue (its requests get re-sharded).
     pub fn drain_node(&mut self, node: usize) -> Vec<u64> {
-        self.per_node[node].drain(..).collect()
+        let mut out = Vec::new();
+        self.drain_node_into(node, &mut out);
+        out
+    }
+
+    /// Like [`Router::drain_node`], but appends into a caller-owned buffer
+    /// so the failure-recovery path can reuse its scratch allocation.
+    pub fn drain_node_into(&mut self, node: usize, out: &mut Vec<u64>) {
+        out.extend(self.per_node[node].drain(..));
     }
 
     pub fn queued(&self) -> usize {

@@ -171,6 +171,12 @@ struct Run<'a> {
     /// Scratch: ascending node indices with a usable replica, derived from
     /// `node_usable` by [`Run::refresh_hosts`].
     hosts_scratch: Vec<usize>,
+    /// Scratch: node deaths detected in one heartbeat sweep.
+    detected_scratch: Vec<NodeId>,
+    /// Scratch: in-flight requests to re-queue after a node death.
+    requeue_scratch: Vec<u64>,
+    /// Scratch: a dead node's stranded queue entries awaiting re-shard.
+    stranded_scratch: Vec<u64>,
     /// Cumulative request count at the end of each phase.
     phase_ends: Vec<u64>,
     total: u64,
@@ -236,6 +242,9 @@ impl<'a> Run<'a> {
             shards: Vec::with_capacity(cum as usize),
             node_usable: Vec::with_capacity(nodes),
             hosts_scratch: Vec::with_capacity(nodes),
+            detected_scratch: Vec::new(),
+            requeue_scratch: Vec::new(),
+            stranded_scratch: Vec::new(),
             phase_ends,
             total: cum,
             arrived: 0,
@@ -423,7 +432,10 @@ impl<'a> Run<'a> {
     fn on_heartbeat(&mut self, now: SimTime) {
         let threshold =
             self.sim.config.heartbeat_interval * u64::from(self.sim.config.heartbeat_miss_limit);
-        let mut detected = Vec::new();
+        // Taken (not borrowed) so `handle_node_death` can take `&mut self`
+        // inside the loop; restored afterwards so the buffer is reused.
+        let mut detected = std::mem::take(&mut self.detected_scratch);
+        detected.clear();
         self.undetected.retain(|&(at, node)| {
             if now.as_nanos() >= (at + threshold).as_nanos() {
                 detected.push(node);
@@ -432,9 +444,10 @@ impl<'a> Run<'a> {
                 true
             }
         });
-        for node in detected {
+        for &node in &detected {
             self.handle_node_death(node, now);
         }
+        self.detected_scratch = detected;
         if !self.undetected.is_empty() {
             self.events.push(
                 now + self.sim.config.heartbeat_interval,
@@ -444,7 +457,8 @@ impl<'a> Run<'a> {
     }
 
     fn handle_node_death(&mut self, node: NodeId, now: SimTime) {
-        let mut requeue = Vec::new();
+        let mut requeue = std::mem::take(&mut self.requeue_scratch);
+        requeue.clear();
         let mut dead = 0u32;
         // Disjoint field borrows: the cluster refund reads the replica's
         // placement in place instead of cloning it per failure.
@@ -479,12 +493,15 @@ impl<'a> Run<'a> {
 
         // The dead node's own queue never dispatched: re-shard in order.
         if self.sim.config.router == RouterPolicy::PartitionedByNode {
-            let stranded = self.router.drain_node(node.0 as usize);
-            for req in stranded {
+            let mut stranded = std::mem::take(&mut self.stranded_scratch);
+            stranded.clear();
+            self.router.drain_node_into(node.0 as usize, &mut stranded);
+            for &req in &stranded {
                 let shard = self.router.choose_shard(&self.hosts_scratch);
                 self.router.push_back(shard, req);
                 self.shards[req as usize] = shard;
             }
+            self.stranded_scratch = stranded;
         }
 
         // In-flight work goes back to the front, oldest request foremost.
@@ -495,6 +512,7 @@ impl<'a> Run<'a> {
             self.router.push_front(shard, req);
             self.shards[req as usize] = shard;
         }
+        self.requeue_scratch = requeue;
 
         // Replace the lost capacity immediately (cold starts apply).
         for _ in 0..dead {
