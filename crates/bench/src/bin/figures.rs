@@ -98,6 +98,18 @@ fn main() {
                 }
                 json
             }
+            "obs" => {
+                let report = bench::obs_eval(workers);
+                match std::fs::write("BENCH_OBS.json", &report.json) {
+                    Ok(()) => eprintln!("wrote BENCH_OBS.json"),
+                    Err(e) => eprintln!("could not write BENCH_OBS.json: {e}"),
+                }
+                match std::fs::write("serve_trace.json", &report.perfetto) {
+                    Ok(()) => eprintln!("wrote serve_trace.json (open at ui.perfetto.dev)"),
+                    Err(e) => eprintln!("could not write serve_trace.json: {e}"),
+                }
+                format!("{}\n{}", report.text, report.json)
+            }
             other => {
                 eprintln!("unknown target: {other}");
                 std::process::exit(2);

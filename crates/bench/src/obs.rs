@@ -1,0 +1,369 @@
+//! `figures -- obs`: the observability evaluation, written to
+//! `BENCH_OBS.json` (+ a Perfetto/Chrome trace in `serve_trace.json`).
+//!
+//! One faulted serving run — FINRA-12 under Chiron's plan, steady 50 rps
+//! Poisson traffic for 12 000 requests with node 0 killed at t = 60 s,
+//! under both routing architectures — is executed four ways:
+//!
+//! * **disabled, timed** — tracing off. The sink counters must stay at
+//!   exactly zero (`disabled_zero_cost`): no events, no capture buffers,
+//!   nothing allocated.
+//! * **enabled, workers 1 and workers 4** — the assembled trace renders
+//!   must be byte-identical (`trace_identical_w1_w4`), the same
+//!   worker-count-invariance contract the sweep engine and the parallel
+//!   PGP search keep. The workers-4 pass is also timed, giving an
+//!   **informational** tracing-overhead figure (wall clock is
+//!   machine-dependent, so CI gates only the two deterministic booleans).
+//!
+//! The report also carries the predictor-drift residuals (predicted vs
+//! DES-observed latency, end-to-end and per stage), the PGP decision
+//! audit of the deployment's schedule, and the full metrics-registry
+//! snapshot.
+
+use crate::sweep;
+use chiron::serving::{FaultPlan, RouterPolicy, ServeConfig, ServeSimulation, Workload};
+use chiron::{Chiron, PgpMode};
+use chiron_deploy::NodeId;
+use chiron_metrics::ArrivalProcess;
+use chiron_model::{apps, DeploymentPlan, JitterModel, PlatformConfig, SimTime, Workflow};
+use chiron_obs::{DriftEntry, Trace, TraceStats};
+use chiron_pgp::ScheduleOutcome;
+use chiron_runtime::VirtualPlatform;
+use std::time::Instant;
+
+const SEED: u64 = 2023;
+/// ≥ 10k requests so the exported trace covers a full-scale faulted run.
+const REQUESTS: u64 = 12_000;
+/// Jittered requests feeding the drift monitor's residual series.
+const DRIFT_SAMPLES: u64 = 200;
+
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Everything `figures -- obs` produces.
+#[derive(Debug, Clone)]
+pub struct ObsReport {
+    /// The `BENCH_OBS.json` payload.
+    pub json: String,
+    /// Chrome Trace Event Format JSON of the central-fifo serving cell
+    /// (`serve_trace.json`, for ui.perfetto.dev).
+    pub perfetto: String,
+    /// Human-readable summary (drift table + metrics table).
+    pub text: String,
+}
+
+/// One full serving figure — both router cells from the same seed — with
+/// each cell's capture returned in cell-index order.
+struct ServePass {
+    /// Byte string compared across worker counts: the concatenated
+    /// per-cell traces, normalised.
+    render: String,
+    /// Per-cell traces, cell-index order (0 = central-fifo).
+    traces: Vec<Trace>,
+    /// Per-cell [`chiron_serve::ServeReport::digest`]s: tracing must
+    /// never perturb the simulation itself.
+    digests: Vec<u64>,
+    ms: f64,
+}
+
+fn serve_pass(wf: &Workflow, plan: &DeploymentPlan, workers: usize) -> ServePass {
+    let workload =
+        Workload::steady(50.0, REQUESTS).with_arrivals(ArrivalProcess::Poisson { seed: 7 });
+    let kill_at = SimTime::from_millis_f64(60_000.0);
+    let cells = RouterPolicy::ALL;
+    let t0 = Instant::now();
+    let results: Vec<(Trace, u64)> = sweep::par_map_workers(&cells, workers, |_, &router| {
+        // The capture buffer is thread-local and scoped to this cell, so
+        // a cell's trace depends only on the cell — never on which worker
+        // ran it or what ran before it.
+        chiron_obs::begin_capture();
+        let config = ServeConfig::paper_testbed().with_router(router);
+        let sim = ServeSimulation::new(wf.clone(), plan.clone(), config)
+            .with_faults(FaultPlan::none().kill_at(kill_at, NodeId(0)));
+        let report = sim.run(&workload, SEED).expect("serving run");
+        (chiron_obs::end_capture(), report.digest())
+    });
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    let digests = results.iter().map(|(_, d)| *d).collect();
+    let traces: Vec<Trace> = results.into_iter().map(|(t, _)| t).collect();
+    let render = Trace::concat(traces.clone()).render();
+    ServePass {
+        render,
+        traces,
+        digests,
+        ms,
+    }
+}
+
+/// The committed `BENCH_EVAL.json`'s serve-figure parallel wall clock, if
+/// the file is present — the cross-PR reference point for the (purely
+/// informational) instrumented-but-disabled overhead comparison.
+fn committed_serve_parallel_ms() -> Option<f64> {
+    let text = std::fs::read_to_string("BENCH_EVAL.json").ok()?;
+    let line = text.lines().find(|l| l.contains("\"figure\": \"serve\""))?;
+    let tail = line.split("\"parallel_ms\": ").nth(1)?;
+    tail.split([',', '}']).next()?.trim().parse().ok()
+}
+
+fn audit_json(schedule: &ScheduleOutcome) -> String {
+    let audit = &schedule.audit;
+    let modes: Vec<String> = audit
+        .function_modes
+        .iter()
+        .map(|m| format!("\"{m}\""))
+        .collect();
+    format!(
+        concat!(
+            "{{\"processes\": {}, \"predicted_ms\": {}, \"met_slo\": {}, ",
+            "\"candidates_examined\": {}, ",
+            "\"kl\": {{\"passes\": {}, \"rounds\": {}, \"candidates\": {}, ",
+            "\"pruned\": {}, \"applied\": {}}}, ",
+            "\"cache_hits\": {}, \"cache_misses\": {}, \"function_modes\": [{}]}}"
+        ),
+        schedule.processes,
+        num(schedule.predicted.as_millis_f64()),
+        schedule.met_slo,
+        audit.candidates_examined,
+        audit.kl.passes,
+        audit.kl.rounds,
+        audit.kl.candidates,
+        audit.kl.pruned,
+        audit.kl.applied,
+        audit.cache_hits,
+        audit.cache_misses,
+        modes.join(", "),
+    )
+}
+
+fn drift_json(entries: &[DriftEntry]) -> String {
+    let rows: Vec<String> = entries
+        .iter()
+        .map(|e| {
+            format!(
+                concat!(
+                    "{{\"workflow\": \"{}\", \"plan\": \"{:016x}\", \"stage\": {}, ",
+                    "\"predicted_ms\": {}, \"samples\": {}, \"observed_mean_ms\": {}, ",
+                    "\"observed_p50_ms\": {}, \"observed_p99_ms\": {}, ",
+                    "\"bias_ms\": {}, \"mae_ms\": {}}}"
+                ),
+                e.workflow,
+                e.plan,
+                e.stage.map_or_else(|| "null".into(), |s| s.to_string()),
+                e.predicted_ms.map_or_else(|| "null".into(), num),
+                e.samples,
+                num(e.observed_mean_ms),
+                num(e.observed_p50_ms),
+                num(e.observed_p99_ms),
+                num(e.bias_ms),
+                num(e.mae_ms),
+            )
+        })
+        .collect();
+    format!("[{}]", rows.join(",\n    "))
+}
+
+fn drift_table(entries: &[DriftEntry]) -> String {
+    let mut out = String::from(
+        "stage      predicted_ms  samples  mean_ms   p50_ms    p99_ms    bias_ms   mae_ms\n",
+    );
+    for e in entries {
+        let stage = e
+            .stage
+            .map_or_else(|| "e2e".into(), |s| format!("stage {s}"));
+        let predicted = e
+            .predicted_ms
+            .map_or_else(|| "-".into(), |p| format!("{p:.3}"));
+        out.push_str(&format!(
+            "{stage:<10} {predicted:>12}  {:>7}  {:>8.3}  {:>8.3}  {:>8.3}  {:>8.3}  {:>7.3}\n",
+            e.samples,
+            e.observed_mean_ms,
+            e.observed_p50_ms,
+            e.observed_p99_ms,
+            e.bias_ms,
+            e.mae_ms,
+        ));
+    }
+    out
+}
+
+/// The observability report (see module docs). `workers` drives the drift
+/// observation sweep; the timed serving passes are pinned to 4 (and the
+/// invariance check to 1 vs 4) so reports are comparable across machines.
+pub fn obs_eval(workers: usize) -> ObsReport {
+    // Reports cover this run, not the process's cumulative history.
+    chiron_obs::reset_metrics();
+    chiron_obs::reset_trace_stats();
+    chiron_obs::set_tracing(false);
+
+    let chiron = Chiron::default();
+    let wf = apps::finra(12);
+    let deployment = chiron.deploy(&wf, None, PgpMode::NativeThread);
+    let plan = deployment.plan().clone();
+
+    // Disabled pass: timed, and provably free — the sink must have seen
+    // zero events and opened zero capture buffers.
+    chiron_obs::reset_trace_stats();
+    let disabled = serve_pass(&wf, &plan, 4);
+    let disabled_zero_cost =
+        chiron_obs::trace_stats() == TraceStats::default() && disabled.render.is_empty();
+
+    // Enabled passes: any worker count must assemble the same bytes, and
+    // tracing must leave the simulation results untouched.
+    chiron_obs::set_tracing(true);
+    let w1 = serve_pass(&wf, &plan, 1);
+    let w4 = serve_pass(&wf, &plan, 4);
+    chiron_obs::set_tracing(false);
+    let trace_identical = !w4.render.is_empty() && w1.render == w4.render;
+    let reports_identical = w1.digests == w4.digests && w1.digests == disabled.digests;
+    let trace_events: usize = w4.traces.iter().map(Trace::len).sum();
+    let trace_digest = Trace::concat(w4.traces.clone()).digest();
+    let perfetto = chiron_obs::serve_trace(&w4.traces[0]);
+
+    // Predictor drift: the committed e2e prediction plus an unjittered
+    // per-stage baseline, against jittered DES observations. Observations
+    // are recorded on this thread in cell-index order, so the residual
+    // series are deterministic.
+    chiron_obs::set_drift_monitor(true);
+    chiron_obs::reset_drift();
+    let key = chiron_obs::drift::plan_key(&plan);
+    chiron_obs::record_prediction(&wf.name, key, None, deployment.schedule.predicted);
+    let unjittered = VirtualPlatform::new(PlatformConfig::paper_calibrated());
+    let base = unjittered.execute(&wf, &plan, 0).expect("valid plan");
+    for (s, &(start, end)) in base.stage_windows.iter().enumerate() {
+        chiron_obs::record_prediction(&wf.name, key, Some(s as u32), end.since(start));
+    }
+    let jittered = VirtualPlatform::new(
+        PlatformConfig::paper_calibrated().with_jitter(JitterModel::cluster()),
+    );
+    let seeds: Vec<u64> = (1..=DRIFT_SAMPLES).collect();
+    let outcomes = sweep::par_map_workers(&seeds, workers, |_, &seed| {
+        jittered.execute(&wf, &plan, seed).expect("valid plan")
+    });
+    for outcome in &outcomes {
+        chiron_obs::record_observation(&wf.name, key, None, outcome.e2e);
+        for (s, &(start, end)) in outcome.stage_windows.iter().enumerate() {
+            chiron_obs::record_observation(&wf.name, key, Some(s as u32), end.since(start));
+        }
+    }
+    chiron_obs::set_drift_monitor(false);
+    let drift: Vec<DriftEntry> = chiron_obs::drift_report()
+        .into_iter()
+        .filter(|e| e.workflow == wf.name)
+        .collect();
+
+    let snapshot = chiron_obs::snapshot();
+    let overhead = (w4.ms - disabled.ms) / disabled.ms;
+    let committed = committed_serve_parallel_ms();
+
+    let json = format!(
+        concat!(
+            "{{\n  \"workers\": {},\n",
+            "  \"scenario\": \"FINRA-12, steady 50 rps x {} requests, Poisson seed 7, ",
+            "node 0 killed at t=60 s, central-fifo + partitioned cells, seed {}\",\n",
+            "  \"trace_identical_w1_w4\": {},\n",
+            "  \"disabled_zero_cost\": {},\n",
+            "  \"reports_identical_enabled_disabled\": {},\n",
+            "  \"trace_events\": {},\n",
+            "  \"trace_digest\": \"{:016x}\",\n",
+            "  \"serve_disabled_ms\": {},\n",
+            "  \"serve_enabled_ms\": {},\n",
+            "  \"tracing_overhead_fraction\": {},\n",
+            "  \"bench_eval_serve_parallel_ms\": {},\n",
+            "  \"pgp_audit\": {},\n",
+            "  \"drift\": [\n    {}\n  ],\n",
+            "  \"metrics\": {}\n}}"
+        ),
+        workers,
+        REQUESTS,
+        SEED,
+        trace_identical,
+        disabled_zero_cost,
+        reports_identical,
+        trace_events,
+        trace_digest,
+        num(disabled.ms),
+        num(w4.ms),
+        num(overhead),
+        committed.map_or_else(|| "null".into(), num),
+        audit_json(&deployment.schedule),
+        drift_json(&drift)
+            .trim_start_matches('[')
+            .trim_end_matches(']')
+            .trim(),
+        snapshot.to_json(),
+    );
+
+    let text = format!(
+        concat!(
+            "Observability — FINRA-12 serving run ({} requests, node kill at t=60 s)\n",
+            "trace identical workers 1 vs 4: {}   disabled zero-cost: {}   ",
+            "events: {}   digest: {:016x}\n",
+            "serve wall clock: disabled {:.1} ms, enabled {:.1} ms ",
+            "(overhead {:+.1}%, informational)\n\n",
+            "Predictor drift (predicted vs DES-observed, {} jittered requests)\n{}\n",
+            "PGP decision audit: n={}, KL passes={} rounds={} candidates={} ",
+            "pruned={} applied={}, cache {}/{} hit/miss\n\n",
+            "Metrics registry\n{}"
+        ),
+        REQUESTS,
+        trace_identical,
+        disabled_zero_cost,
+        trace_events,
+        trace_digest,
+        disabled.ms,
+        w4.ms,
+        overhead * 100.0,
+        DRIFT_SAMPLES,
+        drift_table(&drift),
+        deployment.schedule.processes,
+        deployment.schedule.audit.kl.passes,
+        deployment.schedule.audit.kl.rounds,
+        deployment.schedule.audit.kl.candidates,
+        deployment.schedule.audit.kl.pruned,
+        deployment.schedule.audit.kl.applied,
+        deployment.schedule.audit.cache_hits,
+        deployment.schedule.audit.cache_misses,
+        snapshot.render_table(),
+    );
+
+    ObsReport {
+        json,
+        perfetto,
+        text,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obs_eval_holds_its_deterministic_contracts() {
+        let report = obs_eval(2);
+        // The two CI-gated booleans, plus the sim-unchanged invariant.
+        assert!(report.json.contains("\"trace_identical_w1_w4\": true"));
+        assert!(report.json.contains("\"disabled_zero_cost\": true"));
+        assert!(report
+            .json
+            .contains("\"reports_identical_enabled_disabled\": true"));
+        // The audit and drift payloads are present and populated.
+        assert!(report.json.contains("\"pgp_audit\""));
+        assert!(report.json.contains("\"candidates\""));
+        assert!(report.json.contains("\"observed_p99_ms\""));
+        assert!(report.json.contains("\"samples\": 200"));
+        // The Perfetto export covers the causal request life.
+        for needle in ["\"queue\"", "\"exec\"", "cold-start", "node 0 dead"] {
+            assert!(report.perfetto.contains(needle), "{needle} missing");
+        }
+        assert_eq!(
+            report.perfetto.matches('{').count(),
+            report.perfetto.matches('}').count()
+        );
+        assert!(report.text.contains("Predictor drift"));
+    }
+}

@@ -18,11 +18,13 @@
 //! memoised planner must return plans structurally identical to the
 //! uncached ones (`plans_identical`). CI fails if either field is ever
 //! false. The report also carries the DES hot-loop counters: buffer pool
-//! traffic and fluid event-loop iterations for the whole run.
+//! traffic and fluid event-loop iterations, reset at the start of each
+//! parallel pass and summed over exactly this run's parallel passes.
 
 use crate::common::{suite, FIG13_SYSTEMS};
 use crate::sweep;
 use chiron::{reset_eval_cache, set_eval_caching, system_plan};
+use chiron_runtime::AllocStats;
 use std::time::Instant;
 
 /// A figure generator, as routed by the `figures` binary.
@@ -69,28 +71,41 @@ fn sequential_pass(f: FigureFn) -> (String, f64) {
     (out, ms)
 }
 
-/// Parallel engine, as `figures -- all --workers N` runs it.
-fn parallel_pass(f: FigureFn, workers: usize) -> (String, f64) {
+/// Parallel engine, as `figures -- all --workers N` runs it. The DES
+/// hot-loop counters are reset before and sampled after the timed
+/// region, so the returned [`AllocStats`] delta covers exactly this
+/// pass — `BENCH_EVAL.json`'s reuse fractions are per-run, not
+/// since-process-start.
+fn parallel_pass(f: FigureFn, workers: usize) -> (String, f64, AllocStats) {
     chiron_runtime::set_reference_engine(false);
     sweep::set_workers(workers);
     set_eval_caching(true);
     reset_eval_cache();
     sweep::reset_cell_count();
+    chiron_runtime::reset_alloc_stats();
     let t0 = Instant::now();
     let out = f();
     let ms = t0.elapsed().as_secs_f64() * 1e3;
-    (out, ms)
+    (out, ms, chiron_runtime::alloc_stats())
 }
 
-fn figure_entry(name: &str, workers: usize, f: FigureFn) -> (String, f64, f64) {
+fn add_stats(total: &mut AllocStats, pass: AllocStats) {
+    total.buffer_allocs += pass.buffer_allocs;
+    total.buffer_reuses += pass.buffer_reuses;
+    total.events += pass.events;
+}
+
+fn figure_entry(name: &str, workers: usize, f: FigureFn) -> (String, f64, f64, AllocStats) {
     // Each configuration is timed twice, interleaved so both see the same
     // heap and scheduler history, and the minimum is reported — the usual
     // guard against one-off interference on a shared box. Every pass must
     // emit the same bytes regardless of engine, memoisation or workers.
     let (seq_a, seq_ms_a) = sequential_pass(f);
-    let (par_a, par_ms_a) = parallel_pass(f, workers);
+    let (par_a, par_ms_a, stats_a) = parallel_pass(f, workers);
     let (seq_b, seq_ms_b) = sequential_pass(f);
-    let (par_b, par_ms_b) = parallel_pass(f, workers);
+    let (par_b, par_ms_b, stats_b) = parallel_pass(f, workers);
+    let mut stats = stats_a;
+    add_stats(&mut stats, stats_b);
     let cells = sweep::cell_count();
     let sequential_ms = seq_ms_a.min(seq_ms_b);
     let parallel_ms = par_ms_a.min(par_ms_b);
@@ -110,7 +125,7 @@ fn figure_entry(name: &str, workers: usize, f: FigureFn) -> (String, f64, f64) {
         num(cells as f64 / (parallel_ms / 1e3)),
         rows_identical,
     );
-    (entry, sequential_ms, parallel_ms)
+    (entry, sequential_ms, parallel_ms, stats)
 }
 
 /// The harness-performance report (see module docs). `workers` is the
@@ -118,7 +133,6 @@ fn figure_entry(name: &str, workers: usize, f: FigureFn) -> (String, f64, f64) {
 pub fn perf_eval(workers: usize) -> String {
     let saved_workers = sweep::workers();
     let saved_caching = chiron::eval_caching();
-    chiron_runtime::reset_alloc_stats();
 
     let figures: [(&str, FigureFn); 7] = [
         ("fig12", crate::fig12),
@@ -132,13 +146,22 @@ pub fn perf_eval(workers: usize) -> String {
     let mut entries = Vec::with_capacity(figures.len() + 1);
     let mut total_seq = 0.0;
     let mut total_par = 0.0;
+    // Sum of the parallel passes' per-pass DES hot-loop deltas: exactly
+    // this perf-eval run's pool traffic, however often the process has
+    // already exercised the DES.
+    let mut stats = AllocStats {
+        buffer_allocs: 0,
+        buffer_reuses: 0,
+        events: 0,
+    };
     for (name, f) in figures {
-        let (entry, seq_ms, par_ms) = figure_entry(name, workers, f);
+        let (entry, seq_ms, par_ms, fig_stats) = figure_entry(name, workers, f);
         entries.push(entry);
         total_seq += seq_ms;
         total_par += par_ms;
+        add_stats(&mut stats, fig_stats);
     }
-    let (abl, abl_seq, abl_par) = figure_entry(
+    let (abl, abl_seq, abl_par, abl_stats) = figure_entry(
         "ablations",
         workers,
         crate::ablations::ablations_deterministic,
@@ -146,8 +169,8 @@ pub fn perf_eval(workers: usize) -> String {
     entries.push(abl);
     total_seq += abl_seq;
     total_par += abl_par;
+    add_stats(&mut stats, abl_stats);
 
-    let stats = chiron_runtime::alloc_stats();
     let plans_ok = plans_identical();
 
     // Leave the globals as the caller set them.

@@ -132,7 +132,7 @@ mod tests {
         let items: Vec<usize> = (0..53).collect();
         let cell = |i: usize, _: &usize| {
             let mut h = 0xcbf29ce484222325u64;
-            for b in (i as u64 * 0x9e3779b97f4a7c15).to_le_bytes() {
+            for b in (i as u64).wrapping_mul(0x9e3779b97f4a7c15).to_le_bytes() {
                 h = (h ^ u64::from(b)).wrapping_mul(0x100000001b3);
             }
             format!("{h:016x}")

@@ -110,6 +110,17 @@ impl Chiron {
             None => PgpConfig::performance_first().with_mode(mode),
         };
         let schedule = self.run_scheduler(workflow, &profile, &config);
+        // Drift monitor (chiron-obs, off by default): the prediction PGP
+        // committed to becomes the baseline later observations are
+        // compared against.
+        if chiron_obs::drift_monitor_enabled() {
+            chiron_obs::record_prediction(
+                &workflow.name,
+                chiron_obs::drift::plan_key(&schedule.plan),
+                None,
+                schedule.predicted,
+            );
+        }
         let wraps = generate(workflow, &schedule.plan);
         Deployment {
             profile,
@@ -125,7 +136,16 @@ impl Chiron {
         deployment: &Deployment,
         seed: u64,
     ) -> Result<RequestOutcome, PlanError> {
-        self.platform.execute(workflow, deployment.plan(), seed)
+        let outcome = self.platform.execute(workflow, deployment.plan(), seed)?;
+        if chiron_obs::drift_monitor_enabled() {
+            chiron_obs::record_observation(
+                &workflow.name,
+                chiron_obs::drift::plan_key(deployment.plan()),
+                None,
+                outcome.e2e,
+            );
+        }
+        Ok(outcome)
     }
 
     /// Online serving: drives an open-loop workload against the deployed

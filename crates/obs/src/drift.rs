@@ -1,0 +1,211 @@
+//! The predictor-drift monitor: predicted vs. DES-observed latency per
+//! `(workflow, plan, stage)`.
+//!
+//! The white-box predictor (Algorithm 1 and its cached/parallel
+//! descendants) is only trustworthy while its residuals stay small, so
+//! figure and serving runs can opt in ([`set_drift_monitor`]) to record
+//! every prediction it commits to ([`record_prediction`]) and every
+//! latency the DES subsequently observes ([`record_observation`]).
+//! [`drift_report`] then surfaces per-key residual distributions: bias
+//! (mean signed error — positive means the predictor was optimistic) and
+//! mean absolute error, next to the observed percentiles.
+//!
+//! Off by default — like tracing, a disabled monitor costs one relaxed
+//! atomic load per hook — and keyed by a structural [`plan_key`] so two
+//! identical plans for the same workflow share a series.
+
+use chiron_metrics::StreamingHistogram;
+use chiron_model::{DeploymentPlan, SimDuration};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// One `(workflow, plan, stage)` series; `stage: None` is end-to-end.
+struct DriftSeries {
+    workflow: String,
+    plan: u64,
+    stage: Option<u32>,
+    predicted: Option<SimDuration>,
+    observed: StreamingHistogram,
+    signed_error_ms: f64,
+    abs_error_ms: f64,
+}
+
+static SERIES: Mutex<Vec<DriftSeries>> = Mutex::new(Vec::new());
+
+/// Turns the monitor on or off process-wide.
+pub fn set_drift_monitor(on: bool) {
+    ENABLED.store(on, Ordering::SeqCst);
+}
+
+#[inline]
+pub fn drift_monitor_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Drops every recorded series.
+pub fn reset_drift() {
+    SERIES.lock().clear();
+}
+
+/// Structural FNV-1a key of a deployment plan (its `Debug` rendering
+/// covers system/runtime/isolation/transfer and the whole stage tree).
+pub fn plan_key(plan: &DeploymentPlan) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in format!("{plan:?}").bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn with_series(workflow: &str, plan: u64, stage: Option<u32>, f: impl FnOnce(&mut DriftSeries)) {
+    let mut series = SERIES.lock();
+    let slot = series
+        .iter()
+        .position(|s| s.plan == plan && s.stage == stage && s.workflow == workflow);
+    let slot = match slot {
+        Some(i) => i,
+        None => {
+            series.push(DriftSeries {
+                workflow: workflow.to_string(),
+                plan,
+                stage,
+                predicted: None,
+                observed: StreamingHistogram::new(),
+                signed_error_ms: 0.0,
+                abs_error_ms: 0.0,
+            });
+            series.len() - 1
+        }
+    };
+    f(&mut series[slot]);
+}
+
+/// Records the predictor's committed latency for a key. No-op while the
+/// monitor is disabled. A later prediction for the same key overwrites.
+pub fn record_prediction(workflow: &str, plan: u64, stage: Option<u32>, predicted: SimDuration) {
+    if !drift_monitor_enabled() {
+        return;
+    }
+    with_series(workflow, plan, stage, |s| s.predicted = Some(predicted));
+}
+
+/// Records one DES-observed latency for a key. No-op while the monitor
+/// is disabled. Residuals accrue only once a prediction is on file.
+pub fn record_observation(workflow: &str, plan: u64, stage: Option<u32>, observed: SimDuration) {
+    if !drift_monitor_enabled() {
+        return;
+    }
+    with_series(workflow, plan, stage, |s| {
+        s.observed.record(observed);
+        if let Some(predicted) = s.predicted {
+            let err = observed.as_millis_f64() - predicted.as_millis_f64();
+            s.signed_error_ms += err;
+            s.abs_error_ms += err.abs();
+        }
+    });
+}
+
+/// One row of the drift report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftEntry {
+    pub workflow: String,
+    pub plan: u64,
+    /// `None` = end-to-end, `Some(s)` = stage `s`.
+    pub stage: Option<u32>,
+    pub predicted_ms: Option<f64>,
+    pub samples: u64,
+    pub observed_mean_ms: f64,
+    pub observed_p50_ms: f64,
+    pub observed_p99_ms: f64,
+    /// Mean signed residual (observed − predicted); positive = the
+    /// predictor under-estimated.
+    pub bias_ms: f64,
+    /// Mean absolute residual.
+    pub mae_ms: f64,
+}
+
+/// Snapshot of every series, sorted by `(workflow, plan, stage)`.
+pub fn drift_report() -> Vec<DriftEntry> {
+    let series = SERIES.lock();
+    let mut out: Vec<DriftEntry> = series
+        .iter()
+        .map(|s| {
+            let n = s.observed.len();
+            let denom = if n == 0 { 1.0 } else { n as f64 };
+            DriftEntry {
+                workflow: s.workflow.clone(),
+                plan: s.plan,
+                stage: s.stage,
+                predicted_ms: s.predicted.map(|p| p.as_millis_f64()),
+                samples: n,
+                observed_mean_ms: s.observed.mean().as_millis_f64(),
+                observed_p50_ms: s.observed.percentile(0.50).as_millis_f64(),
+                observed_p99_ms: s.observed.percentile(0.99).as_millis_f64(),
+                bias_ms: s.signed_error_ms / denom,
+                mae_ms: s.abs_error_ms / denom,
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        (a.workflow.as_str(), a.plan, a.stage).cmp(&(b.workflow.as_str(), b.plan, b.stage))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The monitor is process-global; tests that flip it serialise here.
+    static GATE: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn residuals_accumulate_per_key() {
+        let _g = GATE.lock();
+        set_drift_monitor(true);
+        reset_drift();
+        record_prediction("wf", 1, None, SimDuration::from_millis(100));
+        record_observation("wf", 1, None, SimDuration::from_millis(110));
+        record_observation("wf", 1, None, SimDuration::from_millis(90));
+        record_prediction("wf", 1, Some(0), SimDuration::from_millis(40));
+        record_observation("wf", 1, Some(0), SimDuration::from_millis(44));
+        let report = drift_report();
+        set_drift_monitor(false);
+        assert_eq!(report.len(), 2);
+        // End-to-end sorts before stage 0 (None < Some).
+        let e2e = &report[0];
+        assert_eq!(e2e.stage, None);
+        assert_eq!(e2e.samples, 2);
+        assert!(e2e.bias_ms.abs() < 1.0, "symmetric errors cancel");
+        assert!((e2e.mae_ms - 10.0).abs() < 1.0);
+        let s0 = &report[1];
+        assert_eq!(s0.stage, Some(0));
+        assert!((s0.bias_ms - 4.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn disabled_monitor_records_nothing() {
+        let _g = GATE.lock();
+        set_drift_monitor(false);
+        reset_drift();
+        record_prediction("wf", 2, None, SimDuration::from_millis(5));
+        record_observation("wf", 2, None, SimDuration::from_millis(6));
+        assert!(drift_report().is_empty());
+    }
+
+    #[test]
+    fn observations_without_prediction_carry_no_residuals() {
+        let _g = GATE.lock();
+        set_drift_monitor(true);
+        reset_drift();
+        record_observation("wf", 3, None, SimDuration::from_millis(8));
+        let report = drift_report();
+        set_drift_monitor(false);
+        assert_eq!(report[0].predicted_ms, None);
+        assert_eq!(report[0].samples, 1);
+        assert_eq!(report[0].mae_ms, 0.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Deterministic observability for the Chiron reproduction: structured
+//! event tracing, a static metrics registry, and a predictor-drift
+//! monitor — all zero-cost when disabled and byte-for-byte reproducible
+//! when enabled.
+//!
+//! The crate sits below `serve`, `runtime`, `pgp` and `predict` (it
+//! depends only on `chiron-model` and `chiron-metrics`) so every layer of
+//! the stack can emit into the same sinks:
+//!
+//! * [`trace`] — a global on/off [`TraceSink`](trace) with per-thread
+//!   capture buffers. Events carry `(sim_time, seq)` and traces are
+//!   normalised by that pair, so any worker count reproduces identical
+//!   bytes. Disabled, every hook is a single relaxed atomic load.
+//! * [`metrics`] — process-wide counters/gauges/histograms keyed by
+//!   static names, self-registering on first touch, with one snapshot
+//!   surface (JSON + human table) absorbing the stack's ad-hoc counters.
+//! * [`drift`] — predicted-vs-observed latency residuals per
+//!   `(workflow, plan, stage)`, feeding the `figures -- obs` report.
+//! * [`perfetto`] — renders a captured serving [`Trace`] as one Chrome
+//!   Trace Event Format document (one track per replica, grouped by
+//!   node) for <https://ui.perfetto.dev>.
+
+#![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
+
+pub mod drift;
+pub mod metrics;
+pub mod perfetto;
+pub mod trace;
+
+pub use drift::{
+    drift_monitor_enabled, drift_report, record_observation, record_prediction, reset_drift,
+    set_drift_monitor, DriftEntry,
+};
+pub use metrics::{
+    reset_metrics, snapshot, HistogramSummary, MetricsSnapshot, StaticCounter, StaticGauge,
+    StaticHistogram,
+};
+pub use perfetto::serve_trace;
+pub use trace::{
+    begin_capture, emit, end_capture, reset_trace_stats, set_tracing, trace_stats, tracing_enabled,
+    Trace, TraceEvent, TraceEventKind, TraceStats,
+};

@@ -1,0 +1,353 @@
+//! The static metrics registry.
+//!
+//! Instrumented crates declare metrics as statics —
+//!
+//! ```
+//! use chiron_obs::StaticCounter;
+//! static STEALS: StaticCounter = StaticCounter::new("serve.router.steals");
+//! STEALS.incr();
+//! ```
+//!
+//! — and the first touch registers the metric in a process-wide table, so
+//! [`snapshot`] sees exactly the metrics the run actually exercised.
+//! Counter and gauge updates are single relaxed atomic ops (they feed
+//! reports, not synchronisation); totals are sums of per-event
+//! increments, so they are deterministic for a deterministic workload
+//! regardless of worker count or interleaving. Snapshots sort by name
+//! for the same reason.
+
+use chiron_metrics::StreamingHistogram;
+use chiron_model::SimDuration;
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Once;
+
+/// A monotonically increasing count.
+#[derive(Debug)]
+pub struct StaticCounter {
+    name: &'static str,
+    value: AtomicU64,
+    registered: Once,
+}
+
+impl StaticCounter {
+    pub const fn new(name: &'static str) -> Self {
+        StaticCounter {
+            name,
+            value: AtomicU64::new(0),
+            registered: Once::new(),
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        self.registered
+            .call_once(|| REGISTRY.lock().push(Metric::Counter(self)));
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn incr(&'static self) {
+        self.add(1);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-written (or high-water, via [`StaticGauge::set_max`]) value.
+#[derive(Debug)]
+pub struct StaticGauge {
+    name: &'static str,
+    value: AtomicU64,
+    registered: Once,
+}
+
+impl StaticGauge {
+    pub const fn new(name: &'static str) -> Self {
+        StaticGauge {
+            name,
+            value: AtomicU64::new(0),
+            registered: Once::new(),
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    #[inline]
+    pub fn set(&'static self, v: u64) {
+        self.registered
+            .call_once(|| REGISTRY.lock().push(Metric::Gauge(self)));
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if higher (deterministic across
+    /// interleavings: max commutes).
+    #[inline]
+    pub fn set_max(&'static self, v: u64) {
+        self.registered
+            .call_once(|| REGISTRY.lock().push(Metric::Gauge(self)));
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A [`StreamingHistogram`]-backed distribution. Recording takes a lock,
+/// so keep these off per-event hot paths (they fit per-request or
+/// per-schedule granularity).
+pub struct StaticHistogram {
+    name: &'static str,
+    hist: Mutex<Option<StreamingHistogram>>,
+    registered: Once,
+}
+
+impl StaticHistogram {
+    pub const fn new(name: &'static str) -> Self {
+        StaticHistogram {
+            name,
+            hist: Mutex::new(None),
+            registered: Once::new(),
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    pub fn record(&'static self, sample: SimDuration) {
+        self.registered
+            .call_once(|| REGISTRY.lock().push(Metric::Histogram(self)));
+        self.hist
+            .lock()
+            .get_or_insert_with(StreamingHistogram::new)
+            .record(sample);
+    }
+
+    pub fn summary(&self) -> HistogramSummary {
+        match self.hist.lock().as_ref() {
+            Some(h) if !h.is_empty() => HistogramSummary {
+                samples: h.len(),
+                mean_ms: h.mean().as_millis_f64(),
+                p50_ms: h.percentile(0.50).as_millis_f64(),
+                p99_ms: h.percentile(0.99).as_millis_f64(),
+                max_ms: h.max().as_millis_f64(),
+            },
+            _ => HistogramSummary::default(),
+        }
+    }
+
+    pub fn reset(&self) {
+        *self.hist.lock() = None;
+    }
+}
+
+impl fmt::Debug for StaticHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StaticHistogram")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
+enum Metric {
+    Counter(&'static StaticCounter),
+    Gauge(&'static StaticGauge),
+    Histogram(&'static StaticHistogram),
+}
+
+/// Every metric touched since process start, in first-touch order.
+static REGISTRY: Mutex<Vec<Metric>> = Mutex::new(Vec::new());
+
+/// Percentile summary of one registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HistogramSummary {
+    pub samples: u64,
+    pub mean_ms: f64,
+    pub p50_ms: f64,
+    pub p99_ms: f64,
+    pub max_ms: f64,
+}
+
+/// A point-in-time copy of the registry, each class sorted by name.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<(&'static str, u64)>,
+    pub gauges: Vec<(&'static str, u64)>,
+    pub histograms: Vec<(&'static str, HistogramSummary)>,
+}
+
+/// Reads every registered metric.
+pub fn snapshot() -> MetricsSnapshot {
+    let mut snap = MetricsSnapshot::default();
+    for m in REGISTRY.lock().iter() {
+        match m {
+            Metric::Counter(c) => snap.counters.push((c.name, c.get())),
+            Metric::Gauge(g) => snap.gauges.push((g.name, g.get())),
+            Metric::Histogram(h) => snap.histograms.push((h.name, h.summary())),
+        }
+    }
+    snap.counters.sort_by_key(|&(n, _)| n);
+    snap.gauges.sort_by_key(|&(n, _)| n);
+    snap.histograms.sort_by(|a, b| a.0.cmp(b.0));
+    snap
+}
+
+/// Zeroes every registered metric (registration survives) so reports
+/// cover one run, not the process's cumulative history.
+pub fn reset_metrics() {
+    for m in REGISTRY.lock().iter() {
+        match m {
+            Metric::Counter(c) => c.reset(),
+            Metric::Gauge(g) => g.reset(),
+            Metric::Histogram(h) => h.reset(),
+        }
+    }
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".into()
+    }
+}
+
+impl MetricsSnapshot {
+    /// Hand-written JSON object (the workspace's serde is a marker shim).
+    pub fn to_json(&self) -> String {
+        let counters: Vec<String> = self
+            .counters
+            .iter()
+            .map(|(n, v)| format!("\"{n}\": {v}"))
+            .collect();
+        let gauges: Vec<String> = self
+            .gauges
+            .iter()
+            .map(|(n, v)| format!("\"{n}\": {v}"))
+            .collect();
+        let hists: Vec<String> = self
+            .histograms
+            .iter()
+            .map(|(n, h)| {
+                format!(
+                    "\"{n}\": {{\"samples\": {}, \"mean_ms\": {}, \"p50_ms\": {}, \
+                     \"p99_ms\": {}, \"max_ms\": {}}}",
+                    h.samples,
+                    json_num(h.mean_ms),
+                    json_num(h.p50_ms),
+                    json_num(h.p99_ms),
+                    json_num(h.max_ms),
+                )
+            })
+            .collect();
+        format!(
+            "{{\"counters\": {{{}}}, \"gauges\": {{{}}}, \"histograms\": {{{}}}}}",
+            counters.join(", "),
+            gauges.join(", "),
+            hists.join(", "),
+        )
+    }
+
+    /// Aligned human-readable table, one metric per line.
+    pub fn render_table(&self) -> String {
+        let width = self
+            .counters
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(self.gauges.iter().map(|(n, _)| n.len()))
+            .chain(self.histograms.iter().map(|(n, _)| n.len()))
+            .max()
+            .unwrap_or(0);
+        let mut out = String::new();
+        for (n, v) in &self.counters {
+            out.push_str(&format!("{n:<width$}  {v}\n"));
+        }
+        for (n, v) in &self.gauges {
+            out.push_str(&format!("{n:<width$}  {v} (gauge)\n"));
+        }
+        for (n, h) in &self.histograms {
+            out.push_str(&format!(
+                "{n:<width$}  n={} mean={:.3}ms p50={:.3}ms p99={:.3}ms max={:.3}ms\n",
+                h.samples, h.mean_ms, h.p50_ms, h.p99_ms, h.max_ms,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static TEST_COUNTER: StaticCounter = StaticCounter::new("obs.test.counter");
+    static TEST_GAUGE: StaticGauge = StaticGauge::new("obs.test.gauge");
+    static TEST_HIST: StaticHistogram = StaticHistogram::new("obs.test.hist");
+
+    #[test]
+    fn register_update_snapshot_reset() {
+        TEST_COUNTER.add(3);
+        TEST_COUNTER.incr();
+        TEST_GAUGE.set(7);
+        TEST_GAUGE.set_max(5); // lower: ignored
+        TEST_GAUGE.set_max(11);
+        TEST_HIST.record(SimDuration::from_millis(10));
+        TEST_HIST.record(SimDuration::from_millis(30));
+
+        let snap = snapshot();
+        let counter = snap
+            .counters
+            .iter()
+            .find(|(n, _)| *n == "obs.test.counter")
+            .expect("registered");
+        assert_eq!(counter.1, 4);
+        let gauge = snap
+            .gauges
+            .iter()
+            .find(|(n, _)| *n == "obs.test.gauge")
+            .expect("registered");
+        assert_eq!(gauge.1, 11);
+        let hist = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| *n == "obs.test.hist")
+            .expect("registered");
+        assert_eq!(hist.1.samples, 2);
+        assert!((hist.1.mean_ms - 20.0).abs() < 0.5);
+
+        let json = snap.to_json();
+        assert!(json.contains("\"obs.test.counter\": 4"));
+        assert!(json.contains("\"obs.test.gauge\": 11"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(snap.render_table().contains("obs.test.counter"));
+
+        // Names stay sorted within each class.
+        let names: Vec<_> = snap.counters.iter().map(|(n, _)| *n).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+
+        reset_metrics();
+        assert_eq!(TEST_COUNTER.get(), 0);
+        assert_eq!(TEST_GAUGE.get(), 0);
+        assert_eq!(TEST_HIST.summary().samples, 0);
+    }
+}

@@ -1,0 +1,391 @@
+//! Whole-run Perfetto/Chrome trace export.
+//!
+//! Renders a captured serving [`Trace`] as one Trace Event Format
+//! document: one process per cluster node (`pid = 1000 + node`), one
+//! thread per replica (`tid = replica`), and per-request complete events
+//! for every life-cycle phase —
+//!
+//! * `queue` — arrival (or re-queue) until dispatch, drawn on the track
+//!   of the replica that eventually served the request;
+//! * `exec` — dispatch until completion;
+//! * `exec (lost)` — dispatch until failure detection, for work a node
+//!   crash destroyed;
+//! * `cold-start` — replica spawn until ready, when the spawn paid the
+//!   sandbox cold start;
+//! * instant markers for node kills/detections on a control-plane track.
+//!
+//! DES span events (single-request `platform::run_wrap` windows) land in
+//! a dedicated `pid = 9998` process, one thread per function. Like
+//! `chiron-runtime::export`, the JSON is written by hand — this is a
+//! write-only format, timestamps in microseconds.
+
+use crate::trace::{Trace, TraceEventKind};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+const NODE_PID_BASE: u32 = 1000;
+const CONTROL_PID: u32 = 1;
+const DES_PID: u32 = 9998;
+
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1e3
+}
+
+/// Renders a captured serving trace (see module docs). Valid JSON for
+/// any trace, including an empty one.
+pub fn serve_trace(trace: &Trace) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+    let mut push = |line: String, out: &mut String| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&line);
+    };
+
+    push(
+        format!(
+            "{{\"ph\":\"M\",\"pid\":{CONTROL_PID},\"tid\":0,\"name\":\"process_name\",\
+             \"args\":{{\"name\":\"control-plane\"}}}}"
+        ),
+        &mut out,
+    );
+
+    // Track metadata and replica→node mapping come from spawn events.
+    let mut replica_node: HashMap<u32, u32> = HashMap::new();
+    let mut named_nodes: Vec<u32> = Vec::new();
+    for e in &trace.events {
+        if let TraceEventKind::ReplicaSpawn {
+            replica,
+            node,
+            cold,
+        } = e.kind
+        {
+            replica_node.insert(replica, node);
+            let pid = NODE_PID_BASE + node;
+            if !named_nodes.contains(&node) {
+                named_nodes.push(node);
+                push(
+                    format!(
+                        "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\
+                         \"args\":{{\"name\":\"node {node}\"}}}}"
+                    ),
+                    &mut out,
+                );
+            }
+            let kind = if cold { "cold" } else { "warm" };
+            push(
+                format!(
+                    "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{replica},\"name\":\"thread_name\",\
+                     \"args\":{{\"name\":\"replica {replica} ({kind})\"}}}}"
+                ),
+                &mut out,
+            );
+        }
+    }
+    let track = |replica: u32| {
+        let node = replica_node.get(&replica).copied().unwrap_or(0);
+        (NODE_PID_BASE + node, replica)
+    };
+
+    // Request/replica state machines over the (time, seq)-ordered scan.
+    let mut queued_since: HashMap<u64, u64> = HashMap::new();
+    let mut executing: HashMap<u64, (u64, bool)> = HashMap::new();
+    let mut starting: HashMap<u32, (u64, bool)> = HashMap::new();
+    for e in &trace.events {
+        match e.kind {
+            TraceEventKind::Arrival { .. } | TraceEventKind::NodeKill { .. } => {}
+            TraceEventKind::Enqueue { request, .. } => {
+                queued_since.insert(request, e.time_ns);
+            }
+            TraceEventKind::Dispatch {
+                request,
+                replica,
+                cold,
+                ..
+            } => {
+                let (pid, tid) = track(replica);
+                if let Some(from) = queued_since.remove(&request) {
+                    push(
+                        format!(
+                            "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{:.3},\
+                             \"dur\":{:.3},\"name\":\"queue\",\"cname\":\"grey\",\
+                             \"args\":{{\"request\":{request}}}}}",
+                            us(from),
+                            us(e.time_ns - from),
+                        ),
+                        &mut out,
+                    );
+                }
+                executing.insert(request, (e.time_ns, cold));
+            }
+            TraceEventKind::Complete { request, replica } => {
+                if let Some((from, cold)) = executing.remove(&request) {
+                    let (pid, tid) = track(replica);
+                    let name = if cold { "exec (cold)" } else { "exec" };
+                    push(
+                        format!(
+                            "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{:.3},\
+                             \"dur\":{:.3},\"name\":\"{name}\",\"cname\":\"good\",\
+                             \"args\":{{\"request\":{request}}}}}",
+                            us(from),
+                            us(e.time_ns - from),
+                        ),
+                        &mut out,
+                    );
+                }
+            }
+            TraceEventKind::Requeue { request, replica } => {
+                if let Some((from, _)) = executing.remove(&request) {
+                    let (pid, tid) = track(replica);
+                    push(
+                        format!(
+                            "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{:.3},\
+                             \"dur\":{:.3},\"name\":\"exec (lost)\",\"cname\":\"terrible\",\
+                             \"args\":{{\"request\":{request}}}}}",
+                            us(from),
+                            us(e.time_ns - from),
+                        ),
+                        &mut out,
+                    );
+                }
+                queued_since.insert(request, e.time_ns);
+            }
+            TraceEventKind::ReplicaSpawn { replica, cold, .. } => {
+                starting.insert(replica, (e.time_ns, cold));
+            }
+            TraceEventKind::ReplicaReady { replica } => {
+                if let Some((from, cold)) = starting.remove(&replica) {
+                    if cold && e.time_ns > from {
+                        let (pid, tid) = track(replica);
+                        push(
+                            format!(
+                                "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{:.3},\
+                                 \"dur\":{:.3},\"name\":\"cold-start\",\"cname\":\"bad\"}}",
+                                us(from),
+                                us(e.time_ns - from),
+                            ),
+                            &mut out,
+                        );
+                    }
+                }
+            }
+            TraceEventKind::ReplicaRetired { replica } => {
+                let (pid, tid) = track(replica);
+                push(
+                    format!(
+                        "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":{tid},\"ts\":{:.3},\
+                         \"s\":\"t\",\"name\":\"retired\"}}",
+                        us(e.time_ns),
+                    ),
+                    &mut out,
+                );
+            }
+            TraceEventKind::NodeDeath { node } => {
+                push(
+                    format!(
+                        "{{\"ph\":\"i\",\"pid\":{CONTROL_PID},\"tid\":0,\"ts\":{:.3},\
+                         \"s\":\"g\",\"name\":\"node {node} dead\"}}",
+                        us(e.time_ns),
+                    ),
+                    &mut out,
+                );
+            }
+            TraceEventKind::DesSpan {
+                function,
+                stage,
+                dispatched_ns,
+                completed_ns,
+                ..
+            } => {
+                push(
+                    format!(
+                        "{{\"ph\":\"X\",\"pid\":{DES_PID},\"tid\":{function},\"ts\":{:.3},\
+                         \"dur\":{:.3},\"name\":\"fn{function} stage{stage}\"}}",
+                        us(dispatched_ns),
+                        us(completed_ns.saturating_sub(dispatched_ns)),
+                    ),
+                    &mut out,
+                );
+            }
+        }
+    }
+
+    let _ = write!(
+        out,
+        "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"events\":{}}}}}",
+        trace.events.len()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceEvent;
+
+    fn ev(time_ns: u64, seq: u64, kind: TraceEventKind) -> TraceEvent {
+        TraceEvent { time_ns, seq, kind }
+    }
+
+    fn sample_trace() -> Trace {
+        Trace {
+            events: vec![
+                ev(
+                    0,
+                    0,
+                    TraceEventKind::ReplicaSpawn {
+                        replica: 0,
+                        node: 0,
+                        cold: false,
+                    },
+                ),
+                ev(0, 1, TraceEventKind::ReplicaReady { replica: 0 }),
+                ev(
+                    100,
+                    2,
+                    TraceEventKind::Arrival {
+                        request: 0,
+                        phase: 0,
+                    },
+                ),
+                ev(
+                    100,
+                    3,
+                    TraceEventKind::Enqueue {
+                        request: 0,
+                        shard: -1,
+                    },
+                ),
+                ev(
+                    150,
+                    4,
+                    TraceEventKind::Dispatch {
+                        request: 0,
+                        replica: 0,
+                        node: 0,
+                        cold: false,
+                    },
+                ),
+                ev(
+                    200,
+                    5,
+                    TraceEventKind::ReplicaSpawn {
+                        replica: 1,
+                        node: 1,
+                        cold: true,
+                    },
+                ),
+                ev(400, 6, TraceEventKind::ReplicaReady { replica: 1 }),
+                ev(500, 7, TraceEventKind::NodeKill { node: 0 }),
+                ev(600, 8, TraceEventKind::NodeDeath { node: 0 }),
+                ev(
+                    600,
+                    9,
+                    TraceEventKind::Requeue {
+                        request: 0,
+                        replica: 0,
+                    },
+                ),
+                ev(
+                    650,
+                    10,
+                    TraceEventKind::Dispatch {
+                        request: 0,
+                        replica: 1,
+                        node: 1,
+                        cold: true,
+                    },
+                ),
+                ev(
+                    900,
+                    11,
+                    TraceEventKind::Complete {
+                        request: 0,
+                        replica: 1,
+                    },
+                ),
+                ev(
+                    920,
+                    12,
+                    TraceEventKind::Arrival {
+                        request: 1,
+                        phase: 0,
+                    },
+                ),
+                ev(
+                    920,
+                    13,
+                    TraceEventKind::Enqueue {
+                        request: 1,
+                        shard: 1,
+                    },
+                ),
+                ev(
+                    925,
+                    14,
+                    TraceEventKind::Dispatch {
+                        request: 1,
+                        replica: 1,
+                        node: 1,
+                        cold: false,
+                    },
+                ),
+                ev(
+                    940,
+                    15,
+                    TraceEventKind::Complete {
+                        request: 1,
+                        replica: 1,
+                    },
+                ),
+                ev(950, 16, TraceEventKind::ReplicaRetired { replica: 1 }),
+                ev(
+                    0,
+                    17,
+                    TraceEventKind::DesSpan {
+                        function: 2,
+                        sandbox: 0,
+                        stage: 1,
+                        dispatched_ns: 10,
+                        exec_start_ns: 20,
+                        completed_ns: 90,
+                        spans: 4,
+                    },
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn emits_every_lifecycle_phase() {
+        let json = serve_trace(&sample_trace());
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        for needle in [
+            "\"queue\"",
+            "\"exec\"",
+            "\"exec (lost)\"",
+            "\"exec (cold)\"",
+            "\"cold-start\"",
+            "node 0 dead",
+            "\"retired\"",
+            "fn2 stage1",
+            "\"name\":\"node 1\"",
+            "replica 1 (cold)",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        // Request 0 was requeued, so it shows two queue spans; request 1
+        // adds a third.
+        assert_eq!(json.matches("\"queue\"").count(), 3);
+    }
+
+    #[test]
+    fn empty_trace_is_valid_json() {
+        let json = serve_trace(&Trace::default());
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"events\":0"));
+    }
+}

@@ -1,0 +1,293 @@
+//! The structured event-tracing sink.
+//!
+//! Design constraints, in priority order:
+//!
+//! 1. **Zero cost when disabled.** Every instrumentation hook in the
+//!    stack compiles to `TraceEventKind` construction (trivially cheap —
+//!    a few register moves) plus one relaxed atomic load that bails out.
+//!    No thread-local is touched, no buffer exists, nothing allocates.
+//!    [`trace_stats`] proves it: a disabled run records zero events and
+//!    allocates zero capture buffers.
+//! 2. **Determinism.** Events carry `(time_ns, seq)` where `seq` is the
+//!    push order *within one capture buffer*, and a finished [`Trace`]
+//!    is normalised by that pair. One serving run is single-threaded, so
+//!    its capture is naturally ordered; a multi-cell figure assembles
+//!    per-cell traces in cell-index order. Either way `--workers N`
+//!    yields byte-identical [`Trace::render`] output for every `N` — the
+//!    same contract the sweep engine and the parallel PGP search keep.
+//! 3. **No sink plumbing.** Capture buffers are thread-local and scoped
+//!    by the *caller* ([`begin_capture`]/[`end_capture`]), so the
+//!    simulators emit unconditionally and never thread a sink handle
+//!    through their state.
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Global switch. Off by default; [`emit`] is a no-op while it is off.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Events banked by [`end_capture`] since the last [`reset_trace_stats`].
+static EVENTS_RECORDED: AtomicU64 = AtomicU64::new(0);
+
+/// Capture buffers opened by [`begin_capture`] since the last reset.
+static CAPTURE_BUFFERS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// The current capture buffer, if this thread is inside a
+    /// `begin_capture`/`end_capture` window.
+    static CAPTURE: RefCell<Option<Vec<TraceEvent>>> = const { RefCell::new(None) };
+}
+
+/// Turns tracing on or off process-wide.
+pub fn set_tracing(on: bool) {
+    ENABLED.store(on, Ordering::SeqCst);
+}
+
+/// Whether tracing is enabled (one relaxed load — the hot-path guard).
+#[inline]
+pub fn tracing_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// What happened. Payloads are plain integers so events are `Copy` and
+/// the emit path never allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// A serving request entered the system.
+    Arrival { request: u64, phase: u16 },
+    /// The request was put on a queue shard: `-1` the global FIFO, `-2`
+    /// the partitioned router's overflow queue, `>= 0` a node queue.
+    Enqueue { request: u64, shard: i64 },
+    /// The request left a queue for a replica.
+    Dispatch {
+        request: u64,
+        replica: u32,
+        node: u32,
+        cold: bool,
+    },
+    /// The replica's completion reached the router.
+    Complete { request: u64, replica: u32 },
+    /// Failure recovery put an in-flight request back on a queue.
+    Requeue { request: u64, replica: u32 },
+    /// A replica began placing/starting (`cold` = paid a sandbox cold
+    /// start; prewarmed and baseline replicas do not).
+    ReplicaSpawn { replica: u32, node: u32, cold: bool },
+    /// The replica became schedulable.
+    ReplicaReady { replica: u32 },
+    /// The autoscaler retired an idle replica.
+    ReplicaRetired { replica: u32 },
+    /// A node crash-stopped (fault injection).
+    NodeKill { node: u32 },
+    /// Heartbeat monitoring detected the crash and wrote the node off.
+    NodeDeath { node: u32 },
+    /// One function's DES execution window inside `platform::run_wrap`
+    /// (the warm-path engine), with its span count.
+    DesSpan {
+        function: u32,
+        sandbox: u32,
+        stage: u32,
+        dispatched_ns: u64,
+        exec_start_ns: u64,
+        completed_ns: u64,
+        spans: u32,
+    },
+}
+
+/// One traced event. `seq` is the emit order within its capture buffer,
+/// the tiebreak for simultaneous events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    pub time_ns: u64,
+    pub seq: u64,
+    pub kind: TraceEventKind,
+}
+
+/// A finished capture, normalised to `(time_ns, seq)` order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Merges traces captured on separate cells/threads. The caller must
+    /// pass them in a deterministic order (e.g. cell index); `seq` is
+    /// rewritten to the concatenation order so the merged trace has the
+    /// same normal form regardless of worker count.
+    pub fn concat(parts: Vec<Trace>) -> Trace {
+        let mut events: Vec<TraceEvent> = parts.into_iter().flat_map(|t| t.events).collect();
+        for (i, e) in events.iter_mut().enumerate() {
+            e.seq = i as u64;
+        }
+        let mut trace = Trace { events };
+        trace.normalize();
+        trace
+    }
+
+    fn normalize(&mut self) {
+        self.events.sort_by_key(|e| (e.time_ns, e.seq));
+    }
+
+    /// Deterministic line-per-event text form — the byte string the
+    /// worker-count-invariance gates compare.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 48);
+        for e in &self.events {
+            let _ = writeln!(out, "{:>15} {:>8} {:?}", e.time_ns, e.seq, e.kind);
+        }
+        out
+    }
+
+    /// FNV-1a over [`Trace::render`] bytes.
+    pub fn digest(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in self.render().bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+}
+
+/// Opens a capture buffer on this thread. No-op while tracing is
+/// disabled (so a disabled run provably allocates nothing). A second
+/// call discards the first buffer.
+pub fn begin_capture() {
+    if !tracing_enabled() {
+        return;
+    }
+    CAPTURE_BUFFERS.fetch_add(1, Ordering::Relaxed);
+    CAPTURE.with(|c| *c.borrow_mut() = Some(Vec::new()));
+}
+
+/// Closes this thread's capture buffer and returns the normalised
+/// trace. Empty if no capture was open (e.g. tracing was disabled).
+pub fn end_capture() -> Trace {
+    let events = CAPTURE.with(|c| c.borrow_mut().take()).unwrap_or_default();
+    EVENTS_RECORDED.fetch_add(events.len() as u64, Ordering::Relaxed);
+    let mut trace = Trace { events };
+    trace.normalize();
+    trace
+}
+
+/// Records one event at simulation time `time_ns`. No-op unless tracing
+/// is enabled *and* this thread has an open capture buffer — threads
+/// without one (e.g. PGP search workers during a serve figure) emit into
+/// the void at the cost of the enabled check.
+#[inline]
+pub fn emit(time_ns: u64, kind: TraceEventKind) {
+    if !tracing_enabled() {
+        return;
+    }
+    CAPTURE.with(|c| {
+        if let Some(buf) = c.borrow_mut().as_mut() {
+            let seq = buf.len() as u64;
+            buf.push(TraceEvent { time_ns, seq, kind });
+        }
+    });
+}
+
+/// Sink-side counters proving the zero-cost-when-disabled contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceStats {
+    /// Events banked by [`end_capture`].
+    pub events: u64,
+    /// Capture buffers opened by [`begin_capture`].
+    pub capture_buffers: u64,
+}
+
+pub fn trace_stats() -> TraceStats {
+    TraceStats {
+        events: EVENTS_RECORDED.load(Ordering::Relaxed),
+        capture_buffers: CAPTURE_BUFFERS.load(Ordering::Relaxed),
+    }
+}
+
+pub fn reset_trace_stats() {
+    EVENTS_RECORDED.store(0, Ordering::Relaxed);
+    CAPTURE_BUFFERS.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The tracing switch is process-global, so every test that flips it
+    /// runs under this lock.
+    static GATE: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+
+    #[test]
+    fn disabled_emit_is_a_no_op() {
+        let _g = GATE.lock();
+        set_tracing(false);
+        reset_trace_stats();
+        begin_capture(); // no-op: disabled
+        emit(5, TraceEventKind::ReplicaReady { replica: 1 });
+        let trace = end_capture();
+        assert!(trace.is_empty());
+        assert_eq!(trace_stats(), TraceStats::default());
+    }
+
+    #[test]
+    fn capture_orders_by_time_then_seq() {
+        let _g = GATE.lock();
+        set_tracing(true);
+        begin_capture();
+        emit(20, TraceEventKind::ReplicaReady { replica: 0 });
+        emit(10, TraceEventKind::NodeKill { node: 3 });
+        emit(10, TraceEventKind::NodeDeath { node: 3 });
+        let trace = end_capture();
+        set_tracing(false);
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.events[0].kind, TraceEventKind::NodeKill { node: 3 });
+        assert_eq!(trace.events[1].kind, TraceEventKind::NodeDeath { node: 3 });
+        assert_eq!(
+            trace.events[2].kind,
+            TraceEventKind::ReplicaReady { replica: 0 }
+        );
+        assert!(trace.render().lines().count() == 3);
+        assert_ne!(trace.digest(), Trace::default().digest());
+    }
+
+    #[test]
+    fn emit_without_capture_goes_nowhere() {
+        let _g = GATE.lock();
+        set_tracing(true);
+        emit(1, TraceEventKind::ReplicaReady { replica: 9 });
+        begin_capture();
+        let trace = end_capture();
+        set_tracing(false);
+        assert!(trace.is_empty());
+    }
+
+    #[test]
+    fn concat_renormalises_parts() {
+        let a = Trace {
+            events: vec![TraceEvent {
+                time_ns: 50,
+                seq: 0,
+                kind: TraceEventKind::ReplicaReady { replica: 0 },
+            }],
+        };
+        let b = Trace {
+            events: vec![TraceEvent {
+                time_ns: 10,
+                seq: 0,
+                kind: TraceEventKind::ReplicaReady { replica: 1 },
+            }],
+        };
+        let merged = Trace::concat(vec![a, b]);
+        assert_eq!(merged.events[0].time_ns, 10);
+        assert_eq!(merged.events[1].time_ns, 50);
+        // seq rewritten to concatenation order, so renders are stable.
+        assert_eq!(merged.events[0].seq, 1);
+    }
+}

@@ -56,6 +56,33 @@ impl<F: FnMut(&[FunctionId]) -> f64> KlObjective for F {
     }
 }
 
+/// Search-effort counters of one or more Kernighan–Lin passes, summed
+/// into the PGP decision audit. Plain `u64` sums commute, so parallel
+/// search workers can accumulate locally and add up deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KlStats {
+    /// Non-trivial passes run (both sets non-empty).
+    pub passes: u64,
+    /// Swap-selection rounds (Algorithm 2 line 20 iterations).
+    pub rounds: u64,
+    /// Candidate `(ia, ib)` swaps examined.
+    pub candidates: u64,
+    /// Candidates discharged by the exact prunes without full evaluation.
+    pub pruned: u64,
+    /// Swaps actually applied (the chosen prefix length, summed).
+    pub applied: u64,
+}
+
+impl KlStats {
+    pub fn merge(&mut self, other: KlStats) {
+        self.passes += other.passes;
+        self.rounds += other.rounds;
+        self.candidates += other.candidates;
+        self.pruned += other.pruned;
+        self.applied += other.applied;
+    }
+}
+
 /// Runs one Kernighan–Lin pass over function sets `a` and `b`.
 ///
 /// `objective` scores candidate sets (see [`KlObjective`]); the pair is
@@ -65,11 +92,23 @@ impl<F: FnMut(&[FunctionId]) -> f64> KlObjective for F {
 pub fn kernighan_lin(
     a: &mut [FunctionId],
     b: &mut [FunctionId],
+    objective: impl KlObjective,
+) -> f64 {
+    kernighan_lin_with_stats(a, b, objective, &mut KlStats::default())
+}
+
+/// [`kernighan_lin`], additionally accumulating search-effort counters
+/// into `stats` (identical swaps, scores and side effects).
+pub fn kernighan_lin_with_stats(
+    a: &mut [FunctionId],
+    b: &mut [FunctionId],
     mut objective: impl KlObjective,
+    stats: &mut KlStats,
 ) -> f64 {
     if a.is_empty() || b.is_empty() {
         return 0.0;
     }
+    stats.passes += 1;
     // Working copies that virtual swaps are applied to (line 19).
     let mut wa = a.to_vec();
     let mut wb = b.to_vec();
@@ -85,10 +124,12 @@ pub fn kernighan_lin(
 
     // Line 20: until one working set is exhausted.
     while !free_a.is_empty() && !free_b.is_empty() {
+        stats.rounds += 1;
         // Line 21: the swap that minimises the predicted latency.
         let mut best: Option<(usize, usize, f64)> = None;
         for &ia in &free_a {
             for &ib in &free_b {
+                stats.candidates += 1;
                 std::mem::swap(&mut wa[ia], &mut wb[ib]);
                 // Exact prunes (skipped candidates score INFINITY, which
                 // never wins under strict `<`): a candidate is dead as soon
@@ -110,6 +151,9 @@ pub fn kernighan_lin(
                         }
                     }
                 };
+                if score.is_infinite() {
+                    stats.pruned += 1;
+                }
                 std::mem::swap(&mut wa[ia], &mut wb[ib]);
                 let better = match best {
                     Some((_, _, s)) => score < s,
@@ -147,6 +191,7 @@ pub fn kernighan_lin(
     for &(ia, ib) in swaps.iter().take(best_k) {
         std::mem::swap(&mut a[ia], &mut b[ib]);
     }
+    stats.applied += best_k as u64;
     best_sum
 }
 

@@ -33,17 +33,27 @@
 //! as [`PgpScheduler::schedule_reference`]; both produce byte-identical
 //! plans (enforced by the `identical_plans` property test).
 
-use crate::kl::{kernighan_lin, KlObjective};
+use crate::kl::{kernighan_lin_with_stats, KlObjective, KlStats};
 use chiron_model::plan::{
-    DeploymentPlan, IsolationKind, ProcessPlan, RuntimeKind, SandboxId, SandboxPlan,
+    DeploymentPlan, IsolationKind, ProcessPlan, ProcessSpawn, RuntimeKind, SandboxId, SandboxPlan,
     SchedulingKind, StagePlan, SystemKind, TransferKind, WrapPlan,
 };
 use chiron_model::{FunctionId, SimDuration, Workflow};
+use chiron_obs::StaticCounter;
 use chiron_predict::{
     predict_threads, PredictScratch, PredictionCache, Predictor, SegmentCatalog, SimThread,
     StaggeredSet,
 };
 use chiron_profiler::WorkflowProfile;
+
+// Process-wide mirrors of the per-schedule audit counters, registered in
+// the chiron-obs metrics registry so `figures -- obs` reports aggregate
+// scheduler effort alongside the cache and runtime counters.
+static SCHEDULES: StaticCounter = StaticCounter::new("pgp.schedules");
+static KL_ROUNDS: StaticCounter = StaticCounter::new("pgp.kl.rounds");
+static KL_CANDIDATES: StaticCounter = StaticCounter::new("pgp.kl.candidates");
+static KL_PRUNED: StaticCounter = StaticCounter::new("pgp.kl.pruned");
+static KL_APPLIED: StaticCounter = StaticCounter::new("pgp.kl.applied");
 
 /// Work-size threshold (functions × candidate process counts) below which
 /// [`PgpScheduler::schedule_parallel`] delegates to the sequential
@@ -119,6 +129,58 @@ pub struct ScheduleOutcome {
     pub met_slo: bool,
     /// The chosen process count `n` for parallel stages.
     pub processes: usize,
+    /// How the search arrived at the decision (for `figures -- obs`).
+    pub audit: PgpAudit,
+}
+
+/// The decision audit of one schedule: how much search Algorithm 2
+/// performed and what came out, beyond the plan itself. Describes the
+/// search actually run — the sequential and parallel paths may legally
+/// differ here (different candidate ranges) even though their plans are
+/// byte-identical.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PgpAudit {
+    /// Process counts `n` evaluated end-to-end (partition + pack + trim).
+    pub candidates_examined: u64,
+    /// Kernighan–Lin effort summed over every pass of the search.
+    pub kl: KlStats,
+    /// Prediction-cache hits attributable to this schedule.
+    pub cache_hits: u64,
+    /// Prediction-cache misses (fresh simulations) for this schedule.
+    pub cache_misses: u64,
+    /// Per-function execution mode in the final plan, indexed by
+    /// `FunctionId` ("fork", "pool", "main", or "unplaced").
+    pub function_modes: Vec<&'static str>,
+}
+
+/// One mode label per function, read off the final plan — the
+/// per-function-mode component of the decision audit.
+fn function_modes(workflow: &Workflow, plan: &DeploymentPlan) -> Vec<&'static str> {
+    let mut modes = vec!["unplaced"; workflow.function_count()];
+    for stage in &plan.stages {
+        for wrap in &stage.wraps {
+            for proc in &wrap.processes {
+                let label = match proc.spawn {
+                    ProcessSpawn::Fork => "fork",
+                    ProcessSpawn::Pool => "pool",
+                    ProcessSpawn::MainReuse => "main",
+                };
+                for &f in &proc.functions {
+                    modes[f.index()] = label;
+                }
+            }
+        }
+    }
+    modes
+}
+
+/// Folds a finished schedule's audit into the process-wide obs counters.
+fn publish_audit(audit: &PgpAudit) {
+    SCHEDULES.incr();
+    KL_ROUNDS.add(audit.kl.rounds);
+    KL_CANDIDATES.add(audit.kl.candidates);
+    KL_PRUNED.add(audit.kl.pruned);
+    KL_APPLIED.add(audit.kl.applied);
 }
 
 /// The two predictions the Algorithm 2 search needs: the makespan of one
@@ -294,7 +356,14 @@ impl PgpScheduler {
             cache,
             scratch: PredictScratch::new(),
         };
-        self.dispatch(workflow, config, &mut eval)
+        let before = cache.stats();
+        let mut outcome = self.dispatch(workflow, config, &mut eval);
+        let after = cache.stats();
+        outcome.audit.cache_hits = after.hits - before.hits;
+        outcome.audit.cache_misses = after.misses - before.misses;
+        outcome.audit.function_modes = function_modes(workflow, &outcome.plan);
+        publish_audit(&outcome.audit);
+        outcome
     }
 
     /// The scheduler exactly as it was before memoisation: per-call owned
@@ -313,7 +382,11 @@ impl PgpScheduler {
             workflow,
             profile,
         };
-        self.dispatch(workflow, config, &mut eval)
+        // The reference path audits its own (prune-free, uncached) search;
+        // cache deltas stay zero and nothing is published to obs.
+        let mut outcome = self.dispatch(workflow, config, &mut eval);
+        outcome.audit.function_modes = function_modes(workflow, &outcome.plan);
+        outcome
     }
 
     fn dispatch(
@@ -344,10 +417,12 @@ impl PgpScheduler {
             .max(1);
         let mut best: Option<(DeploymentPlan, SimDuration, usize)> = None;
         let mut stale_rounds = 0usize;
+        let mut audit = PgpAudit::default();
 
         for n in 1..=max_n {
+            audit.candidates_examined += 1;
             // Lines 6–11: initial partition + KL refinement per stage.
-            let partitions = self.partition_stages(workflow, n, eval);
+            let partitions = self.partition_stages(workflow, n, eval, &mut audit.kl);
             // Lines 13–16 (and CPU minimisation): pack and trim under the
             // SLO, or latency-optimally without one.
             let plan =
@@ -371,6 +446,7 @@ impl PgpScheduler {
                         predicted,
                         met_slo: true,
                         processes: n,
+                        audit,
                     };
                 }
             } else if stale_rounds >= 3 {
@@ -384,6 +460,7 @@ impl PgpScheduler {
             predicted,
             met_slo,
             processes: n,
+            audit,
         }
     }
 
@@ -394,11 +471,12 @@ impl PgpScheduler {
         workflow: &Workflow,
         n: usize,
         eval: &mut dyn PgpEval,
+        stats: &mut KlStats,
     ) -> Vec<Vec<Vec<FunctionId>>> {
         workflow
             .stages
             .iter()
-            .map(|stage| partition_one_stage(&stage.functions, n, eval))
+            .map(|stage| partition_one_stage(&stage.functions, n, eval, stats))
             .collect()
     }
 
@@ -521,6 +599,11 @@ impl PgpScheduler {
         let p1_workers = workers.min(items.len()).max(1);
         // An `(n, stage)` cell's KL partition, as computed by a worker.
         type StagePartition = ((usize, usize), Vec<Vec<FunctionId>>);
+        let mut audit = PgpAudit {
+            candidates_examined: max_n as u64,
+            ..PgpAudit::default()
+        };
+        let before = cache.stats();
         let partition_results: Vec<StagePartition> = std::thread::scope(|scope| {
             let check = &check;
             let catalog = &catalog;
@@ -536,21 +619,33 @@ impl PgpScheduler {
                             cache,
                             scratch: PredictScratch::new(),
                         };
+                        // KL effort accumulates locally; the per-worker sums
+                        // are added after the join. Plain u64 additions
+                        // commute, so the audit totals are independent of
+                        // worker count and interleaving.
+                        let mut stats = KlStats::default();
                         let mut out = Vec::new();
                         for idx in (w..items.len()).step_by(p1_workers) {
                             let (n, s) = items[idx];
-                            let sets =
-                                partition_one_stage(&workflow.stages[s].functions, n, &mut eval);
+                            let sets = partition_one_stage(
+                                &workflow.stages[s].functions,
+                                n,
+                                &mut eval,
+                                &mut stats,
+                            );
                             out.push(((n, s), sets));
                         }
-                        out
+                        (out, stats)
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("pgp partition worker panicked"))
-                .collect()
+            let mut merged = Vec::new();
+            for handle in handles {
+                let (out, stats) = handle.join().expect("pgp partition worker panicked");
+                audit.kl.merge(stats);
+                merged.extend(out);
+            }
+            merged
         });
         let mut all_partitions: Vec<Vec<Vec<Vec<FunctionId>>>> =
             vec![vec![Vec::new(); stage_count]; max_n];
@@ -601,7 +696,13 @@ impl PgpScheduler {
                 .collect()
         });
         results.sort_by_key(|(n, _, _)| *n);
-        select_candidate(results, config)
+        let after = cache.stats();
+        audit.cache_hits = after.hits - before.hits;
+        audit.cache_misses = after.misses - before.misses;
+        let mut outcome = select_candidate(results, config, audit);
+        outcome.audit.function_modes = function_modes(workflow, &outcome.plan);
+        publish_audit(&outcome.audit);
+        outcome
     }
 
     /// Single-threaded oracle for [`PgpScheduler::schedule_parallel`]: the
@@ -634,9 +735,13 @@ impl PgpScheduler {
             workflow,
             profile,
         };
+        let mut audit = PgpAudit {
+            candidates_examined: max_n as u64,
+            ..PgpAudit::default()
+        };
         let mut results = Vec::with_capacity(max_n);
         for n in 1..=max_n {
-            let partitions = self.partition_stages(workflow, n, &mut eval);
+            let partitions = self.partition_stages(workflow, n, &mut eval, &mut audit.kl);
             let plan = self.pack_and_allocate(
                 workflow,
                 &partitions,
@@ -647,7 +752,9 @@ impl PgpScheduler {
             let predicted = eval.plan_latency(&plan);
             results.push((n, plan, predicted));
         }
-        select_candidate(results, config)
+        let mut outcome = select_candidate(results, config, audit);
+        outcome.audit.function_modes = function_modes(workflow, &outcome.plan);
+        outcome
     }
 
     /// Public access to the plan materialiser, used by the evaluation
@@ -678,7 +785,7 @@ impl PgpScheduler {
             workflow,
             profile,
         };
-        self.partition_stages(workflow, n, &mut eval)
+        self.partition_stages(workflow, n, &mut eval, &mut KlStats::default())
     }
 
     /// Materialises a plan: `wrap_count` wraps per parallel stage,
@@ -847,6 +954,12 @@ impl PgpScheduler {
             predicted,
             met_slo,
             processes,
+            // MPK mode has no n-search and no KL passes: the single fixed
+            // partition is the only candidate.
+            audit: PgpAudit {
+                candidates_examined: 1,
+                ..PgpAudit::default()
+            },
         }
     }
 
@@ -895,6 +1008,10 @@ impl PgpScheduler {
             predicted,
             met_slo,
             processes: pool_size as usize,
+            audit: PgpAudit {
+                candidates_examined: 1,
+                ..PgpAudit::default()
+            },
         }
     }
 }
@@ -909,6 +1026,7 @@ fn partition_one_stage(
     fns: &[FunctionId],
     n: usize,
     eval: &mut dyn PgpEval,
+    stats: &mut KlStats,
 ) -> Vec<Vec<FunctionId>> {
     let n_eff = n.min(fns.len()).max(1);
     let mut sets: Vec<Vec<FunctionId>> = vec![Vec::new(); n_eff];
@@ -924,7 +1042,7 @@ fn partition_one_stage(
             }
             let mut a = std::mem::take(&mut left[i]);
             let mut b = std::mem::take(&mut right[0]);
-            kernighan_lin(&mut a, &mut b, SetObjective(&mut *eval));
+            kernighan_lin_with_stats(&mut a, &mut b, SetObjective(&mut *eval), stats);
             left[i] = a;
             right[0] = b;
         }
@@ -939,8 +1057,10 @@ fn partition_one_stage(
 fn select_candidate(
     results: Vec<(usize, DeploymentPlan, SimDuration)>,
     config: &PgpConfig,
+    audit: PgpAudit,
 ) -> ScheduleOutcome {
     let mut best: Option<(DeploymentPlan, SimDuration, usize)> = None;
+    let mut met = false;
     for (n, plan, predicted) in results {
         if let Some(slo) = config.slo {
             if predicted <= slo {
@@ -951,13 +1071,8 @@ fn select_candidate(
                 if better {
                     best = Some((plan, predicted, n));
                 }
-                let (plan, predicted, n) = best.expect("just considered");
-                return ScheduleOutcome {
-                    plan,
-                    predicted,
-                    met_slo: true,
-                    processes: n,
-                };
+                met = true;
+                break; // first SLO-satisfying n ends the scan
             }
         }
         let better = best
@@ -969,12 +1084,13 @@ fn select_candidate(
         }
     }
     let (plan, predicted, n) = best.expect("n = 1 always evaluated");
-    let met_slo = config.slo.map(|slo| predicted <= slo).unwrap_or(true);
+    let met_slo = config.slo.map(|_| met).unwrap_or(true);
     ScheduleOutcome {
         plan,
         predicted,
         met_slo,
         processes: n,
+        audit,
     }
 }
 

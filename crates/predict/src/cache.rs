@@ -22,11 +22,18 @@
 
 use crate::threadsim::{predict_threads_src, SimArena, SimOutcome, ThreadSource};
 use chiron_model::{FunctionId, Segment, SimDuration};
+use chiron_obs::StaticCounter;
 use chiron_profiler::WorkflowProfile;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide mirrors of the per-cache counters, aggregated across
+/// every [`PredictionCache`] instance for the `figures -- obs` snapshot.
+static CACHE_HITS: StaticCounter = StaticCounter::new("predict.cache.hits");
+static CACHE_MISSES: StaticCounter = StaticCounter::new("predict.cache.misses");
+static CACHE_INSERTS: StaticCounter = StaticCounter::new("predict.cache.inserts");
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -337,13 +344,20 @@ impl PredictionCache {
     pub fn get(&self, key: u64) -> Option<SimOutcome> {
         let out = self.shard(key).lock().get(&key).copied();
         match out {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                CACHE_HITS.incr();
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                CACHE_MISSES.incr();
+            }
         };
         out
     }
 
     pub fn put(&self, key: u64, outcome: SimOutcome) {
+        CACHE_INSERTS.incr();
         self.shard(key).lock().insert(key, outcome);
     }
 

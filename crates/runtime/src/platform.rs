@@ -539,6 +539,24 @@ impl VirtualPlatform {
                 });
                 wrap_end = wrap_end.max(completed);
             }
+            // Tracing hook (one relaxed load when disabled): the warm-path
+            // engine reports each function's DES window. The reference
+            // engine stays uninstrumented — it exists to reproduce the
+            // seed harness byte-for-byte, overhead included.
+            if chiron_obs::tracing_enabled() {
+                chiron_obs::emit(
+                    meta.dispatched.as_nanos(),
+                    chiron_obs::TraceEventKind::DesSpan {
+                        function: meta.function.0,
+                        sandbox: wrap.sandbox.0,
+                        stage: stage as u32,
+                        dispatched_ns: meta.dispatched.as_nanos(),
+                        exec_start_ns: result.exec_start.as_nanos(),
+                        completed_ns: completed.as_nanos(),
+                        spans: spans.len() as u32,
+                    },
+                );
+            }
             timelines[meta.function.index()] = Some(FunctionTimeline {
                 function: meta.function,
                 sandbox: wrap.sandbox,

@@ -9,17 +9,21 @@
 //! byte-identical to a fresh-allocation run (the property tests check
 //! exactly that).
 //!
-//! The module also counts pool traffic globally so `figures -- perf-eval`
-//! can report first-run vs steady-state allocation counts for the DES hot
-//! loop.
+//! The module also counts pool traffic globally — as
+//! [`chiron_obs`]-registered counters, so `figures -- obs` sees them in
+//! the metrics snapshot and `figures -- perf-eval` can report first-run
+//! vs steady-state allocation counts for the DES hot loop. All accesses
+//! are `Relaxed`: these are statistics, not synchronisation, and their
+//! totals are sums of per-event increments (deterministic for a
+//! deterministic workload regardless of interleaving).
 
 use crate::span::Span;
 use chiron_model::Segment;
-use std::sync::atomic::{AtomicU64, Ordering};
+use chiron_obs::StaticCounter;
 
-static BUFFER_ALLOCS: AtomicU64 = AtomicU64::new(0);
-static BUFFER_REUSES: AtomicU64 = AtomicU64::new(0);
-static SIM_EVENTS: AtomicU64 = AtomicU64::new(0);
+static BUFFER_ALLOCS: StaticCounter = StaticCounter::new("runtime.scratch.buffer_allocs");
+static BUFFER_REUSES: StaticCounter = StaticCounter::new("runtime.scratch.buffer_reuses");
+static SIM_EVENTS: StaticCounter = StaticCounter::new("runtime.fluid.sim_events");
 
 /// Global pool-traffic counters for the DES hot loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,21 +37,21 @@ pub struct AllocStats {
 }
 
 pub fn reset_alloc_stats() {
-    BUFFER_ALLOCS.store(0, Ordering::SeqCst);
-    BUFFER_REUSES.store(0, Ordering::SeqCst);
-    SIM_EVENTS.store(0, Ordering::SeqCst);
+    BUFFER_ALLOCS.reset();
+    BUFFER_REUSES.reset();
+    SIM_EVENTS.reset();
 }
 
 pub fn alloc_stats() -> AllocStats {
     AllocStats {
-        buffer_allocs: BUFFER_ALLOCS.load(Ordering::SeqCst),
-        buffer_reuses: BUFFER_REUSES.load(Ordering::SeqCst),
-        events: SIM_EVENTS.load(Ordering::SeqCst),
+        buffer_allocs: BUFFER_ALLOCS.get(),
+        buffer_reuses: BUFFER_REUSES.get(),
+        events: SIM_EVENTS.get(),
     }
 }
 
 pub(crate) fn count_events(n: u64) {
-    SIM_EVENTS.fetch_add(n, Ordering::Relaxed);
+    SIM_EVENTS.add(n);
 }
 
 /// A pool of recycled `Vec<T>` buffers; `take` hands back a cleared buffer
@@ -66,11 +70,11 @@ impl<T> Pool<T> {
         match self.0.pop() {
             Some(mut buf) => {
                 buf.clear();
-                BUFFER_REUSES.fetch_add(1, Ordering::Relaxed);
+                BUFFER_REUSES.incr();
                 buf
             }
             None => {
-                BUFFER_ALLOCS.fetch_add(1, Ordering::Relaxed);
+                BUFFER_ALLOCS.incr();
                 Vec::new()
             }
         }

@@ -123,6 +123,61 @@ mod tests {
         }
     }
 
+    /// One test fn for both tracing contracts — the process-global
+    /// tracing flag must not be flipped from concurrent tests.
+    ///
+    /// Disabled (the default), the sink must be free: a full serve run
+    /// records zero events and allocates zero capture buffers, and the
+    /// report is bit-identical to an instrumented-later run. Enabled, a
+    /// capture holds the whole causal request life and two captures of
+    /// the same `(workload, seed)` are byte-identical.
+    #[test]
+    fn tracing_is_free_when_disabled_and_deterministic_when_on() {
+        let sim = simulation(ServeConfig::paper_testbed())
+            .with_faults(FaultPlan::none().kill_at(SimTime::from_millis_f64(5_000.0), NodeId(0)));
+        let workload = Workload::steady(25.0, 600);
+
+        // Phase 1: disabled — zero events, zero capture buffers.
+        chiron_obs::reset_trace_stats();
+        chiron_obs::set_tracing(false);
+        let base = sim.run(&workload, 9).unwrap();
+        assert_eq!(
+            chiron_obs::trace_stats(),
+            chiron_obs::TraceStats::default(),
+            "a disabled sink must not record or allocate anything"
+        );
+
+        // Phase 2: enabled — full life cycle captured, deterministically,
+        // without perturbing the simulation itself.
+        chiron_obs::set_tracing(true);
+        chiron_obs::begin_capture();
+        let a = sim.run(&workload, 9).unwrap();
+        let ta = chiron_obs::end_capture();
+        chiron_obs::begin_capture();
+        let b = sim.run(&workload, 9).unwrap();
+        let tb = chiron_obs::end_capture();
+        chiron_obs::set_tracing(false);
+
+        assert_eq!(base.digest(), a.digest(), "tracing must not change the sim");
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(ta.render(), tb.render(), "captures must be byte-identical");
+        let render = ta.render();
+        for needle in [
+            "Arrival",
+            "Enqueue",
+            "Dispatch",
+            "Complete",
+            "Requeue",
+            "ReplicaSpawn",
+            "ReplicaReady",
+            "NodeKill",
+            "NodeDeath",
+            "DesSpan",
+        ] {
+            assert!(render.contains(needle), "{needle} missing from the trace");
+        }
+    }
+
     #[test]
     fn partitioned_router_beats_central_overhead() {
         // With multi-wrap stages the partitioned architecture skips the

@@ -9,11 +9,13 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RequestRecord {
     pub arrival_ns: u64,
-    /// Last dispatch time (re-dispatches overwrite), 0 before dispatch.
-    pub dispatched_ns: u64,
-    /// Completion time; 0 while in flight (request ids are never
-    /// completed at t=0 because service times are positive).
-    pub completed_ns: u64,
+    /// Last dispatch time (re-dispatches overwrite); `None` before the
+    /// first dispatch.
+    pub dispatched_ns: Option<u64>,
+    /// Completion time; `None` while in flight. An explicit option —
+    /// rather than a 0 sentinel — so a request completing at exactly
+    /// t=0 in a synthetic workload cannot be misread as unfinished.
+    pub completed_ns: Option<u64>,
     /// Replica that served (or was serving) it.
     pub replica: u32,
     /// Workload phase the arrival fell in.
@@ -26,12 +28,16 @@ pub struct RequestRecord {
 }
 
 impl RequestRecord {
+    /// Arrival-to-completion latency; zero while still in flight.
     pub fn sojourn(&self) -> SimDuration {
-        SimDuration::from_nanos(self.completed_ns.saturating_sub(self.arrival_ns))
+        match self.completed_ns {
+            Some(done) => SimDuration::from_nanos(done.saturating_sub(self.arrival_ns)),
+            None => SimDuration::ZERO,
+        }
     }
 
     pub fn is_completed(&self) -> bool {
-        self.completed_ns != 0
+        self.completed_ns.is_some()
     }
 }
 
@@ -84,22 +90,36 @@ impl ServeReport {
     /// Order-sensitive FNV-1a digest over every per-request outcome —
     /// byte-for-byte reproducibility check for seeded runs.
     pub fn digest(&self) -> u64 {
-        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut eat = |v: u64| {
+        fn eat(hash: &mut u64, v: u64) {
             for byte in v.to_le_bytes() {
-                hash ^= u64::from(byte);
-                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+                *hash ^= u64::from(byte);
+                *hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
             }
-        };
-        for r in &self.records {
-            eat(r.arrival_ns);
-            eat(r.dispatched_ns);
-            eat(r.completed_ns);
-            eat(u64::from(r.replica));
-            eat(u64::from(r.phase) << 32 | u64::from(r.cold_start) << 16 | u64::from(r.requeues));
         }
-        eat(self.accepted);
-        eat(self.completed);
+        // Optional fields eat a presence tag before the value so
+        // `Some(0)` and `None` digest differently.
+        fn eat_opt(hash: &mut u64, v: Option<u64>) {
+            match v {
+                Some(x) => {
+                    eat(hash, 1);
+                    eat(hash, x);
+                }
+                None => eat(hash, 0),
+            }
+        }
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for r in &self.records {
+            eat(&mut hash, r.arrival_ns);
+            eat_opt(&mut hash, r.dispatched_ns);
+            eat_opt(&mut hash, r.completed_ns);
+            eat(&mut hash, u64::from(r.replica));
+            eat(
+                &mut hash,
+                u64::from(r.phase) << 32 | u64::from(r.cold_start) << 16 | u64::from(r.requeues),
+            );
+        }
+        eat(&mut hash, self.accepted);
+        eat(&mut hash, self.completed);
         hash
     }
 
@@ -139,8 +159,8 @@ mod tests {
     fn record(arrival: u64, completed: u64, phase: u16) -> RequestRecord {
         RequestRecord {
             arrival_ns: arrival,
-            dispatched_ns: arrival,
-            completed_ns: completed,
+            dispatched_ns: Some(arrival),
+            completed_ns: Some(completed),
             replica: 0,
             phase,
             cold_start: false,
@@ -160,7 +180,11 @@ mod tests {
             requeued_requests: 0,
             cold_starts: 0,
             makespan: SimDuration::from_nanos(
-                records.iter().map(|r| r.completed_ns).max().unwrap_or(0),
+                records
+                    .iter()
+                    .filter_map(|r| r.completed_ns)
+                    .max()
+                    .unwrap_or(0),
             ),
             sojourns,
             phases: Vec::new(),
@@ -186,6 +210,22 @@ mod tests {
         assert_ne!(a.digest(), c.digest());
         let d = report(vec![record(1, 10, 0), record(2, 21, 0)]);
         assert_ne!(a.digest(), d.digest());
+    }
+
+    #[test]
+    fn completion_at_t0_is_not_misclassified() {
+        // The old 0-sentinel encoding could not tell "completed at t=0"
+        // from "in flight"; the Option encoding can, and the two digest
+        // differently.
+        let mut r = record(0, 0, 0);
+        assert!(r.is_completed());
+        assert_eq!(r.sojourn(), SimDuration::ZERO);
+        let completed = report(vec![r]).digest();
+        r.completed_ns = None;
+        r.dispatched_ns = None;
+        assert!(!r.is_completed());
+        let in_flight = report(vec![r]).digest();
+        assert_ne!(completed, in_flight);
     }
 
     #[test]

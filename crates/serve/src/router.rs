@@ -6,7 +6,12 @@
 //! the (transient) case where no node hosts a replica.
 
 use crate::config::RouterPolicy;
+use chiron_obs::StaticCounter;
 use std::collections::VecDeque;
+
+/// Requests a partitioned replica drained from another node's orphaned
+/// queue (a shard whose last replica died).
+static STEALS: StaticCounter = StaticCounter::new("serve.router.steals");
 
 #[derive(Debug, Clone)]
 pub struct Router {
@@ -94,6 +99,7 @@ impl Router {
                 for (i, queue) in self.per_node.iter_mut().enumerate() {
                     if !node_has_replica[i] {
                         if let Some(req) = queue.pop_front() {
+                            STEALS.incr();
                             return Some(req);
                         }
                     }

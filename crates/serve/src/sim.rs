@@ -34,9 +34,30 @@ use chiron_deploy::{
 };
 use chiron_metrics::{plan_resources, ArrivalGen, StreamingHistogram};
 use chiron_model::{DeploymentPlan, PlanError, SimDuration, SimTime, Workflow};
+use chiron_obs::{emit, StaticCounter, StaticGauge, StaticHistogram, TraceEventKind};
 use chiron_runtime::VirtualPlatform;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Highest queue depth any autoscaler tick observed.
+static QUEUE_DEPTH_PEAK: StaticGauge = StaticGauge::new("serve.autoscaler.queue_depth_peak");
+/// Sum of per-tick queue depths (mean = sum / ticks).
+static QUEUE_DEPTH_SUM: StaticCounter = StaticCounter::new("serve.autoscaler.queue_depth_sum");
+static AUTOSCALER_TICKS: StaticCounter = StaticCounter::new("serve.autoscaler.ticks");
+/// In-flight requests re-queued by failure recovery.
+static REQUEUES: StaticCounter = StaticCounter::new("serve.failures.requeues");
+/// Completed-request sojourn distribution, across every run this process
+/// executed since the last `chiron_obs::reset_metrics()`.
+static SOJOURNS: StaticHistogram = StaticHistogram::new("serve.sojourn");
+
+/// Trace encoding of a queue shard (see [`TraceEventKind::Enqueue`]).
+fn shard_code(shard: Shard) -> i64 {
+    match shard {
+        Shard::Global => -1,
+        Shard::Overflow => -2,
+        Shard::Node(i) => i as i64,
+    }
+}
 
 /// Why a serving run could not start.
 #[derive(Debug, Clone, PartialEq)]
@@ -289,6 +310,15 @@ impl<'a> Run<'a> {
             run.replicas[id].state = ReplicaState::Idle {
                 since: SimTime::ZERO,
             };
+            emit(
+                0,
+                TraceEventKind::ReplicaSpawn {
+                    replica: id as u32,
+                    node: run.replicas[id].node as u32,
+                    cold: false,
+                },
+            );
+            emit(0, TraceEventKind::ReplicaReady { replica: id as u32 });
         }
         run.push_timeline(SimTime::ZERO);
 
@@ -324,12 +354,16 @@ impl<'a> Run<'a> {
                 EventKind::ReplicaReady { replica } => {
                     if self.replicas[replica as usize].state == ReplicaState::Starting {
                         self.replicas[replica as usize].state = ReplicaState::Idle { since: now };
+                        emit(now.as_nanos(), TraceEventKind::ReplicaReady { replica });
                         self.kick(now);
                     }
                 }
                 EventKind::AutoscaleTick => self.on_tick(now),
                 EventKind::Heartbeat => self.on_heartbeat(now),
-                EventKind::NodeKill { node } => self.cluster.fail_node(node),
+                EventKind::NodeKill { node } => {
+                    emit(now.as_nanos(), TraceEventKind::NodeKill { node: node.0 });
+                    self.cluster.fail_node(node)
+                }
             }
         }
         Ok(self.into_report())
@@ -343,17 +377,31 @@ impl<'a> Run<'a> {
         let phase = self.phase_of(id);
         self.records.push(RequestRecord {
             arrival_ns: now.as_nanos(),
-            dispatched_ns: 0,
-            completed_ns: 0,
+            dispatched_ns: None,
+            completed_ns: None,
             replica: 0,
             phase: phase as u16,
             cold_start: false,
             requeues: 0,
         });
+        emit(
+            now.as_nanos(),
+            TraceEventKind::Arrival {
+                request: id,
+                phase: phase as u16,
+            },
+        );
         self.refresh_hosts();
         let shard = self.router.choose_shard(&self.hosts_scratch);
         self.router.push_back(shard, id);
         self.shards.push(shard);
+        emit(
+            now.as_nanos(),
+            TraceEventKind::Enqueue {
+                request: id,
+                shard: shard_code(shard),
+            },
+        );
         self.kick(now);
         if self.arrived < self.total {
             let rps = self.workload.phases[self.phase_of(self.arrived)].rps;
@@ -381,11 +429,16 @@ impl<'a> Run<'a> {
         }
 
         let rec = &mut self.records[request as usize];
-        rec.completed_ns = now.as_nanos();
-        let sojourn = SimDuration::from_nanos(rec.completed_ns - rec.arrival_ns);
+        rec.completed_ns = Some(now.as_nanos());
+        let sojourn = SimDuration::from_nanos(now.as_nanos() - rec.arrival_ns);
+        emit(
+            now.as_nanos(),
+            TraceEventKind::Complete { request, replica },
+        );
         let phase = rec.phase as usize;
         let cold = rec.cold_start;
         self.sojourns.record(sojourn);
+        SOJOURNS.record(sojourn);
         self.phase_hists[phase].record(sojourn);
         self.phase_completed[phase] += 1;
         if cold {
@@ -411,6 +464,9 @@ impl<'a> Run<'a> {
             return; // stop the tick train once the run is over (or wedged)
         }
         let queued = self.router.queued();
+        QUEUE_DEPTH_PEAK.set_max(queued as u64);
+        QUEUE_DEPTH_SUM.add(queued as u64);
+        AUTOSCALER_TICKS.incr();
         let usable = self.usable_count();
         let want = self.autoscaler.replicas_to_add(queued, usable);
         for _ in 0..want {
@@ -457,6 +513,7 @@ impl<'a> Run<'a> {
     }
 
     fn handle_node_death(&mut self, node: NodeId, now: SimTime) {
+        emit(now.as_nanos(), TraceEventKind::NodeDeath { node: node.0 });
         let mut requeue = std::mem::take(&mut self.requeue_scratch);
         requeue.clear();
         let mut dead = 0u32;
@@ -508,10 +565,18 @@ impl<'a> Run<'a> {
         requeue.sort_unstable();
         for &req in requeue.iter().rev() {
             self.records[req as usize].requeues += 1;
+            emit(
+                now.as_nanos(),
+                TraceEventKind::Requeue {
+                    request: req,
+                    replica: self.records[req as usize].replica,
+                },
+            );
             let shard = self.router.choose_shard(&self.hosts_scratch);
             self.router.push_front(shard, req);
             self.shards[req as usize] = shard;
         }
+        REQUEUES.add(requeue.len() as u64);
         self.requeue_scratch = requeue;
 
         // Replace the lost capacity immediately (cold starts apply).
@@ -543,6 +608,14 @@ impl<'a> Run<'a> {
                 }
                 self.push_replica(placement, now, !prewarmed);
                 let id = (self.replicas.len() - 1) as u32;
+                emit(
+                    now.as_nanos(),
+                    TraceEventKind::ReplicaSpawn {
+                        replica: id,
+                        node: self.replicas[id as usize].node as u32,
+                        cold: !prewarmed,
+                    },
+                );
                 let ready_at = if prewarmed {
                     now
                 } else {
@@ -594,10 +667,20 @@ impl<'a> Run<'a> {
             dispatch_seq: seq,
         };
         let service = rep.service.mul_f64(mult);
+        let node = rep.node as u32;
         let rec = &mut self.records[request as usize];
-        rec.dispatched_ns = now.as_nanos();
+        rec.dispatched_ns = Some(now.as_nanos());
         rec.replica = replica;
         rec.cold_start = cold;
+        emit(
+            now.as_nanos(),
+            TraceEventKind::Dispatch {
+                request,
+                replica,
+                node,
+                cold,
+            },
+        );
         self.events.push(
             now + service,
             EventKind::Completion {
@@ -642,7 +725,7 @@ impl<'a> Run<'a> {
             timeline,
             ..
         } = self;
-        for rep in replicas.iter_mut() {
+        for (id, rep) in replicas.iter_mut().enumerate() {
             if usable <= min {
                 break;
             }
@@ -660,6 +743,10 @@ impl<'a> Run<'a> {
             }
             rep.state = ReplicaState::Retired;
             rep.ended_at = Some(now);
+            emit(
+                now.as_nanos(),
+                TraceEventKind::ReplicaRetired { replica: id as u32 },
+            );
             cluster.remove_replica(&sim.plan, &sim.workflow, &rep.placement);
             *scale_downs += 1;
             usable -= 1;
