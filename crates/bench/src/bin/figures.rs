@@ -108,6 +108,16 @@ fn main() {
                     Ok(()) => eprintln!("wrote serve_trace.json (open at ui.perfetto.dev)"),
                     Err(e) => eprintln!("could not write serve_trace.json: {e}"),
                 }
+                match std::fs::write("blame_counters.json", &report.counters) {
+                    Ok(()) => {
+                        eprintln!("wrote blame_counters.json (component-blame counter track)")
+                    }
+                    Err(e) => eprintln!("could not write blame_counters.json: {e}"),
+                }
+                match std::fs::write("attrib_flame.folded", &report.flame) {
+                    Ok(()) => eprintln!("wrote attrib_flame.folded (folded-stack flame profile)"),
+                    Err(e) => eprintln!("could not write attrib_flame.folded: {e}"),
+                }
                 format!("{}\n{}", report.text, report.json)
             }
             other => {

@@ -4,10 +4,10 @@
 //! A traced sweep captures one [`chiron_obs::Trace`] per cell (the capture
 //! buffer is thread-local, opened and drained inside the cell closure) and
 //! assembles them with [`Trace::concat`] in cell-index order. Because every
-//! event is stamped with simulated time and a per-cell sequence number —
-//! never wall clock, never a thread id — the assembled bytes must be
-//! identical for every worker count, exactly like the figure rows the
-//! sweep engine already pins.
+//! event is stamped with simulated time — never wall clock, never a thread
+//! id — and normalisation is a stable sort that preserves emit order on
+//! ties, the assembled bytes must be identical for every worker count,
+//! exactly like the figure rows the sweep engine already pins.
 //!
 //! This test binary owns the process-global tracing flag: no other test in
 //! it flips `chiron_obs::set_tracing`, so the proptest cases can keep it

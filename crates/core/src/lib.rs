@@ -36,6 +36,8 @@ pub use chiron_isolation as isolation;
 pub use chiron_metrics as metrics;
 pub use chiron_ml as ml;
 pub use chiron_model as model;
+pub use chiron_obs as obs;
+pub use chiron_obs::{AttributionReport, SloPolicy, SloSummary, WhatIfReport};
 pub use chiron_pgp::{PgpConfig, PgpMode, PgpScheduler, ScheduleOutcome, PARALLEL_WORK_THRESHOLD};
 pub use chiron_predict as predict;
 pub use chiron_profiler as profiler;

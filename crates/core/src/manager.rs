@@ -8,6 +8,7 @@
 
 use chiron_deploy::{generate, GeneratedWrap};
 use chiron_model::{DeploymentPlan, PlanError, PlatformConfig, SimDuration, Workflow};
+use chiron_obs::WhatIfReport;
 use chiron_pgp::{PgpConfig, PgpMode, PgpScheduler, ScheduleOutcome};
 use chiron_predict::{CacheStats, PredictionCache, Predictor};
 use chiron_profiler::{Profiler, WorkflowProfile};
@@ -184,6 +185,111 @@ impl Chiron {
             .run(workload, seed)
     }
 
+    /// Traced serving run plus exact latency attribution: enables the
+    /// trace sink around one [`Chiron::serve_with_faults`] run, then
+    /// reconstructs every request's critical path and decomposes its
+    /// sojourn into `{queueing, cold start, GIL block, interaction,
+    /// execution, retry}` — the six components sum to the sojourn
+    /// *exactly*, in integer nanoseconds.
+    ///
+    /// Returns the serve report together with the attribution. The
+    /// tracing flag is restored to its previous state even on error.
+    pub fn attribution_report(
+        &self,
+        workflow: &Workflow,
+        deployment: &Deployment,
+        config: ServeConfig,
+        faults: FaultPlan,
+        workload: &Workload,
+        seed: u64,
+    ) -> Result<(ServeReport, chiron_obs::AttributionReport), ServeError> {
+        let was_tracing = chiron_obs::tracing_enabled();
+        chiron_obs::set_tracing(true);
+        // ~8 events per request life cycle (arrival/enqueue/dispatch/
+        // complete plus replica churn and DES spans).
+        chiron_obs::begin_capture_sized(workload.total_requests() as usize * 8);
+        let result = ServeSimulation::new(workflow.clone(), deployment.plan().clone(), config)
+            .with_faults(faults)
+            .run(workload, seed);
+        let trace = chiron_obs::end_capture();
+        chiron_obs::set_tracing(was_tracing);
+        let report = result?;
+        Ok((report, chiron_obs::attribute(&trace)))
+    }
+
+    /// Coz-style what-if profiling: for the `top_n` most-blamed
+    /// components of `attrib`, re-runs the serving DES with that
+    /// component's underlying constant scaled to 75% / 50% / 25% and
+    /// ranks components by the best predicted p99 improvement.
+    ///
+    /// Constants scaled per component: cold start → the platform's
+    /// `sandbox_cold_start`; execution / GIL block / interaction → the
+    /// warm service time, shrunk by the component's share of the DES
+    /// service window. Queueing and retry are emergent (no constant to
+    /// scale) and are reported as unsupported.
+    #[allow(clippy::too_many_arguments)]
+    pub fn whatif_report(
+        &self,
+        workflow: &Workflow,
+        deployment: &Deployment,
+        config: ServeConfig,
+        faults: FaultPlan,
+        workload: &Workload,
+        seed: u64,
+        baseline: &ServeReport,
+        attrib: &chiron_obs::AttributionReport,
+        top_n: usize,
+    ) -> WhatIfReport {
+        use chiron_obs::Component;
+        let baseline_p99_ms = baseline.sojourns.percentile(0.99).as_millis_f64();
+        // The serve sim's own warm-execution service base, reproduced so
+        // the service-window components can be scaled around it.
+        let service_base = VirtualPlatform::new(config.platform.clone())
+            .with_cold_starts(false)
+            .execute(workflow, deployment.plan(), 0)
+            .map(|outcome| outcome.e2e)
+            .ok();
+        let weights = attrib.service_weights;
+        let weight_total: u64 = weights.iter().sum();
+        let candidates: Vec<_> = attrib.blame_ranking().into_iter().take(top_n).collect();
+        let runner = |component: Component, scale: f64| -> Option<f64> {
+            let sim = match component {
+                Component::ColdStart => {
+                    let mut cfg = config.clone();
+                    cfg.platform.costs.sandbox_cold_start =
+                        cfg.platform.costs.sandbox_cold_start.mul_f64(scale);
+                    ServeSimulation::new(workflow.clone(), deployment.plan().clone(), cfg)
+                }
+                Component::Execution | Component::GilBlock | Component::Interaction => {
+                    let base = service_base?;
+                    if weight_total == 0 {
+                        return None;
+                    }
+                    let slot = match component {
+                        Component::GilBlock => 1,
+                        Component::Interaction => 2,
+                        _ => 3,
+                    };
+                    let share = weights[slot] as f64 / weight_total as f64;
+                    let scaled = base.mul_f64(1.0 - share * (1.0 - scale));
+                    ServeSimulation::new(
+                        workflow.clone(),
+                        deployment.plan().clone(),
+                        config.clone(),
+                    )
+                    .with_service_base_override(scaled)
+                }
+                // Queueing and retry are emergent properties of the DES —
+                // there is no single constant whose virtual speedup models
+                // them honestly.
+                Component::Queueing | Component::Retry => return None,
+            };
+            let report = sim.with_faults(faults.clone()).run(workload, seed).ok()?;
+            Some(report.sojourns.percentile(0.99).as_millis_f64())
+        };
+        chiron_obs::whatif::run(&candidates, baseline_p99_ms, runner)
+    }
+
     /// §3.4's periodic re-profiling: refreshes the profile (with a new
     /// measurement seed) and reschedules, letting the wraps adapt to
     /// workload changes.
@@ -358,6 +464,56 @@ mod tests {
         assert_eq!(choices, vec![1]);
         assert_eq!(outcome.timelines.len(), 4);
         assert!(!outcome.e2e.is_zero());
+    }
+
+    #[test]
+    fn attribution_and_whatif_facades() {
+        use chiron_deploy::NodeId;
+        use chiron_model::SimTime;
+        let chiron = Chiron::default();
+        let wf = apps::finra(12);
+        let deployment = chiron.deploy(&wf, None, PgpMode::NativeThread);
+        let workload = Workload::steady(25.0, 400);
+        let faults = FaultPlan::none().kill_at(SimTime::from_millis_f64(5_000.0), NodeId(0));
+        let (report, attrib) = chiron
+            .attribution_report(
+                &wf,
+                &deployment,
+                ServeConfig::paper_testbed(),
+                faults.clone(),
+                &workload,
+                3,
+            )
+            .unwrap();
+        assert_eq!(report.completed, 400);
+        assert_eq!(attrib.workflow, "FINRA-12");
+        assert!(attrib.sums_exact());
+        assert_eq!(attrib.requests.len() as u64, report.completed);
+
+        let whatif = chiron.whatif_report(
+            &wf,
+            &deployment,
+            ServeConfig::paper_testbed(),
+            faults,
+            &workload,
+            3,
+            &report,
+            &attrib,
+            4,
+        );
+        assert!(
+            whatif.ranking.len() + whatif.unsupported.len() >= 3,
+            "top-4 candidates must produce rankings or explicit unsupporteds"
+        );
+        assert!(
+            !whatif.ranking.is_empty(),
+            "at least one component has a scalable constant"
+        );
+        // Shrinking a constant can only help (or be neutral): the best
+        // experiment must not predict a slowdown beyond noise.
+        for r in &whatif.ranking {
+            assert!(r.best_improvement_ms > -50.0, "{:?}", r);
+        }
     }
 
     #[test]

@@ -187,6 +187,36 @@ mod tests {
     }
 
     #[test]
+    fn report_is_sorted_by_key_regardless_of_insertion_order() {
+        let _g = GATE.lock();
+        set_drift_monitor(true);
+        reset_drift();
+        // Touch keys in deliberately scrambled order.
+        record_observation("wf-b", 9, Some(1), SimDuration::from_millis(1));
+        record_observation("wf-a", 7, Some(2), SimDuration::from_millis(1));
+        record_observation("wf-a", 7, None, SimDuration::from_millis(1));
+        record_observation("wf-a", 3, Some(0), SimDuration::from_millis(1));
+        record_observation("wf-b", 9, None, SimDuration::from_millis(1));
+        record_observation("wf-a", 7, Some(0), SimDuration::from_millis(1));
+        let report = drift_report();
+        set_drift_monitor(false);
+        let keys: Vec<_> = report
+            .iter()
+            .map(|e| (e.workflow.clone(), e.plan, e.stage))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(
+            keys, sorted,
+            "drift_report must sort by (workflow, plan, stage)"
+        );
+        assert_eq!(keys.len(), 6);
+        assert_eq!(keys[0], ("wf-a".to_string(), 3, Some(0)));
+        assert_eq!(keys[1], ("wf-a".to_string(), 7, None));
+        assert_eq!(keys[5], ("wf-b".to_string(), 9, Some(1)));
+    }
+
+    #[test]
     fn disabled_monitor_records_nothing() {
         let _g = GATE.lock();
         set_drift_monitor(false);

@@ -1,0 +1,60 @@
+//! A process-wide string interner for trace-event payloads.
+//!
+//! Trace events must stay `Copy` and small (the emit path is on the
+//! serving hot path), so events that need a workflow or plan name carry a
+//! `u32` [`StrId`] instead of a string. Interning is content-addressed:
+//! the same string always maps to the same id within a process, however
+//! many threads race to intern it. Ids are *not* stable across worker
+//! counts or runs (first-touch order differs), which is why everything
+//! user-visible — [`Trace::render`](crate::trace::Trace::render), the
+//! Perfetto export, attribution reports — resolves ids back to strings
+//! before rendering. Byte-identity gates therefore never see a raw id.
+
+use parking_lot::Mutex;
+
+/// An interned string id (index into the process-wide table).
+pub type StrId = u32;
+
+static TABLE: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+/// Interns `s`, returning its id. Idempotent: the same content always
+/// yields the same id within a process.
+pub fn intern(s: &str) -> StrId {
+    let mut table = TABLE.lock();
+    if let Some(i) = table.iter().position(|t| t == s) {
+        return i as StrId;
+    }
+    table.push(s.to_string());
+    (table.len() - 1) as StrId
+}
+
+/// Resolves an id back to its string. Unknown ids (from a trace captured
+/// in another process) resolve to a tagged placeholder rather than
+/// panicking.
+pub fn resolve(id: StrId) -> String {
+    TABLE
+        .lock()
+        .get(id as usize)
+        .cloned()
+        .unwrap_or_else(|| format!("<str#{id}>"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_resolvable() {
+        let a = intern("obs-intern-test-a");
+        let b = intern("obs-intern-test-b");
+        assert_ne!(a, b);
+        assert_eq!(intern("obs-intern-test-a"), a);
+        assert_eq!(resolve(a), "obs-intern-test-a");
+        assert_eq!(resolve(b), "obs-intern-test-b");
+    }
+
+    #[test]
+    fn unknown_ids_resolve_to_placeholders() {
+        assert_eq!(resolve(u32::MAX), format!("<str#{}>", u32::MAX));
+    }
+}

@@ -19,25 +19,46 @@
 //! * [`perfetto`] — renders a captured serving [`Trace`] as one Chrome
 //!   Trace Event Format document (one track per replica, grouped by
 //!   node) for <https://ui.perfetto.dev>.
+//!
+//! On top of the recording plane sits the analysis plane:
+//!
+//! * [`attrib`] — per-request critical-path reconstruction and an exact
+//!   decomposition of sojourn into `{queueing, cold_start, gil_block,
+//!   interaction, execution, retry}`, with folded-flame and counter-track
+//!   exports.
+//! * [`slo`] — an online multi-window burn-rate monitor the serving
+//!   simulator evaluates at event time, so alerts are byte-identical for
+//!   any worker count.
+//! * [`whatif`] — Coz-style virtual-speedup experiments over the DES,
+//!   ranking top-blamed components by predicted p99 improvement.
+//! * [`intern`] — the string interner keeping trace events small.
 
 #![forbid(unsafe_code)]
 #![warn(missing_debug_implementations)]
 
+pub mod attrib;
 pub mod drift;
+pub mod intern;
 pub mod metrics;
 pub mod perfetto;
+pub mod slo;
 pub mod trace;
+pub mod whatif;
 
+pub use attrib::{attribute, AttributionReport, Component, ComponentProfile, RequestAttribution};
 pub use drift::{
     drift_monitor_enabled, drift_report, record_observation, record_prediction, reset_drift,
     set_drift_monitor, DriftEntry,
 };
+pub use intern::{intern, resolve, StrId};
 pub use metrics::{
     reset_metrics, snapshot, HistogramSummary, MetricsSnapshot, StaticCounter, StaticGauge,
     StaticHistogram,
 };
 pub use perfetto::serve_trace;
+pub use slo::{BurnRateMonitor, SloPolicy, SloSummary, SloTransition};
 pub use trace::{
-    begin_capture, emit, end_capture, reset_trace_stats, set_tracing, trace_stats, tracing_enabled,
-    Trace, TraceEvent, TraceEventKind, TraceStats,
+    begin_capture, begin_capture_sized, emit, end_capture, recycle, reset_trace_stats, set_tracing,
+    trace_stats, tracing_enabled, Trace, TraceEvent, TraceEventKind, TraceStats,
 };
+pub use whatif::{WhatIfExperiment, WhatIfRanking, WhatIfReport};

@@ -350,4 +350,33 @@ mod tests {
         assert_eq!(TEST_GAUGE.get(), 0);
         assert_eq!(TEST_HIST.summary().samples, 0);
     }
+
+    // Registration order is first-touch (z before a here), but snapshots
+    // and their JSON must come out name-sorted so report diffs are stable
+    // run-to-run.
+    static ORDER_Z: StaticCounter = StaticCounter::new("obs.test.order.z");
+    static ORDER_A: StaticCounter = StaticCounter::new("obs.test.order.a");
+    static ORDER_M: StaticCounter = StaticCounter::new("obs.test.order.m");
+
+    #[test]
+    fn snapshot_is_name_sorted_not_registration_ordered() {
+        ORDER_Z.incr();
+        ORDER_A.incr();
+        ORDER_M.incr();
+        let snap = snapshot();
+        let ours: Vec<&str> = snap
+            .counters
+            .iter()
+            .map(|(n, _)| *n)
+            .filter(|n| n.starts_with("obs.test.order."))
+            .collect();
+        assert_eq!(
+            ours,
+            vec!["obs.test.order.a", "obs.test.order.m", "obs.test.order.z"]
+        );
+        let json = snap.to_json();
+        let pos = |needle: &str| json.find(needle).expect("counter in json");
+        assert!(pos("obs.test.order.a") < pos("obs.test.order.m"));
+        assert!(pos("obs.test.order.m") < pos("obs.test.order.z"));
+    }
 }

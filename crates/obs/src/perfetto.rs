@@ -19,6 +19,7 @@
 //! `chiron-runtime::export`, the JSON is written by hand — this is a
 //! write-only format, timestamps in microseconds.
 
+use crate::intern::resolve;
 use crate::trace::{Trace, TraceEventKind};
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -89,13 +90,43 @@ pub fn serve_trace(trace: &Trace) -> String {
         (NODE_PID_BASE + node, replica)
     };
 
-    // Request/replica state machines over the (time, seq)-ordered scan.
+    // Request/replica state machines over the time-ordered scan.
     let mut queued_since: HashMap<u64, u64> = HashMap::new();
     let mut executing: HashMap<u64, (u64, bool)> = HashMap::new();
     let mut starting: HashMap<u32, (u64, bool)> = HashMap::new();
     for e in &trace.events {
         match e.kind {
-            TraceEventKind::Arrival { .. } | TraceEventKind::NodeKill { .. } => {}
+            TraceEventKind::Arrival { .. }
+            | TraceEventKind::NodeKill { .. }
+            | TraceEventKind::DesBreakdown { .. } => {}
+            TraceEventKind::RunContext { workflow, plan } => {
+                push(
+                    format!(
+                        "{{\"ph\":\"i\",\"pid\":{CONTROL_PID},\"tid\":0,\"ts\":{:.3},\
+                         \"s\":\"g\",\"name\":\"run {} plan {plan:016x}\"}}",
+                        us(e.time_ns),
+                        resolve(workflow),
+                    ),
+                    &mut out,
+                );
+            }
+            TraceEventKind::SloAlert {
+                fired,
+                short_burn_centi,
+                long_burn_centi,
+            } => {
+                let state = if fired { "fired" } else { "cleared" };
+                push(
+                    format!(
+                        "{{\"ph\":\"i\",\"pid\":{CONTROL_PID},\"tid\":0,\"ts\":{:.3},\
+                         \"s\":\"g\",\"name\":\"slo {state} (burn {:.2}/{:.2})\"}}",
+                        us(e.time_ns),
+                        f64::from(short_burn_centi) / 100.0,
+                        f64::from(long_burn_centi) / 100.0,
+                    ),
+                    &mut out,
+                );
+            }
             TraceEventKind::Enqueue { request, .. } => {
                 queued_since.insert(request, e.time_ns);
             }
@@ -196,7 +227,7 @@ pub fn serve_trace(trace: &Trace) -> String {
                 function,
                 stage,
                 dispatched_ns,
-                completed_ns,
+                complete_rel_ns,
                 ..
             } => {
                 push(
@@ -204,7 +235,7 @@ pub fn serve_trace(trace: &Trace) -> String {
                         "{{\"ph\":\"X\",\"pid\":{DES_PID},\"tid\":{function},\"ts\":{:.3},\
                          \"dur\":{:.3},\"name\":\"fn{function} stage{stage}\"}}",
                         us(dispatched_ns),
-                        us(completed_ns.saturating_sub(dispatched_ns)),
+                        us(u64::from(complete_rel_ns)),
                     ),
                     &mut out,
                 );
@@ -225,8 +256,8 @@ mod tests {
     use super::*;
     use crate::trace::TraceEvent;
 
-    fn ev(time_ns: u64, seq: u64, kind: TraceEventKind) -> TraceEvent {
-        TraceEvent { time_ns, seq, kind }
+    fn ev(time_ns: u64, kind: TraceEventKind) -> TraceEvent {
+        TraceEvent { time_ns, kind }
     }
 
     fn sample_trace() -> Trace {
@@ -234,6 +265,12 @@ mod tests {
             events: vec![
                 ev(
                     0,
+                    TraceEventKind::RunContext {
+                        workflow: crate::intern::intern("perfetto-test-wf"),
+                        plan: 0x1234,
+                    },
+                ),
+                ev(
                     0,
                     TraceEventKind::ReplicaSpawn {
                         replica: 0,
@@ -241,10 +278,9 @@ mod tests {
                         cold: false,
                     },
                 ),
-                ev(0, 1, TraceEventKind::ReplicaReady { replica: 0 }),
+                ev(0, TraceEventKind::ReplicaReady { replica: 0 }),
                 ev(
                     100,
-                    2,
                     TraceEventKind::Arrival {
                         request: 0,
                         phase: 0,
@@ -252,7 +288,6 @@ mod tests {
                 ),
                 ev(
                     100,
-                    3,
                     TraceEventKind::Enqueue {
                         request: 0,
                         shard: -1,
@@ -260,7 +295,6 @@ mod tests {
                 ),
                 ev(
                     150,
-                    4,
                     TraceEventKind::Dispatch {
                         request: 0,
                         replica: 0,
@@ -270,19 +304,17 @@ mod tests {
                 ),
                 ev(
                     200,
-                    5,
                     TraceEventKind::ReplicaSpawn {
                         replica: 1,
                         node: 1,
                         cold: true,
                     },
                 ),
-                ev(400, 6, TraceEventKind::ReplicaReady { replica: 1 }),
-                ev(500, 7, TraceEventKind::NodeKill { node: 0 }),
-                ev(600, 8, TraceEventKind::NodeDeath { node: 0 }),
+                ev(400, TraceEventKind::ReplicaReady { replica: 1 }),
+                ev(500, TraceEventKind::NodeKill { node: 0 }),
+                ev(600, TraceEventKind::NodeDeath { node: 0 }),
                 ev(
                     600,
-                    9,
                     TraceEventKind::Requeue {
                         request: 0,
                         replica: 0,
@@ -290,7 +322,6 @@ mod tests {
                 ),
                 ev(
                     650,
-                    10,
                     TraceEventKind::Dispatch {
                         request: 0,
                         replica: 1,
@@ -300,15 +331,21 @@ mod tests {
                 ),
                 ev(
                     900,
-                    11,
                     TraceEventKind::Complete {
                         request: 0,
                         replica: 1,
                     },
                 ),
                 ev(
+                    910,
+                    TraceEventKind::SloAlert {
+                        fired: true,
+                        short_burn_centi: 250,
+                        long_burn_centi: 130,
+                    },
+                ),
+                ev(
                     920,
-                    12,
                     TraceEventKind::Arrival {
                         request: 1,
                         phase: 0,
@@ -316,7 +353,6 @@ mod tests {
                 ),
                 ev(
                     920,
-                    13,
                     TraceEventKind::Enqueue {
                         request: 1,
                         shard: 1,
@@ -324,7 +360,6 @@ mod tests {
                 ),
                 ev(
                     925,
-                    14,
                     TraceEventKind::Dispatch {
                         request: 1,
                         replica: 1,
@@ -334,24 +369,33 @@ mod tests {
                 ),
                 ev(
                     940,
-                    15,
                     TraceEventKind::Complete {
                         request: 1,
                         replica: 1,
                     },
                 ),
-                ev(950, 16, TraceEventKind::ReplicaRetired { replica: 1 }),
+                ev(950, TraceEventKind::ReplicaRetired { replica: 1 }),
                 ev(
                     0,
-                    17,
                     TraceEventKind::DesSpan {
                         function: 2,
                         sandbox: 0,
                         stage: 1,
-                        dispatched_ns: 10,
-                        exec_start_ns: 20,
-                        completed_ns: 90,
                         spans: 4,
+                        dispatched_ns: 10,
+                        exec_rel_ns: 10,
+                        complete_rel_ns: 80,
+                    },
+                ),
+                ev(
+                    0,
+                    TraceEventKind::DesBreakdown {
+                        function: 2,
+                        stage: 1,
+                        startup_ns: 0,
+                        blocked_ns: 10,
+                        interaction_ns: 20,
+                        exec_ns: 50,
                     },
                 ),
             ],
@@ -374,6 +418,8 @@ mod tests {
             "fn2 stage1",
             "\"name\":\"node 1\"",
             "replica 1 (cold)",
+            "run perfetto-test-wf plan 0000000000001234",
+            "slo fired (burn 2.50/1.30)",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }

@@ -1,0 +1,388 @@
+//! Online SLO burn-rate monitoring (multi-window, multi-burn-rate).
+//!
+//! The serving control plane evaluates each completed request against the
+//! deployed plan's latency SLO and feeds the verdict into a
+//! [`BurnRateMonitor`]. The monitor keeps two sliding windows — a short
+//! one that reacts fast and a long one that filters blips (the classic
+//! SRE pairing, e.g. 5 s/60 s) — and computes each window's *burn rate*:
+//! the window's bad-request fraction divided by the SLO's error budget
+//! (`1 − objective`). A burn of 1 means the budget is being consumed
+//! exactly as fast as the objective allows; an alert **fires** when
+//! *both* windows burn at or above the threshold (short = it is happening
+//! now, long = it is not a blip) and **clears** when either drops back
+//! below.
+//!
+//! Everything is driven by simulated event time — the monitor never reads
+//! a clock — so a serving run produces the same alert transitions, at the
+//! same nanosecond stamps, for any `--workers N`. Transitions are emitted
+//! as [`TraceEventKind::SloAlert`](crate::trace::TraceEventKind) events
+//! by the serving simulator and summarised in its report.
+
+use chiron_model::SimDuration;
+use std::collections::VecDeque;
+
+/// The SLO and the burn-rate alerting policy guarding it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloPolicy {
+    /// A request is *bad* when its sojourn exceeds this target.
+    pub target: SimDuration,
+    /// Fraction of requests that must meet the target (e.g. `0.99`).
+    pub objective: f64,
+    /// Fast window (reacts to an incident).
+    pub short_window: SimDuration,
+    /// Slow window (filters blips).
+    pub long_window: SimDuration,
+    /// Fire when both windows burn at ≥ this multiple of budget rate.
+    pub burn_threshold: f64,
+    /// Windows with fewer samples than this never fire (startup guard).
+    pub min_samples: usize,
+}
+
+impl SloPolicy {
+    /// The SRE-style 5 s/60 s pairing against a given target: objective
+    /// 99%, fire at 2× budget burn, after at least 20 samples.
+    pub fn multi_window(target: SimDuration) -> Self {
+        SloPolicy {
+            target,
+            objective: 0.99,
+            short_window: SimDuration::from_secs(5),
+            long_window: SimDuration::from_secs(60),
+            burn_threshold: 2.0,
+            min_samples: 20,
+        }
+    }
+
+    /// The error budget: the tolerated bad-request fraction.
+    pub fn error_budget(&self) -> f64 {
+        (1.0 - self.objective).max(1e-9)
+    }
+}
+
+/// One alert transition, at event time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloTransition {
+    pub at_ns: u64,
+    /// `true` = fired, `false` = cleared.
+    pub fired: bool,
+    pub short_burn: f64,
+    pub long_burn: f64,
+}
+
+impl SloTransition {
+    /// Burn rates as saturating ×100 integers — the trace-event payload
+    /// form (events must stay small and `Copy`).
+    pub fn burns_centi(&self) -> (u32, u32) {
+        let centi = |b: f64| (b * 100.0).round().min(f64::from(u32::MAX)).max(0.0) as u32;
+        (centi(self.short_burn), centi(self.long_burn))
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct Window {
+    span_ns: u64,
+    samples: VecDeque<(u64, bool)>,
+    bad: u64,
+}
+
+impl Window {
+    fn observe(&mut self, at_ns: u64, bad: bool) {
+        self.samples.push_back((at_ns, bad));
+        if bad {
+            self.bad += 1;
+        }
+        let cutoff = at_ns.saturating_sub(self.span_ns);
+        while let Some(&(t, b)) = self.samples.front() {
+            if t >= cutoff {
+                break;
+            }
+            self.samples.pop_front();
+            if b {
+                self.bad -= 1;
+            }
+        }
+    }
+
+    fn bad_fraction(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.bad as f64 / self.samples.len() as f64
+        }
+    }
+}
+
+/// The online monitor: feed it every completion in event-time order.
+#[derive(Debug, Clone)]
+pub struct BurnRateMonitor {
+    policy: SloPolicy,
+    short: Window,
+    long: Window,
+    fired: bool,
+    total: u64,
+    bad_total: u64,
+    transitions: Vec<SloTransition>,
+    time_in_alert_ns: u64,
+    fired_at_ns: u64,
+    last_ns: u64,
+}
+
+impl BurnRateMonitor {
+    pub fn new(policy: SloPolicy) -> Self {
+        BurnRateMonitor {
+            policy,
+            short: Window {
+                span_ns: policy.short_window.as_nanos(),
+                ..Window::default()
+            },
+            long: Window {
+                span_ns: policy.long_window.as_nanos(),
+                ..Window::default()
+            },
+            fired: false,
+            total: 0,
+            bad_total: 0,
+            transitions: Vec::new(),
+            time_in_alert_ns: 0,
+            fired_at_ns: 0,
+            last_ns: 0,
+        }
+    }
+
+    pub fn policy(&self) -> &SloPolicy {
+        &self.policy
+    }
+
+    /// Records one completion; returns the transition if the alert state
+    /// flipped at this event.
+    pub fn observe(&mut self, at_ns: u64, sojourn: SimDuration) -> Option<SloTransition> {
+        let bad = sojourn > self.policy.target;
+        self.total += 1;
+        if bad {
+            self.bad_total += 1;
+        }
+        self.last_ns = self.last_ns.max(at_ns);
+        self.short.observe(at_ns, bad);
+        self.long.observe(at_ns, bad);
+
+        let budget = self.policy.error_budget();
+        let short_burn = self.short.bad_fraction() / budget;
+        let long_burn = self.long.bad_fraction() / budget;
+        let warmed = self.short.samples.len() >= self.policy.min_samples;
+        let should_fire = warmed
+            && short_burn >= self.policy.burn_threshold
+            && long_burn >= self.policy.burn_threshold;
+        if should_fire == self.fired {
+            return None;
+        }
+        self.fired = should_fire;
+        if should_fire {
+            self.fired_at_ns = at_ns;
+        } else {
+            self.time_in_alert_ns += at_ns - self.fired_at_ns;
+        }
+        let transition = SloTransition {
+            at_ns,
+            fired: should_fire,
+            short_burn,
+            long_burn,
+        };
+        self.transitions.push(transition);
+        Some(transition)
+    }
+
+    pub fn is_firing(&self) -> bool {
+        self.fired
+    }
+
+    /// Closes the run and produces the report summary. An alert still
+    /// firing accrues alert time up to the last observation.
+    pub fn into_summary(mut self) -> SloSummary {
+        if self.fired {
+            self.time_in_alert_ns += self.last_ns - self.fired_at_ns;
+        }
+        let alerts_fired = self.transitions.iter().filter(|t| t.fired).count() as u32;
+        SloSummary {
+            target: self.policy.target,
+            objective: self.policy.objective,
+            total: self.total,
+            bad: self.bad_total,
+            compliance: if self.total == 0 {
+                1.0
+            } else {
+                1.0 - self.bad_total as f64 / self.total as f64
+            },
+            alerts_fired,
+            alerts_cleared: self.transitions.len() as u32 - alerts_fired,
+            first_alert_ns: self.transitions.iter().find(|t| t.fired).map(|t| t.at_ns),
+            time_in_alert_ns: self.time_in_alert_ns,
+            transitions: self.transitions,
+        }
+    }
+}
+
+/// The per-run SLO outcome carried in `ServeReport`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSummary {
+    pub target: SimDuration,
+    pub objective: f64,
+    pub total: u64,
+    pub bad: u64,
+    /// Achieved good fraction (1.0 for an empty run).
+    pub compliance: f64,
+    pub alerts_fired: u32,
+    pub alerts_cleared: u32,
+    pub first_alert_ns: Option<u64>,
+    pub time_in_alert_ns: u64,
+    /// Every fire/clear transition, in event-time order.
+    pub transitions: Vec<SloTransition>,
+}
+
+impl SloSummary {
+    /// Deterministic one-line-per-transition timeline (the byte string
+    /// the `--workers` invariance gate compares).
+    pub fn render_timeline(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "slo target_ms={:.3} objective={:.4} total={} bad={} compliance={:.6} \
+             fired={} cleared={} in_alert_ms={:.3}",
+            self.target.as_millis_f64(),
+            self.objective,
+            self.total,
+            self.bad,
+            self.compliance,
+            self.alerts_fired,
+            self.alerts_cleared,
+            self.time_in_alert_ns as f64 / 1e6,
+        );
+        for t in &self.transitions {
+            let (s, l) = t.burns_centi();
+            let _ = writeln!(
+                out,
+                "  {:>15} {} short_burn={:.2} long_burn={:.2}",
+                t.at_ns,
+                if t.fired { "FIRE " } else { "CLEAR" },
+                f64::from(s) / 100.0,
+                f64::from(l) / 100.0,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> SloPolicy {
+        SloPolicy {
+            target: SimDuration::from_millis(100),
+            objective: 0.9, // budget 0.1
+            short_window: SimDuration::from_millis(50),
+            long_window: SimDuration::from_millis(200),
+            burn_threshold: 2.0,
+            min_samples: 4,
+        }
+    }
+
+    const MS: u64 = 1_000_000;
+
+    #[test]
+    fn fires_when_both_windows_burn_and_clears_on_recovery() {
+        let mut m = BurnRateMonitor::new(policy());
+        // Healthy traffic: nothing fires.
+        for i in 0..10u64 {
+            assert_eq!(m.observe(i * MS, SimDuration::from_millis(10)), None);
+        }
+        // Incident: every request blows the target. Burn needs ≥ 0.2 bad
+        // fraction in both windows.
+        let mut fired_at = None;
+        for i in 10..20u64 {
+            if let Some(t) = m.observe(i * MS, SimDuration::from_millis(500)) {
+                assert!(t.fired);
+                assert!(t.short_burn >= 2.0 && t.long_burn >= 2.0);
+                fired_at = Some(t.at_ns);
+                break;
+            }
+        }
+        let fired_at = fired_at.expect("incident must fire");
+        assert!(m.is_firing());
+        // Recovery: good requests wash the short window first.
+        let mut cleared_at = None;
+        for i in 20..120u64 {
+            if let Some(t) = m.observe(i * MS, SimDuration::from_millis(10)) {
+                assert!(!t.fired);
+                cleared_at = Some(t.at_ns);
+                break;
+            }
+        }
+        let cleared_at = cleared_at.expect("recovery must clear");
+        assert!(cleared_at > fired_at);
+        let summary = m.into_summary();
+        assert_eq!(summary.alerts_fired, 1);
+        assert_eq!(summary.alerts_cleared, 1);
+        assert_eq!(summary.first_alert_ns, Some(fired_at));
+        assert_eq!(summary.time_in_alert_ns, cleared_at - fired_at);
+        assert!(summary.compliance < 1.0);
+        let timeline = summary.render_timeline();
+        assert!(timeline.contains("FIRE"), "{timeline}");
+        assert!(timeline.contains("CLEAR"), "{timeline}");
+    }
+
+    #[test]
+    fn min_samples_guards_startup() {
+        let mut m = BurnRateMonitor::new(policy());
+        // Three straight bad requests: under min_samples, never fires.
+        for i in 0..3u64 {
+            assert_eq!(m.observe(i * MS, SimDuration::from_millis(500)), None);
+        }
+        assert!(!m.is_firing());
+    }
+
+    #[test]
+    fn short_blip_does_not_fire_the_long_window() {
+        let mut p = policy();
+        p.min_samples = 2;
+        let mut m = BurnRateMonitor::new(p);
+        // A long healthy history dilutes the long window below threshold.
+        for i in 0..100u64 {
+            m.observe(i * MS, SimDuration::from_millis(10));
+        }
+        // 4 bad requests in 4 ms: a blip — the healthy history dilutes
+        // both windows below the 2× burn threshold.
+        let mut transitions = 0;
+        for i in 0..4u64 {
+            if m.observe(100 * MS + i * MS, SimDuration::from_millis(500))
+                .is_some()
+            {
+                transitions += 1;
+            }
+        }
+        assert_eq!(transitions, 0, "blip must be filtered by the long window");
+    }
+
+    #[test]
+    fn still_firing_alert_accrues_time_to_last_observation() {
+        let mut p = policy();
+        p.min_samples = 2;
+        let mut m = BurnRateMonitor::new(p);
+        for i in 0..10u64 {
+            m.observe(i * MS, SimDuration::from_millis(500));
+        }
+        assert!(m.is_firing());
+        let summary = m.into_summary();
+        assert_eq!(summary.alerts_fired, 1);
+        assert_eq!(summary.alerts_cleared, 0);
+        let fired = summary.first_alert_ns.unwrap();
+        assert_eq!(summary.time_in_alert_ns, 9 * MS - fired);
+    }
+
+    #[test]
+    fn empty_run_is_fully_compliant() {
+        let summary = BurnRateMonitor::new(policy()).into_summary();
+        assert_eq!(summary.total, 0);
+        assert_eq!(summary.compliance, 1.0);
+        assert!(summary.transitions.is_empty());
+    }
+}

@@ -8,18 +8,28 @@
 //!    No thread-local is touched, no buffer exists, nothing allocates.
 //!    [`trace_stats`] proves it: a disabled run records zero events and
 //!    allocates zero capture buffers.
-//! 2. **Determinism.** Events carry `(time_ns, seq)` where `seq` is the
-//!    push order *within one capture buffer*, and a finished [`Trace`]
-//!    is normalised by that pair. One serving run is single-threaded, so
-//!    its capture is naturally ordered; a multi-cell figure assembles
-//!    per-cell traces in cell-index order. Either way `--workers N`
-//!    yields byte-identical [`Trace::render`] output for every `N` — the
-//!    same contract the sweep engine and the parallel PGP search keep.
-//! 3. **No sink plumbing.** Capture buffers are thread-local and scoped
+//! 2. **Determinism.** Events are stamped with simulated time; a finished
+//!    [`Trace`] is normalised by a *stable* sort on that stamp, so ties
+//!    keep their emit order within one capture buffer and their
+//!    buffer-concatenation order across buffers. One serving run is
+//!    single-threaded, so its capture is naturally ordered; a multi-cell
+//!    figure assembles per-cell traces in cell-index order. Either way
+//!    `--workers N` yields byte-identical [`Trace::render`] output for
+//!    every `N` — the same contract the sweep engine and the parallel PGP
+//!    search keep.
+//! 3. **Cheap when enabled.** A [`TraceEvent`] is 40 bytes (compile-time
+//!    asserted): no strings — workflow/plan names are interned to `u32`
+//!    ids ([`crate::intern`]) — and the DES span payload carries
+//!    window-relative `u32` durations. Capture buffers can be pre-sized
+//!    ([`begin_capture_sized`]) so a serving run's ~8 events/request
+//!    never trigger a growth memcpy, and normalisation skips the sort
+//!    entirely when events arrived in time order.
+//! 4. **No sink plumbing.** Capture buffers are thread-local and scoped
 //!    by the *caller* ([`begin_capture`]/[`end_capture`]), so the
 //!    simulators emit unconditionally and never thread a sink handle
 //!    through their state.
 
+use crate::intern::{resolve, StrId};
 use std::cell::RefCell;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -37,6 +47,10 @@ thread_local! {
     /// The current capture buffer, if this thread is inside a
     /// `begin_capture`/`end_capture` window.
     static CAPTURE: RefCell<Option<Vec<TraceEvent>>> = const { RefCell::new(None) };
+    /// Buffer handed back by [`recycle`], reused by this thread's next
+    /// [`begin_capture`] so repeated captures pay the page-fault cost of
+    /// a multi-megabyte event buffer once, not per capture.
+    static SPARE: RefCell<Vec<TraceEvent>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Turns tracing on or off process-wide.
@@ -51,9 +65,13 @@ pub fn tracing_enabled() -> bool {
 }
 
 /// What happened. Payloads are plain integers so events are `Copy` and
-/// the emit path never allocates.
+/// the emit path never allocates; strings are interned ids.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceEventKind {
+    /// Identifies the run a capture belongs to: the interned workflow
+    /// name and the structural plan digest. Emitted once, at capture
+    /// start, by the serving simulator.
+    RunContext { workflow: StrId, plan: u64 },
     /// A serving request entered the system.
     Arrival { request: u64, phase: u16 },
     /// The request was put on a queue shard: `-1` the global FIFO, `-2`
@@ -82,28 +100,54 @@ pub enum TraceEventKind {
     /// Heartbeat monitoring detected the crash and wrote the node off.
     NodeDeath { node: u32 },
     /// One function's DES execution window inside `platform::run_wrap`
-    /// (the warm-path engine), with its span count.
+    /// (the warm-path engine). `exec_rel_ns`/`complete_rel_ns` are
+    /// relative to `dispatched_ns` (saturating u32 — DES windows are
+    /// millisecond-scale).
     DesSpan {
-        function: u32,
-        sandbox: u32,
-        stage: u32,
+        function: u16,
+        sandbox: u16,
+        stage: u16,
+        spans: u16,
         dispatched_ns: u64,
-        exec_start_ns: u64,
-        completed_ns: u64,
-        spans: u32,
+        exec_rel_ns: u32,
+        complete_rel_ns: u32,
+    },
+    /// Companion to [`TraceEventKind::DesSpan`]: the window's additive
+    /// component breakdown (§2.2's model), in saturating u32 nanoseconds.
+    /// `startup` = fork/clone/pool/isolation entry, `blocked` = GIL +
+    /// fork-barrier + scheduler waits, `interaction` = transfers + IPC,
+    /// `exec` = bytecode + the function's own syscalls.
+    DesBreakdown {
+        function: u16,
+        stage: u16,
+        startup_ns: u32,
+        blocked_ns: u32,
+        interaction_ns: u32,
+        exec_ns: u32,
+    },
+    /// The SLO burn-rate monitor changed state at event time: `fired` =
+    /// entered alert, otherwise cleared. Burn rates are ×100 (centi).
+    SloAlert {
+        fired: bool,
+        short_burn_centi: u32,
+        long_burn_centi: u32,
     },
 }
 
-/// One traced event. `seq` is the emit order within its capture buffer,
-/// the tiebreak for simultaneous events.
+/// One traced event. Events with equal stamps keep their emit order (the
+/// normalising sort is stable).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEvent {
     pub time_ns: u64,
-    pub seq: u64,
     pub kind: TraceEventKind,
 }
 
-/// A finished capture, normalised to `(time_ns, seq)` order.
+// The whole point of the compact payloads: growing an event past 40 bytes
+// is a hot-path regression, caught at compile time.
+const _: () = assert!(std::mem::size_of::<TraceEvent>() <= 40);
+
+/// A finished capture, normalised to time order (stable, so simultaneous
+/// events keep their emit/concatenation order).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
     pub events: Vec<TraceEvent>,
@@ -119,29 +163,44 @@ impl Trace {
     }
 
     /// Merges traces captured on separate cells/threads. The caller must
-    /// pass them in a deterministic order (e.g. cell index); `seq` is
-    /// rewritten to the concatenation order so the merged trace has the
-    /// same normal form regardless of worker count.
+    /// pass them in a deterministic order (e.g. cell index); the stable
+    /// sort keeps that order for simultaneous events, so the merged trace
+    /// has the same normal form regardless of worker count.
     pub fn concat(parts: Vec<Trace>) -> Trace {
-        let mut events: Vec<TraceEvent> = parts.into_iter().flat_map(|t| t.events).collect();
-        for (i, e) in events.iter_mut().enumerate() {
-            e.seq = i as u64;
-        }
+        let events: Vec<TraceEvent> = parts.into_iter().flat_map(|t| t.events).collect();
         let mut trace = Trace { events };
         trace.normalize();
         trace
     }
 
     fn normalize(&mut self) {
-        self.events.sort_by_key(|e| (e.time_ns, e.seq));
+        // Simulators emit in event order, so captures are usually already
+        // sorted — skip the O(n log n) pass when a linear scan proves it.
+        if !self.events.is_sorted_by_key(|e| e.time_ns) {
+            self.events.sort_by_key(|e| e.time_ns); // stable
+        }
     }
 
     /// Deterministic line-per-event text form — the byte string the
-    /// worker-count-invariance gates compare.
+    /// worker-count-invariance gates compare. Interned ids are resolved
+    /// to their strings, so the bytes never depend on interning order.
     pub fn render(&self) -> String {
         let mut out = String::with_capacity(self.events.len() * 48);
         for e in &self.events {
-            let _ = writeln!(out, "{:>15} {:>8} {:?}", e.time_ns, e.seq, e.kind);
+            match e.kind {
+                TraceEventKind::RunContext { workflow, plan } => {
+                    let _ = writeln!(
+                        out,
+                        "{:>15} RunContext {{ workflow: {:?}, plan: {:016x} }}",
+                        e.time_ns,
+                        resolve(workflow),
+                        plan,
+                    );
+                }
+                kind => {
+                    let _ = writeln!(out, "{:>15} {:?}", e.time_ns, kind);
+                }
+            }
         }
         out
     }
@@ -161,11 +220,37 @@ impl Trace {
 /// disabled (so a disabled run provably allocates nothing). A second
 /// call discards the first buffer.
 pub fn begin_capture() {
+    begin_capture_sized(0);
+}
+
+/// [`begin_capture`] with a pre-sized buffer, for callers that know the
+/// event volume (a serving run emits ~8 events per request) — the
+/// capture then never pays a growth memcpy.
+pub fn begin_capture_sized(capacity: usize) {
     if !tracing_enabled() {
         return;
     }
     CAPTURE_BUFFERS.fetch_add(1, Ordering::Relaxed);
-    CAPTURE.with(|c| *c.borrow_mut() = Some(Vec::new()));
+    let mut buf = SPARE.with(|s| std::mem::take(&mut *s.borrow_mut()));
+    buf.clear();
+    if buf.capacity() < capacity {
+        buf.reserve_exact(capacity);
+    }
+    CAPTURE.with(|c| *c.borrow_mut() = Some(buf));
+}
+
+/// Returns a finished trace's event buffer to this thread's spare slot,
+/// so the next [`begin_capture`] reuses the warm allocation instead of
+/// faulting in fresh pages. Purely an allocation-reuse hint for callers
+/// that capture in a loop — dropping the trace instead is always correct.
+pub fn recycle(trace: Trace) {
+    SPARE.with(|s| {
+        let mut spare = s.borrow_mut();
+        if trace.events.capacity() > spare.capacity() {
+            *spare = trace.events;
+            spare.clear();
+        }
+    });
 }
 
 /// Closes this thread's capture buffer and returns the normalised
@@ -189,8 +274,7 @@ pub fn emit(time_ns: u64, kind: TraceEventKind) {
     }
     CAPTURE.with(|c| {
         if let Some(buf) = c.borrow_mut().as_mut() {
-            let seq = buf.len() as u64;
-            buf.push(TraceEvent { time_ns, seq, kind });
+            buf.push(TraceEvent { time_ns, kind });
         }
     });
 }
@@ -237,10 +321,10 @@ mod tests {
     }
 
     #[test]
-    fn capture_orders_by_time_then_seq() {
+    fn capture_orders_by_time_stably() {
         let _g = GATE.lock();
         set_tracing(true);
-        begin_capture();
+        begin_capture_sized(4);
         emit(20, TraceEventKind::ReplicaReady { replica: 0 });
         emit(10, TraceEventKind::NodeKill { node: 3 });
         emit(10, TraceEventKind::NodeDeath { node: 3 });
@@ -258,6 +342,27 @@ mod tests {
     }
 
     #[test]
+    fn recycled_buffers_are_reused_without_leaking_events() {
+        let _g = GATE.lock();
+        set_tracing(true);
+        begin_capture_sized(1024);
+        emit(1, TraceEventKind::ReplicaReady { replica: 1 });
+        emit(2, TraceEventKind::ReplicaRetired { replica: 1 });
+        let first = end_capture();
+        assert_eq!(first.len(), 2);
+        recycle(first);
+        // The next capture rides the recycled allocation; old events must
+        // be gone and the capture behaves exactly like a fresh buffer.
+        begin_capture();
+        emit(3, TraceEventKind::NodeKill { node: 0 });
+        let second = end_capture();
+        set_tracing(false);
+        assert_eq!(second.len(), 1);
+        assert_eq!(second.events[0].kind, TraceEventKind::NodeKill { node: 0 });
+        assert!(second.events.capacity() >= 1024, "spare buffer not reused");
+    }
+
+    #[test]
     fn emit_without_capture_goes_nowhere() {
         let _g = GATE.lock();
         set_tracing(true);
@@ -271,23 +376,62 @@ mod tests {
     #[test]
     fn concat_renormalises_parts() {
         let a = Trace {
-            events: vec![TraceEvent {
-                time_ns: 50,
-                seq: 0,
-                kind: TraceEventKind::ReplicaReady { replica: 0 },
-            }],
+            events: vec![
+                TraceEvent {
+                    time_ns: 50,
+                    kind: TraceEventKind::ReplicaReady { replica: 0 },
+                },
+                TraceEvent {
+                    time_ns: 50,
+                    kind: TraceEventKind::ReplicaRetired { replica: 0 },
+                },
+            ],
         };
         let b = Trace {
-            events: vec![TraceEvent {
-                time_ns: 10,
-                seq: 0,
-                kind: TraceEventKind::ReplicaReady { replica: 1 },
-            }],
+            events: vec![
+                TraceEvent {
+                    time_ns: 10,
+                    kind: TraceEventKind::ReplicaReady { replica: 1 },
+                },
+                TraceEvent {
+                    time_ns: 50,
+                    kind: TraceEventKind::ReplicaReady { replica: 2 },
+                },
+            ],
         };
         let merged = Trace::concat(vec![a, b]);
         assert_eq!(merged.events[0].time_ns, 10);
-        assert_eq!(merged.events[1].time_ns, 50);
-        // seq rewritten to concatenation order, so renders are stable.
-        assert_eq!(merged.events[0].seq, 1);
+        // Simultaneous events keep concatenation (part) order: part a's
+        // two t=50 events precede part b's.
+        assert_eq!(
+            merged.events[1].kind,
+            TraceEventKind::ReplicaReady { replica: 0 }
+        );
+        assert_eq!(
+            merged.events[2].kind,
+            TraceEventKind::ReplicaRetired { replica: 0 }
+        );
+        assert_eq!(
+            merged.events[3].kind,
+            TraceEventKind::ReplicaReady { replica: 2 }
+        );
+    }
+
+    #[test]
+    fn render_resolves_interned_run_context() {
+        let id = crate::intern::intern("obs-render-test-wf");
+        let trace = Trace {
+            events: vec![TraceEvent {
+                time_ns: 0,
+                kind: TraceEventKind::RunContext {
+                    workflow: id,
+                    plan: 0xabcd,
+                },
+            }],
+        };
+        let render = trace.render();
+        assert!(render.contains("\"obs-render-test-wf\""), "{render}");
+        assert!(render.contains("000000000000abcd"), "{render}");
+        assert!(!render.contains(&format!("workflow: {id},")), "{render}");
     }
 }

@@ -544,16 +544,44 @@ impl VirtualPlatform {
             // engine stays uninstrumented — it exists to reproduce the
             // seed harness byte-for-byte, overhead included.
             if chiron_obs::tracing_enabled() {
+                let dispatched_ns = meta.dispatched.as_nanos();
+                let rel = |t: chiron_model::SimTime| {
+                    u32::try_from(t.as_nanos().saturating_sub(dispatched_ns)).unwrap_or(u32::MAX)
+                };
                 chiron_obs::emit(
-                    meta.dispatched.as_nanos(),
+                    dispatched_ns,
                     chiron_obs::TraceEventKind::DesSpan {
-                        function: meta.function.0,
-                        sandbox: wrap.sandbox.0,
-                        stage: stage as u32,
-                        dispatched_ns: meta.dispatched.as_nanos(),
-                        exec_start_ns: result.exec_start.as_nanos(),
-                        completed_ns: completed.as_nanos(),
-                        spans: spans.len() as u32,
+                        function: meta.function.0 as u16,
+                        sandbox: wrap.sandbox.0 as u16,
+                        stage: stage as u16,
+                        spans: spans.len().min(u16::MAX as usize) as u16,
+                        dispatched_ns,
+                        exec_rel_ns: rel(result.exec_start),
+                        complete_rel_ns: rel(completed),
+                    },
+                );
+                // The window's §2.2 component breakdown, for latency
+                // attribution: startup / block / interaction / execution.
+                let mut parts = [0u64; 4];
+                for span in &spans {
+                    let slot = match span.kind {
+                        SpanKind::Startup => 0,
+                        SpanKind::BlockWait | SpanKind::GilWait | SpanKind::Scheduled => 1,
+                        SpanKind::TransferIn | SpanKind::TransferOut | SpanKind::Ipc => 2,
+                        SpanKind::Exec | SpanKind::Io => 3,
+                    };
+                    parts[slot] += span.end.since(span.start).as_nanos();
+                }
+                let sat = |ns: u64| u32::try_from(ns).unwrap_or(u32::MAX);
+                chiron_obs::emit(
+                    dispatched_ns,
+                    chiron_obs::TraceEventKind::DesBreakdown {
+                        function: meta.function.0 as u16,
+                        stage: stage as u16,
+                        startup_ns: sat(parts[0]),
+                        blocked_ns: sat(parts[1]),
+                        interaction_ns: sat(parts[2]),
+                        exec_ns: sat(parts[3]),
                     },
                 );
             }

@@ -4,6 +4,7 @@
 use chiron_deploy::{ClusterConfig, PlacementPolicy};
 use chiron_metrics::ArrivalProcess;
 use chiron_model::{PlatformConfig, ReplicaConfig, SimDuration};
+use chiron_obs::SloPolicy;
 use serde::{Deserialize, Serialize};
 
 use crate::autoscaler::AutoscalerConfig;
@@ -110,6 +111,9 @@ pub struct ServeConfig {
     /// Relative half-width of the per-request service-time jitter
     /// (e.g. 0.05 → ±5%), drawn deterministically from the run seed.
     pub service_jitter: f64,
+    /// Latency SLO and burn-rate alerting policy; `None` disables the
+    /// monitor (and costs nothing on the completion path).
+    pub slo: Option<SloPolicy>,
 }
 
 impl ServeConfig {
@@ -126,6 +130,7 @@ impl ServeConfig {
             heartbeat_interval: SimDuration::from_millis(500),
             heartbeat_miss_limit: 3,
             service_jitter: 0.05,
+            slo: None,
         }
     }
 
@@ -146,6 +151,11 @@ impl ServeConfig {
 
     pub fn with_autoscaler(mut self, autoscaler: AutoscalerConfig) -> Self {
         self.autoscaler = autoscaler;
+        self
+    }
+
+    pub fn with_slo(mut self, slo: SloPolicy) -> Self {
+        self.slo = Some(slo);
         self
     }
 }

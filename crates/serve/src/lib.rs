@@ -163,6 +163,7 @@ mod tests {
         assert_eq!(ta.render(), tb.render(), "captures must be byte-identical");
         let render = ta.render();
         for needle in [
+            "RunContext",
             "Arrival",
             "Enqueue",
             "Dispatch",
@@ -173,9 +174,75 @@ mod tests {
             "NodeKill",
             "NodeDeath",
             "DesSpan",
+            "DesBreakdown",
         ] {
             assert!(render.contains(needle), "{needle} missing from the trace");
         }
+
+        // Phase 3: the captured trace supports exact latency attribution.
+        let attrib = chiron_obs::attribute(&ta);
+        assert_eq!(attrib.workflow, "FINRA-12");
+        assert!(attrib.sums_exact(), "components must sum to sojourn");
+        assert_eq!(attrib.requests.len() as u64, a.completed);
+        assert_eq!(attrib.incomplete, 0);
+        assert!(
+            attrib.profiles.len() > 1,
+            "DES breakdowns must yield stage profiles"
+        );
+        assert!(
+            attrib.requests.iter().any(|r| r.components[5] > 0),
+            "the node kill must leave retry time on some request"
+        );
+        assert_eq!(
+            attrib.render(),
+            chiron_obs::attribute(&tb).render(),
+            "attribution must be byte-identical across captures"
+        );
+    }
+
+    #[test]
+    fn slo_burn_rate_alerts_fire_on_incident_and_stay_quiet_otherwise() {
+        let workload = Workload::steady(25.0, 2_000);
+        let healthy = simulation(ServeConfig::paper_testbed())
+            .run(&workload, 3)
+            .unwrap();
+        // SLO target: 20% above the worst healthy sojourn (which includes
+        // the scale-up transient), so only an incident can breach it.
+        let policy = chiron_obs::SloPolicy::multi_window(healthy.sojourns.max().mul_f64(1.2));
+
+        let quiet = simulation(ServeConfig::paper_testbed().with_slo(policy))
+            .run(&workload, 3)
+            .unwrap();
+        let quiet_slo = quiet.slo.as_ref().expect("slo configured");
+        assert_eq!(quiet_slo.alerts_fired, 0, "{}", quiet_slo.render_timeline());
+        assert_eq!(
+            quiet.digest(),
+            healthy.digest(),
+            "monitoring must not perturb the sim"
+        );
+
+        // A single-node kill only strands ~3 in-flight requests (replicas
+        // are spread thin); take out half the cluster so the incident is
+        // unambiguous rather than threshold-marginal.
+        let mut faults = FaultPlan::none();
+        for node in 0..4 {
+            faults = faults.kill_at(SimTime::from_millis_f64(5_000.0), NodeId(node));
+        }
+        let faulted = simulation(ServeConfig::paper_testbed().with_slo(policy))
+            .with_faults(faults)
+            .run(&workload, 3)
+            .unwrap();
+        let slo = faulted.slo.expect("slo configured");
+        assert!(slo.alerts_fired >= 1, "{}", slo.render_timeline());
+        let first = slo.first_alert_ns.expect("fired");
+        assert!(
+            first > 5_000_000_000,
+            "alert must follow the kill, got {first}"
+        );
+        assert!(slo.time_in_alert_ns > 0);
+        assert!(slo.compliance < quiet_slo.compliance);
+        // The timeline renders deterministically.
+        assert_eq!(slo.render_timeline(), slo.clone().render_timeline());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use chiron_metrics::StreamingHistogram;
 use chiron_model::SimDuration;
+use chiron_obs::SloSummary;
 use serde::{Deserialize, Serialize};
 
 /// One completed (or still-unfinished) request's life cycle, in
@@ -82,6 +83,9 @@ pub struct ServeReport {
     pub cost_usd: f64,
     /// `(time ns, usable replicas)` after every scaling/failure change.
     pub replica_timeline: Vec<(u64, u32)>,
+    /// SLO compliance and burn-rate alert timeline; `None` when the run
+    /// was configured without an SLO.
+    pub slo: Option<SloSummary>,
     /// Per-request outcomes, indexed by request id (arrival order).
     pub records: Vec<RequestRecord>,
 }
@@ -197,6 +201,7 @@ mod tests {
             ghz_seconds: 0.0,
             cost_usd: 0.0,
             replica_timeline: Vec::new(),
+            slo: None,
             records,
         }
     }

@@ -34,7 +34,9 @@ use chiron_deploy::{
 };
 use chiron_metrics::{plan_resources, ArrivalGen, StreamingHistogram};
 use chiron_model::{DeploymentPlan, PlanError, SimDuration, SimTime, Workflow};
-use chiron_obs::{emit, StaticCounter, StaticGauge, StaticHistogram, TraceEventKind};
+use chiron_obs::{
+    emit, BurnRateMonitor, StaticCounter, StaticGauge, StaticHistogram, TraceEventKind,
+};
 use chiron_runtime::VirtualPlatform;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -98,6 +100,9 @@ pub struct ServeSimulation {
     plan: DeploymentPlan,
     config: ServeConfig,
     faults: FaultPlan,
+    /// Replaces the DES-measured warm service base (what-if experiments
+    /// use this to virtually speed up one latency component).
+    service_base_override: Option<SimDuration>,
 }
 
 impl ServeSimulation {
@@ -107,11 +112,21 @@ impl ServeSimulation {
             plan,
             config,
             faults: FaultPlan::none(),
+            service_base_override: None,
         }
     }
 
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Forces the warm per-request service base instead of measuring it
+    /// on the virtual platform. The DES profiling execute (and its trace
+    /// spans) is skipped, so this is for what-if re-runs on plans the
+    /// baseline already validated.
+    pub fn with_service_base_override(mut self, base: SimDuration) -> Self {
+        self.service_base_override = Some(base);
         self
     }
 
@@ -215,6 +230,9 @@ struct Run<'a> {
     replicas_failed: u32,
     peak_replicas: u32,
     timeline: Vec<(u64, u32)>,
+    /// Online SLO burn-rate monitor, fed at each completion (event time,
+    /// so alerts are identical for any worker count).
+    slo: Option<BurnRateMonitor>,
     sojourns: StreamingHistogram,
     phase_hists: Vec<StreamingHistogram>,
     phase_completed: Vec<u64>,
@@ -227,10 +245,29 @@ impl<'a> Run<'a> {
         workload: &'a Workload,
         seed: u64,
     ) -> Result<Self, ServeError> {
+        // Names the capture before any other event so attribution knows
+        // which (workflow, plan) this trace belongs to.
+        if chiron_obs::tracing_enabled() {
+            emit(
+                0,
+                TraceEventKind::RunContext {
+                    workflow: chiron_obs::intern(&sim.workflow.name),
+                    plan: chiron_obs::drift::plan_key(&sim.plan),
+                },
+            );
+        }
         // Warm service time: one request on the virtual platform, cold
         // starts excluded (they are modelled at replica granularity here).
-        let platform = VirtualPlatform::new(sim.config.platform.clone()).with_cold_starts(false);
-        let service_base = platform.execute(&sim.workflow, &sim.plan, 0)?.e2e;
+        // Its DES spans land in the trace and give attribution the
+        // service-window component profile.
+        let service_base = match sim.service_base_override {
+            Some(base) => base,
+            None => {
+                let platform =
+                    VirtualPlatform::new(sim.config.platform.clone()).with_cold_starts(false);
+                platform.execute(&sim.workflow, &sim.plan, 0)?.e2e
+            }
+        };
         let (central, decentral) = scheduling_architectures(&sim.plan, &sim.config.platform.costs);
         let policy_overhead = match sim.config.router {
             RouterPolicy::CentralFifo => central,
@@ -289,6 +326,7 @@ impl<'a> Run<'a> {
             replicas_failed: 0,
             peak_replicas: 0,
             timeline: Vec::new(),
+            slo: sim.config.slo.map(BurnRateMonitor::new),
             sojourns: StreamingHistogram::new(),
             phase_hists: workload
                 .phases
@@ -446,6 +484,19 @@ impl<'a> Run<'a> {
             self.phase_cold[phase] += 1;
         }
         self.autoscaler.observe(sojourn);
+        if let Some(monitor) = &mut self.slo {
+            if let Some(t) = monitor.observe(now.as_nanos(), sojourn) {
+                let (short_burn_centi, long_burn_centi) = t.burns_centi();
+                emit(
+                    now.as_nanos(),
+                    TraceEventKind::SloAlert {
+                        fired: t.fired,
+                        short_burn_centi,
+                        long_burn_centi,
+                    },
+                );
+            }
+        }
         self.completed += 1;
         self.last_completion = now;
 
@@ -862,6 +913,7 @@ impl<'a> Run<'a> {
             ghz_seconds,
             cost_usd,
             replica_timeline: self.timeline,
+            slo: self.slo.map(BurnRateMonitor::into_summary),
             records: self.records,
         }
     }
