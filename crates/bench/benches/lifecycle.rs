@@ -1,0 +1,64 @@
+//! Tiered-lifecycle macrobenchmark: the faulted serving run with and
+//! without the snapshot/zygote pools, plus the prewarm planner itself.
+//!
+//! The pool state machine rides the serving hot path (every scale-up
+//! consults it, every autoscaler tick restocks it), so the tiered run
+//! must stay within sight of the legacy cold-boot-only run; and
+//! `plan_tier_mix` runs inside every PGP candidate evaluation when a
+//! prewarm budget is set, so its own cost is worth pinning.
+
+use chiron::serving::{ServeConfig, ServeSimulation, Workload};
+use chiron::{Chiron, PgpMode};
+use chiron_lifecycle::{plan_tier_mix, LifecycleConfig, LifecycleCosts, PrewarmBudget, TierTable};
+use chiron_metrics::ArrivalProcess;
+use chiron_model::{apps, BillingModel, CostModel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const REQUESTS: u64 = 100_000;
+
+fn bench_serve_tiered(c: &mut Criterion) {
+    let chiron = Chiron::default();
+    let wf = apps::finra(12);
+    let deployment = chiron.deploy(&wf, None, PgpMode::NativeThread);
+    let workload =
+        Workload::steady(500.0, REQUESTS).with_arrivals(ArrivalProcess::Poisson { seed: 9 });
+
+    let mut group = c.benchmark_group("serve_lifecycle");
+    group.sample_size(10);
+    for (name, tiered) in [("coldboot-only", false), ("tiered", true)] {
+        let mut config = ServeConfig::paper_testbed();
+        if tiered {
+            config = config.with_lifecycle(LifecycleConfig::paper_calibrated());
+        }
+        let sim = ServeSimulation::new(wf.clone(), deployment.plan().clone(), config);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &workload, |b, wl| {
+            b.iter(|| {
+                let report = sim.run(black_box(wl), 1).expect("serving run");
+                assert_eq!(report.accepted, REQUESTS);
+                black_box(report.digest())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_plan_tier_mix(c: &mut Criterion) {
+    let costs = CostModel::paper_calibrated();
+    let table = TierTable::derive(
+        &costs,
+        &LifecycleCosts::paper_calibrated(),
+        512 << 20,
+        6,
+        8,
+        8,
+    );
+    let budget = PrewarmBudget::new(1e-2, 50.0);
+    let gbs = BillingModel::paper_calibrated().usd_per_gb_second;
+    c.bench_function("plan_tier_mix", |b| {
+        b.iter(|| black_box(plan_tier_mix(black_box(&table), black_box(&budget), gbs)))
+    });
+}
+
+criterion_group!(lifecycle, bench_serve_tiered, bench_plan_tier_mix);
+criterion_main!(lifecycle);

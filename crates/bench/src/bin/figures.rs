@@ -58,6 +58,7 @@ fn main() {
             "fig19",
             "ablations",
             "serve",
+            "lifecycle",
             "perf",
         ]
     } else {
@@ -97,6 +98,14 @@ fn main() {
                     Err(e) => eprintln!("could not write BENCH_EVAL.json: {e}"),
                 }
                 json
+            }
+            "lifecycle" => {
+                let report = bench::lifecycle_figure(workers);
+                match std::fs::write("BENCH_LIFECYCLE.json", &report.json) {
+                    Ok(()) => eprintln!("wrote BENCH_LIFECYCLE.json"),
+                    Err(e) => eprintln!("could not write BENCH_LIFECYCLE.json: {e}"),
+                }
+                format!("{}\n{}", report.text, report.json)
             }
             "obs" => {
                 let report = bench::obs_eval(workers);

@@ -1,0 +1,443 @@
+//! `figures -- lifecycle`: the tiered sandbox-start evaluation, written
+//! to `BENCH_LIFECYCLE.json`.
+//!
+//! The same faulted FINRA-12 serving run as `figures -- obs` — steady
+//! 50 rps Poisson traffic for 12 000 requests under Chiron's plan, with
+//! nodes 0–2 killed at t = 60 s — is served three ways:
+//!
+//! * **coldboot-only** — the legacy lifecycle: every scale-up pays the
+//!   flat 167 ms `T_coldStart`.
+//! * **tiered** — the `chiron-lifecycle` pools: scale-ups are satisfied
+//!   by the fastest tier with stock (snapshot restore ~12 ms → zygote
+//!   fork → cold boot), the pools restock in the background off the
+//!   forecast, and billing charges the held slots' rent.
+//! * **tiered-diurnal** — the tiered pools again, but under the
+//!   non-homogeneous (sinusoidal-rate) arrival process, exercising the
+//!   EWMA forecast against load that actually moves.
+//!
+//! The cold-boot cell runs a 30 s keepalive; the tiered cells run 15 s —
+//! when a restart rides a ~12 ms snapshot restore instead of a 167 ms
+//! boot, holding idle replicas around "just in case" stops paying, and
+//! retiring them sooner is exactly the cost dividend the tier ladder
+//! buys (the held slots' rent is repaid several times over by the
+//! shorter idle tail). The CI-gated claims: the tiered pools cut the
+//! serving p99 versus cold-boot-only at equal or lower total cost
+//! (`tiered_p99_le_coldboot_p99`,
+//! `tiered_cost_le_coldboot_cost`), and the whole report is
+//! byte-identical for any `--workers N` (`reports_identical_w1_w4` — the
+//! same invariance contract the sweep engine keeps everywhere else).
+//!
+//! On top of the serving cells the report sweeps the **prewarm budget**
+//! through the PGP co-optimisation (`PgpConfig::with_prewarm`): for each
+//! rent ceiling, the scheduler's chosen plan, its raw predicted latency,
+//! the amortised startup penalty the objective carried, and the tier mix
+//! that budget affords (snapshot/zygote slots, residual cold-boot
+//! exposure, expected start latency) — the ablation axis showing richer
+//! budgets buying the expected start latency down.
+
+use crate::sweep;
+use chiron::eval::profile_for;
+use chiron::serving::{FaultPlan, ServeConfig, ServeReport, ServeSimulation, Workload};
+use chiron::{Chiron, PgpMode};
+use chiron_deploy::{chiron_prewarmed, NodeId};
+use chiron_lifecycle::{
+    mix_fractions, plan_tier_mix, LifecycleConfig, LifecycleCosts, PrewarmBudget, StartTier,
+    TierTable,
+};
+use chiron_metrics::{plan_resources, ArrivalProcess};
+use chiron_model::{
+    apps, BillingModel, CostModel, DeploymentPlan, ReplicaConfig, SimDuration, SimTime, Workflow,
+};
+use chiron_obs::SloPolicy;
+
+const SEED: u64 = 2023;
+const REQUESTS: u64 = 12_000;
+const RPS: f64 = 50.0;
+const KILLED_NODES: u32 = 3;
+/// Cold-boot cell keepalive: short enough that the 240 s run's cost is
+/// set by scale-up churn, not by the 600 s default drain tail — but long
+/// enough that the autoscaler is not forced to cold-boot replicas back
+/// at 167 ms a piece.
+const KEEPALIVE_COLD_SECS: u64 = 30;
+/// Tiered cells retire idle replicas twice as fast: when a restart rides
+/// a ~12 ms snapshot restore instead of a 167 ms boot, holding idle
+/// replicas around "just in case" stops paying. This is the cost side of
+/// the tier ladder — the rent of the held slots is bought back several
+/// times over by the shorter idle tail.
+const KEEPALIVE_TIERED_SECS: u64 = 15;
+/// Diurnal cell: one 60 s period per killed-node minute, ±60 % swing.
+const DIURNAL_PERIOD_MS: u64 = 60_000;
+const DIURNAL_AMPLITUDE_PCT: u8 = 60;
+/// The prewarm-budget ablation axis, USD/hour of standing rent.
+const BUDGETS_USD_PER_HOUR: [f64; 4] = [0.0, 1e-4, 1e-3, 1e-2];
+
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Money fields: pool rents are ~1e-4 USD over a 240 s run, which a
+/// 3-decimal render would collapse to zero.
+fn usd(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".into()
+    }
+}
+
+fn slo_policy() -> SloPolicy {
+    SloPolicy {
+        target: SimDuration::from_millis(1_200),
+        objective: 0.999,
+        short_window: SimDuration::from_secs(5),
+        long_window: SimDuration::from_secs(60),
+        burn_threshold: 2.0,
+        min_samples: 20,
+    }
+}
+
+fn faults() -> FaultPlan {
+    let kill_at = SimTime::from_millis_f64(60_000.0);
+    let mut plan = FaultPlan::none();
+    for node in 0..KILLED_NODES {
+        plan = plan.kill_at(kill_at, NodeId(node));
+    }
+    plan
+}
+
+/// One serving cell of the figure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Cell {
+    name: &'static str,
+    tiered: bool,
+    diurnal: bool,
+}
+
+const CELLS: [Cell; 3] = [
+    Cell {
+        name: "coldboot-only",
+        tiered: false,
+        diurnal: false,
+    },
+    Cell {
+        name: "tiered",
+        tiered: true,
+        diurnal: false,
+    },
+    Cell {
+        name: "tiered-diurnal",
+        tiered: true,
+        diurnal: true,
+    },
+];
+
+fn workload(diurnal: bool) -> Workload {
+    let arrivals = if diurnal {
+        ArrivalProcess::Diurnal {
+            period_ms: DIURNAL_PERIOD_MS,
+            amplitude_pct: DIURNAL_AMPLITUDE_PCT,
+            seed: 7,
+        }
+    } else {
+        ArrivalProcess::Poisson { seed: 7 }
+    };
+    Workload::steady(RPS, REQUESTS).with_arrivals(arrivals)
+}
+
+fn cell_config(cell: Cell) -> ServeConfig {
+    let keepalive = if cell.tiered {
+        KEEPALIVE_TIERED_SECS
+    } else {
+        KEEPALIVE_COLD_SECS
+    };
+    let config = ServeConfig::paper_testbed()
+        .with_slo(slo_policy())
+        .with_replicas(ReplicaConfig::default().with_keepalive(SimDuration::from_secs(keepalive)));
+    if cell.tiered {
+        config.with_lifecycle(LifecycleConfig::paper_calibrated())
+    } else {
+        config
+    }
+}
+
+/// Runs every cell from the same deterministic seed. Cells are seeded by
+/// index through the sweep engine, so the reports depend only on the cell
+/// — never on the worker count that ran them.
+fn run_cells(wf: &Workflow, plan: &DeploymentPlan, workers: usize) -> Vec<ServeReport> {
+    sweep::par_map_workers(&CELLS, workers, |_, &cell| {
+        let sim =
+            ServeSimulation::new(wf.clone(), plan.clone(), cell_config(cell)).with_faults(faults());
+        sim.run(&workload(cell.diurnal), SEED).expect("serving run")
+    })
+}
+
+/// The byte string the workers-invariance gate compares: every field the
+/// JSON reports, rendered per cell in cell-index order.
+fn render_cells(reports: &[ServeReport]) -> String {
+    reports
+        .iter()
+        .zip(CELLS.iter())
+        .map(|(r, cell)| cell_json(cell, r))
+        .collect::<Vec<_>>()
+        .join(",\n    ")
+}
+
+fn cell_json(cell: &Cell, r: &ServeReport) -> String {
+    let f = r.tier_start_fractions();
+    format!(
+        concat!(
+            "{{\"cell\": \"{}\", \"completed\": {}, \"lost\": {}, ",
+            "\"p50_ms\": {}, \"p99_ms\": {}, \"max_ms\": {}, ",
+            "\"cold_starts\": {}, \"starts_by_tier\": [{}, {}, {}, {}], ",
+            "\"tier_start_fractions\": [{}, {}, {}, {}], ",
+            "\"peak_replicas\": {}, \"replica_seconds\": {}, ",
+            "\"cost_usd\": {}, \"pool_gb_seconds\": {}, \"pool_rent_usd\": {}, ",
+            "\"total_cost_usd\": {}, \"keepalive_tail_seconds\": {}, ",
+            "\"digest\": \"{:016x}\"}}"
+        ),
+        cell.name,
+        r.completed,
+        r.lost,
+        num(r.sojourns.percentile(0.50).as_millis_f64()),
+        num(r.sojourns.percentile(0.99).as_millis_f64()),
+        num(r.sojourns.max().as_millis_f64()),
+        r.cold_starts,
+        r.starts_by_tier[0],
+        r.starts_by_tier[1],
+        r.starts_by_tier[2],
+        r.starts_by_tier[3],
+        num(f[0]),
+        num(f[1]),
+        num(f[2]),
+        num(f[3]),
+        r.peak_replicas,
+        num(r.replica_seconds),
+        usd(r.cost_usd),
+        num(r.pool_gb_seconds),
+        usd(r.pool_rent_usd),
+        usd(r.total_cost_usd()),
+        num(r.keepalive_tail_seconds),
+        r.digest(),
+    )
+}
+
+/// One row of the prewarm-budget ablation: the PGP schedule under that
+/// budget plus the tier mix the budget affords for the chosen plan.
+#[derive(Debug, Clone, Copy)]
+struct SweepRow {
+    usd_per_hour: f64,
+    processes: usize,
+    predicted: SimDuration,
+    penalty: SimDuration,
+    mix: chiron_lifecycle::TierMix,
+}
+
+fn sweep_row(wf: &Workflow, usd_per_hour: f64) -> SweepRow {
+    let budget = PrewarmBudget::new(usd_per_hour, RPS);
+    let profile = profile_for(wf);
+    let out = chiron_prewarmed(wf, &profile, None, budget);
+    let costs = CostModel::paper_calibrated();
+    let caps = LifecycleConfig::paper_calibrated();
+    let usage = plan_resources(&out.plan, wf, &costs);
+    let table = TierTable::derive(
+        &costs,
+        &LifecycleCosts::paper_calibrated(),
+        usage.memory_bytes,
+        out.plan.sandbox_count() as u32,
+        caps.snapshot_capacity,
+        caps.zygote_capacity,
+    );
+    let mix = plan_tier_mix(
+        &table,
+        &budget,
+        BillingModel::paper_calibrated().usd_per_gb_second,
+    );
+    SweepRow {
+        usd_per_hour,
+        processes: out.processes,
+        predicted: out.predicted,
+        penalty: out.startup_penalty,
+        mix,
+    }
+}
+
+fn sweep_row_json(row: &SweepRow) -> String {
+    let f = mix_fractions(&row.mix);
+    format!(
+        concat!(
+            "{{\"usd_per_hour\": {}, \"processes\": {}, \"predicted_ms\": {}, ",
+            "\"startup_penalty_ms\": {}, \"snapshot_slots\": {}, \"zygote_slots\": {}, ",
+            "\"uncovered\": {}, \"expected_start_ms\": {}, \"rent_usd_per_hour\": {}, ",
+            "\"mix_fractions\": [{}, {}, {}]}}"
+        ),
+        usd(row.usd_per_hour),
+        row.processes,
+        num(row.predicted.as_millis_f64()),
+        num(row.penalty.as_millis_f64()),
+        row.mix.snapshot_slots,
+        row.mix.zygote_slots,
+        row.mix.uncovered,
+        num(row.mix.expected_start.as_millis_f64()),
+        usd(row.mix.rent_usd_per_hour),
+        num(f[0]),
+        num(f[1]),
+        num(f[2]),
+    )
+}
+
+/// Everything `figures -- lifecycle` produces.
+#[derive(Debug, Clone)]
+pub struct LifecycleReport {
+    /// The `BENCH_LIFECYCLE.json` payload.
+    pub json: String,
+    /// Human-readable summary.
+    pub text: String,
+}
+
+/// The tiered sandbox-start figure (see module docs). `workers` runs the
+/// reported cells; the invariance gate re-runs them pinned to 1 and 4
+/// workers and compares the rendered bytes.
+pub fn lifecycle_figure(workers: usize) -> LifecycleReport {
+    let chiron = Chiron::default();
+    let wf = apps::finra(12);
+    let deployment = chiron.deploy(&wf, None, PgpMode::NativeThread);
+    let plan = deployment.plan().clone();
+
+    let reports = run_cells(&wf, &plan, workers);
+    let w1 = run_cells(&wf, &plan, 1);
+    let w4 = run_cells(&wf, &plan, 4);
+    let digests: Vec<u64> = reports.iter().map(ServeReport::digest).collect();
+    let reports_identical = render_cells(&w1) == render_cells(&w4)
+        && w1.iter().map(ServeReport::digest).collect::<Vec<_>>() == digests
+        && w4.iter().map(ServeReport::digest).collect::<Vec<_>>() == digests;
+
+    let coldboot = &reports[0];
+    let tiered = &reports[1];
+    let p99_gate = tiered.sojourns.percentile(0.99) <= coldboot.sojourns.percentile(0.99);
+    let cost_gate = tiered.total_cost_usd() <= coldboot.total_cost_usd();
+    // The tiered cell must actually exercise the pools, and the blame
+    // split must account for every replica start exactly.
+    let tier_starts: u32 = tiered.starts_by_tier[1] + tiered.starts_by_tier[2];
+    let splits_exact = reports.iter().all(|r| {
+        let f = r.tier_start_fractions();
+        let total: u32 = r.starts_by_tier.iter().sum();
+        total == 0 || (f.iter().sum::<f64>() - 1.0).abs() < 1e-9
+    });
+
+    let sweep_rows: Vec<SweepRow> = BUDGETS_USD_PER_HOUR
+        .iter()
+        .map(|&b| sweep_row(&wf, b))
+        .collect();
+    let sweep_json: Vec<String> = sweep_rows.iter().map(sweep_row_json).collect();
+
+    let json = format!(
+        concat!(
+            "{{\n  \"workers\": {},\n",
+            "  \"scenario\": \"FINRA-12, 50 rps x {} requests, nodes 0-{} killed at ",
+            "t=60 s, keepalive {} s coldboot / {} s tiered, SLO 1200 ms @ 99.9%, ",
+            "seed {}\",\n",
+            "  \"tiered_p99_le_coldboot_p99\": {},\n",
+            "  \"tiered_cost_le_coldboot_cost\": {},\n",
+            "  \"reports_identical_w1_w4\": {},\n",
+            "  \"tier_splits_exact\": {},\n",
+            "  \"tiered_pool_starts\": {},\n",
+            "  \"cells\": [\n    {}\n  ],\n",
+            "  \"prewarm_sweep\": [\n    {}\n  ]\n}}"
+        ),
+        workers,
+        REQUESTS,
+        KILLED_NODES - 1,
+        KEEPALIVE_COLD_SECS,
+        KEEPALIVE_TIERED_SECS,
+        SEED,
+        p99_gate,
+        cost_gate,
+        reports_identical,
+        splits_exact,
+        tier_starts,
+        render_cells(&reports),
+        sweep_json.join(",\n    "),
+    );
+
+    let mut text = format!(
+        concat!(
+            "Tiered sandbox start — FINRA-12 serving run ({} requests, {} nodes ",
+            "killed at t=60 s, keepalive {} s coldboot / {} s tiered)\n",
+            "tiered p99 <= coldboot p99: {}   tiered cost <= coldboot cost: {}   ",
+            "identical workers 1 vs 4: {}\n\n",
+            "cell             p50_ms   p99_ms  coldboots  snapshot  zygote  ",
+            "pool_rent_usd  total_usd\n"
+        ),
+        REQUESTS,
+        KILLED_NODES,
+        KEEPALIVE_COLD_SECS,
+        KEEPALIVE_TIERED_SECS,
+        p99_gate,
+        cost_gate,
+        reports_identical,
+    );
+    for (cell, r) in CELLS.iter().zip(reports.iter()) {
+        text.push_str(&format!(
+            "{:<16} {:>7.1} {:>8.1} {:>10} {:>9} {:>7} {:>14.6} {:>10.6}\n",
+            cell.name,
+            r.sojourns.percentile(0.50).as_millis_f64(),
+            r.sojourns.percentile(0.99).as_millis_f64(),
+            r.starts_by_tier[StartTier::ColdBoot.code() as usize],
+            r.starts_by_tier[StartTier::SnapshotRestore.code() as usize],
+            r.starts_by_tier[StartTier::ZygoteFork.code() as usize],
+            r.pool_rent_usd,
+            r.total_cost_usd(),
+        ));
+    }
+    text.push_str("\nPrewarm-budget sweep (PGP co-optimisation, FINRA-12 @ 50 rps)\n");
+    text.push_str(
+        "usd_per_hour  n  predicted_ms  penalty_ms  snapshot  zygote  uncovered  expected_ms\n",
+    );
+    for row in &sweep_rows {
+        text.push_str(&format!(
+            "{:>12.4} {:>2} {:>13.3} {:>11.3} {:>9} {:>7} {:>10} {:>12.3}\n",
+            row.usd_per_hour,
+            row.processes,
+            row.predicted.as_millis_f64(),
+            row.penalty.as_millis_f64(),
+            row.mix.snapshot_slots,
+            row.mix.zygote_slots,
+            row.mix.uncovered,
+            row.mix.expected_start.as_millis_f64(),
+        ));
+    }
+
+    LifecycleReport { json, text }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_figure_holds_its_gates() {
+        let report = lifecycle_figure(2);
+        for gate in [
+            "\"tiered_p99_le_coldboot_p99\": true",
+            "\"tiered_cost_le_coldboot_cost\": true",
+            "\"reports_identical_w1_w4\": true",
+            "\"tier_splits_exact\": true",
+        ] {
+            assert!(
+                report.json.contains(gate),
+                "{gate} not met:\n{}",
+                report.json
+            );
+        }
+        // The tiered cells actually served scale-ups from the pools.
+        assert!(!report.json.contains("\"tiered_pool_starts\": 0,"));
+        // All four budget rows are present and the richest budget buys the
+        // expected start latency below the poorest.
+        assert_eq!(report.json.matches("\"usd_per_hour\"").count(), 4);
+        assert!(report.text.contains("Prewarm-budget sweep"));
+    }
+}

@@ -345,6 +345,27 @@ mod tests {
     }
 
     #[test]
+    fn prewarmed_chiron_plan_deploys_and_stays_competitive() {
+        // The tier-mix co-optimised plan is a valid deployment and keeps
+        // Chiron's latency edge over Faastlane (the penalty only biases
+        // plan selection; it never degrades the plan below the baselines).
+        let cfg = EvalConfig::default();
+        let wf = apps::finra(50);
+        let profile = profile_for(&wf);
+        let budget = chiron_pgp::PrewarmBudget::new(1e-4, 50.0);
+        let out = deploy::chiron_prewarmed(&wf, &profile, None, budget);
+        assert!(out.startup_penalty > SimDuration::ZERO);
+        let prewarmed = evaluate_plan(&wf, out.plan, &cfg);
+        let faastlane = evaluate_system(SystemKind::Faastlane, &wf, None, &cfg);
+        assert!(
+            prewarmed.mean_latency <= faastlane.mean_latency,
+            "prewarmed Chiron {} vs Faastlane {}",
+            prewarmed.mean_latency,
+            faastlane.mean_latency
+        );
+    }
+
+    #[test]
     fn jittered_eval_produces_spread() {
         let cfg = EvalConfig::jittered(20);
         let wf = apps::finra(5);

@@ -33,6 +33,8 @@ pub use manager::{Chiron, Deployment};
 // facade.
 pub use chiron_deploy as deploy;
 pub use chiron_isolation as isolation;
+pub use chiron_lifecycle as lifecycle;
+pub use chiron_lifecycle::{LifecycleConfig, PrewarmBudget};
 pub use chiron_metrics as metrics;
 pub use chiron_ml as ml;
 pub use chiron_model as model;

@@ -19,6 +19,7 @@ pub use cluster::{
 };
 pub use codegen::{generate, GeneratedWrap};
 pub use planners::{
-    asf, baseline, chiron, chiron_m, chiron_p, faastlane, faastlane_m, faastlane_p, faastlane_plus,
-    faastlane_t, openfaas, sand, to_java, FAASTLANE_PLUS_PROCS_PER_SANDBOX,
+    asf, baseline, chiron, chiron_m, chiron_p, chiron_prewarmed, faastlane, faastlane_m,
+    faastlane_p, faastlane_plus, faastlane_t, openfaas, sand, to_java,
+    FAASTLANE_PLUS_PROCS_PER_SANDBOX,
 };

@@ -21,7 +21,7 @@ use chiron_model::plan::{
     SchedulingKind, StagePlan, SystemKind, TransferKind, WrapPlan,
 };
 use chiron_model::{SimDuration, Workflow};
-use chiron_pgp::{PgpConfig, PgpMode, PgpScheduler, ScheduleOutcome};
+use chiron_pgp::{PgpConfig, PgpMode, PgpScheduler, PrewarmBudget, ScheduleOutcome};
 use chiron_profiler::WorkflowProfile;
 
 /// Number of processes Faastlane+ fixes per sandbox (§2.2).
@@ -286,6 +286,24 @@ fn chiron_with_mode(
         Some(slo) => PgpConfig::with_slo(slo).with_mode(mode),
         None => PgpConfig::performance_first().with_mode(mode),
     };
+    PgpScheduler::paper_calibrated().schedule(workflow, profile, &config)
+}
+
+/// Chiron co-optimised against a prewarm budget: PGP's objective adds the
+/// amortised startup exposure each candidate plan's footprint leaves
+/// uncovered under `budget` (see [`chiron_pgp::PrewarmBudget`]), biasing
+/// the search toward plans whose tier pools are cheap to keep warm.
+pub fn chiron_prewarmed(
+    workflow: &Workflow,
+    profile: &WorkflowProfile,
+    slo: Option<SimDuration>,
+    budget: PrewarmBudget,
+) -> ScheduleOutcome {
+    let config = match slo {
+        Some(slo) => PgpConfig::with_slo(slo),
+        None => PgpConfig::performance_first(),
+    }
+    .with_prewarm(budget);
     PgpScheduler::paper_calibrated().schedule(workflow, profile, &config)
 }
 

@@ -25,6 +25,19 @@ pub enum ArrivalProcess {
     /// drawn from a generator seeded with the given value — the classic
     /// M/G/k arrival side, reproducible run-to-run.
     Poisson { seed: u64 },
+    /// Non-homogeneous Poisson arrivals whose instantaneous rate follows
+    /// a sinusoid around the phase's mean `rps`:
+    /// `rate(t) = rps × (1 + amplitude × sin(2πt / period))`. This is the
+    /// diurnal traffic pattern production FaaS fleets see — the pattern
+    /// prewarm-pool forecasting exists to track. Integer fields keep the
+    /// process `Eq`/hashable: `amplitude_pct` is the swing in percent
+    /// (50 → ±50% around the mean) and must stay below 100 so the rate
+    /// never reaches zero.
+    Diurnal {
+        period_ms: u64,
+        amplitude_pct: u8,
+        seed: u64,
+    },
 }
 
 /// Stateful inter-arrival gap generator for one [`ArrivalProcess`].
@@ -32,17 +45,21 @@ pub enum ArrivalProcess {
 pub struct ArrivalGen {
     process: ArrivalProcess,
     rng: StdRng,
+    /// Accumulated simulated time since the stream started — the phase
+    /// of the diurnal sinusoid. Unused by the homogeneous processes.
+    elapsed: SimDuration,
 }
 
 impl ArrivalProcess {
     pub fn gaps(self) -> ArrivalGen {
         let seed = match self {
             ArrivalProcess::Uniform => 0,
-            ArrivalProcess::Poisson { seed } => seed,
+            ArrivalProcess::Poisson { seed } | ArrivalProcess::Diurnal { seed, .. } => seed,
         };
         ArrivalGen {
             process: self,
             rng: StdRng::seed_from_u64(seed),
+            elapsed: SimDuration::ZERO,
         }
     }
 }
@@ -51,7 +68,7 @@ impl ArrivalGen {
     /// Next gap to the following arrival at mean rate `rps`.
     pub fn next_gap(&mut self, rps: f64) -> SimDuration {
         assert!(rps > 0.0, "arrival rate must be positive");
-        match self.process {
+        let gap = match self.process {
             ArrivalProcess::Uniform => SimDuration::from_nanos((1e9 / rps).round() as u64),
             ArrivalProcess::Poisson { .. } => {
                 // Inverse-CDF exponential; 1 - u avoids ln(0).
@@ -59,7 +76,30 @@ impl ArrivalGen {
                 let secs = -(1.0 - u).ln() / rps;
                 SimDuration::from_nanos((secs * 1e9).round() as u64)
             }
-        }
+            ArrivalProcess::Diurnal {
+                period_ms,
+                amplitude_pct,
+                ..
+            } => {
+                assert!(period_ms > 0, "diurnal period must be positive");
+                assert!(
+                    amplitude_pct < 100,
+                    "diurnal amplitude must stay below 100%"
+                );
+                // Exponential gap at the instantaneous rate. The sinusoid
+                // is slow relative to inter-arrival gaps, so freezing the
+                // rate at the current phase is an accurate thinning-free
+                // approximation of the non-homogeneous process.
+                let period = period_ms as f64 / 1e3;
+                let phase = 2.0 * std::f64::consts::PI * self.elapsed.as_secs_f64() / period;
+                let rate = rps * (1.0 + f64::from(amplitude_pct) / 100.0 * phase.sin());
+                let u: f64 = self.rng.random();
+                let secs = -(1.0 - u).ln() / rate;
+                SimDuration::from_nanos((secs * 1e9).round() as u64)
+            }
+        };
+        self.elapsed += gap;
+        gap
     }
 }
 
@@ -241,6 +281,67 @@ mod tests {
             ArrivalProcess::Poisson { seed: 1 },
         );
         assert!(poisson.mean_sojourn > uniform.mean_sojourn);
+    }
+
+    #[test]
+    fn diurnal_rate_tracks_the_sinusoid() {
+        // One 60s period at mean 50 rps, ±60%: the first half-period
+        // (peak) must produce arrivals faster than the second (trough).
+        let mut gaps = ArrivalProcess::Diurnal {
+            period_ms: 60_000,
+            amplitude_pct: 60,
+            seed: 11,
+        }
+        .gaps();
+        let mut t = SimDuration::ZERO;
+        let (mut peak, mut trough) = (0u64, 0u64);
+        while t < SimDuration::from_millis(60_000) {
+            if t < SimDuration::from_millis(30_000) {
+                peak += 1;
+            } else {
+                trough += 1;
+            }
+            t += gaps.next_gap(50.0);
+        }
+        assert!(
+            peak as f64 > trough as f64 * 1.5,
+            "peak {peak} vs trough {trough}"
+        );
+        // Over whole periods the mean rate is still ~rps: 60s × 50.
+        let total = peak + trough;
+        assert!((2_400..=3_600).contains(&total), "total {total}");
+    }
+
+    #[test]
+    fn diurnal_is_reproducible_and_seed_sensitive() {
+        let process = ArrivalProcess::Diurnal {
+            period_ms: 10_000,
+            amplitude_pct: 40,
+            seed: 5,
+        };
+        let draw = |p: ArrivalProcess| {
+            let mut g = p.gaps();
+            (0..500).map(|_| g.next_gap(20.0)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(process), draw(process));
+        let other = ArrivalProcess::Diurnal {
+            period_ms: 10_000,
+            amplitude_pct: 40,
+            seed: 6,
+        };
+        assert_ne!(draw(process), draw(other));
+    }
+
+    #[test]
+    #[should_panic(expected = "amplitude must stay below 100%")]
+    fn diurnal_full_swing_rejected() {
+        ArrivalProcess::Diurnal {
+            period_ms: 1_000,
+            amplitude_pct: 100,
+            seed: 0,
+        }
+        .gaps()
+        .next_gap(10.0);
     }
 
     #[test]

@@ -140,6 +140,12 @@ pub struct AttributionReport {
     /// trace carried no `DesBreakdown` events — the whole service window
     /// then counts as execution).
     pub service_weights: [u64; 4],
+    /// The cold-start blame total split by start tier, in
+    /// [`COLD_TIER_SLOTS`] order. Sums *exactly* to the end-to-end
+    /// `cold_start` component total: the first three slots are the
+    /// pre-dispatch startup-wait overlaps bucketed by the serving
+    /// replica's tier, the fourth the in-sandbox DES startup share.
+    pub cold_start_by_tier: [u64; 4],
 }
 
 /// Splits `total` into integer parts proportional to `weights`, exactly:
@@ -191,11 +197,28 @@ fn overlap(a_start: u64, a_end: u64, b_start: u64, b_end: u64) -> u64 {
     hi.saturating_sub(lo)
 }
 
+/// Names of [`AttributionReport::cold_start_by_tier`] slots, in order:
+/// the three start tiers with a nonzero on-path window, then the DES
+/// in-sandbox startup share of the service window.
+pub const COLD_TIER_SLOTS: [&str; 4] = ["snapshot", "zygote", "coldboot", "in_sandbox"];
+
+/// Maps a `ReplicaSpawn` tier code onto a [`COLD_TIER_SLOTS`] bucket.
+/// Warm handovers (code 0) have no startup window; any blame that still
+/// lands there (a malformed trace) is read conservatively as cold boot.
+fn tier_bucket(tier: u8) -> usize {
+    match tier {
+        1 => 0,
+        2 => 1,
+        _ => 2,
+    }
+}
+
 #[derive(Debug, Clone, Copy, Default)]
 struct ReplicaWindow {
     spawn_ns: u64,
     ready_ns: Option<u64>,
     cold: bool,
+    tier: u8,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -205,6 +228,10 @@ struct RequestState {
     wait_start_ns: u64,
     open_dispatch: Option<(u64, u32)>,
     components: [u64; 6],
+    /// Startup-wait overlap per serving tier, `[snapshot, zygote,
+    /// coldboot]` — the tier split of the request's pre-dispatch
+    /// cold-start blame.
+    cold_by_tier: [u64; 3],
 }
 
 /// Reconstructs the critical path of every request in `trace` and
@@ -225,13 +252,19 @@ pub fn attribute(trace: &Trace) -> AttributionReport {
     for e in &trace.events {
         match e.kind {
             TraceEventKind::RunContext { workflow: w, plan } => workflow = Some((w, plan)),
-            TraceEventKind::ReplicaSpawn { replica, cold, .. } => {
+            TraceEventKind::ReplicaSpawn {
+                replica,
+                cold,
+                tier,
+                ..
+            } => {
                 replicas.insert(
                     replica,
                     ReplicaWindow {
                         spawn_ns: e.time_ns,
                         ready_ns: None,
                         cold,
+                        tier,
                     },
                 );
             }
@@ -269,6 +302,7 @@ pub fn attribute(trace: &Trace) -> AttributionReport {
     // Pass 2: request lifecycles in event order.
     let mut states: HashMap<u64, RequestState> = HashMap::new();
     let mut done: Vec<RequestAttribution> = Vec::new();
+    let mut cold_start_by_tier = [0u64; 4];
     for e in &trace.events {
         match e.kind {
             TraceEventKind::Arrival { request, phase } => {
@@ -280,6 +314,7 @@ pub fn attribute(trace: &Trace) -> AttributionReport {
                         wait_start_ns: e.time_ns,
                         open_dispatch: None,
                         components: [0; 6],
+                        cold_by_tier: [0; 3],
                     },
                 );
             }
@@ -300,19 +335,21 @@ pub fn attribute(trace: &Trace) -> AttributionReport {
                     continue;
                 };
                 let wait = e.time_ns.saturating_sub(s.wait_start_ns);
-                let cold_part = if cold {
+                let (cold_part, tier) = if cold {
                     replicas
                         .get(&replica)
                         .filter(|w| w.cold)
                         .and_then(|w| {
-                            w.ready_ns
-                                .map(|r| overlap(s.wait_start_ns, e.time_ns, w.spawn_ns, r))
+                            w.ready_ns.map(|r| {
+                                (overlap(s.wait_start_ns, e.time_ns, w.spawn_ns, r), w.tier)
+                            })
                         })
-                        .unwrap_or(0)
+                        .unwrap_or((0, 3))
                 } else {
-                    0
+                    (0, 3)
                 };
                 s.components[Component::ColdStart.index()] += cold_part;
+                s.cold_by_tier[tier_bucket(tier)] += cold_part;
                 s.components[Component::Queueing.index()] += wait - cold_part;
                 s.open_dispatch = Some((e.time_ns, replica));
             }
@@ -338,6 +375,13 @@ pub fn attribute(trace: &Trace) -> AttributionReport {
                 s.components[Component::GilBlock.index()] += parts[1];
                 s.components[Component::Interaction.index()] += parts[2];
                 s.components[Component::Execution.index()] += parts[3];
+                // Commit the completed request's cold-start blame to the
+                // per-tier split: pre-dispatch startup waits by serving
+                // tier, then the DES in-sandbox startup share.
+                for (total, part) in cold_start_by_tier.iter_mut().zip(s.cold_by_tier) {
+                    *total += part;
+                }
+                cold_start_by_tier[3] += parts[0];
                 done.push(RequestAttribution {
                     request,
                     phase: s.phase,
@@ -412,6 +456,7 @@ pub fn attribute(trace: &Trace) -> AttributionReport {
         profiles,
         incomplete,
         service_weights,
+        cold_start_by_tier,
     }
 }
 
@@ -420,6 +465,14 @@ impl AttributionReport {
     /// — the report's defining invariant.
     pub fn sums_exact(&self) -> bool {
         self.requests.iter().all(RequestAttribution::sums_exact)
+    }
+
+    /// Whether the per-tier cold-start split sums exactly to the
+    /// end-to-end `cold_start` component total — the tiered counterpart
+    /// of [`AttributionReport::sums_exact`].
+    pub fn tier_split_sums_exact(&self) -> bool {
+        let total: u64 = self.cold_start_by_tier.iter().sum();
+        total == self.profiles[0].components[Component::ColdStart.index()].total_ns
     }
 
     /// Total blame per component across all requests, heaviest first
@@ -492,6 +545,11 @@ impl AttributionReport {
                 );
             }
         }
+        let _ = write!(out, "cold_by_tier");
+        for (name, total) in COLD_TIER_SLOTS.iter().zip(self.cold_start_by_tier) {
+            let _ = write!(out, " {name}={total}");
+        }
+        out.push('\n');
         for (c, total) in self.blame_ranking() {
             let _ = writeln!(out, "blame {:<11} {total}", c.name());
         }
@@ -619,6 +677,7 @@ mod tests {
                         replica: 0,
                         node: 0,
                         cold: false,
+                        tier: 0,
                     },
                 ),
                 ev(0, TraceEventKind::ReplicaReady { replica: 0 }),
@@ -674,6 +733,7 @@ mod tests {
                         replica: 1,
                         node: 1,
                         cold: true,
+                        tier: 1,
                     },
                 ),
                 ev(
@@ -753,6 +813,12 @@ mod tests {
         let ranking = report.blame_ranking();
         assert_eq!(ranking[0].0, Component::Execution);
         assert_eq!(ranking[0].1, 750);
+
+        // Replica 1 is a snapshot-tier start, so request 1's 67 ns of
+        // startup wait land in the snapshot slot; the sample DES profile
+        // carries zero startup so in_sandbox stays empty.
+        assert_eq!(report.cold_start_by_tier, [67, 0, 0, 0]);
+        assert!(report.tier_split_sums_exact());
     }
 
     #[test]
@@ -777,6 +843,12 @@ mod tests {
         let b = attribute(&trace);
         assert_eq!(a.render(), b.render());
         assert_eq!(a.digest(), b.digest());
+        assert!(
+            a.render()
+                .contains("cold_by_tier snapshot=67 zygote=0 coldboot=0 in_sandbox=0"),
+            "{}",
+            a.render()
+        );
         let flame = a.folded_flame();
         assert!(flame.contains("attrib-test-wf;serving;queueing 600"));
         assert!(flame.contains("attrib-test-wf;des;stage0;execution 500"));

@@ -45,7 +45,9 @@ pub mod slo;
 pub mod trace;
 pub mod whatif;
 
-pub use attrib::{attribute, AttributionReport, Component, ComponentProfile, RequestAttribution};
+pub use attrib::{
+    attribute, AttributionReport, Component, ComponentProfile, RequestAttribution, COLD_TIER_SLOTS,
+};
 pub use drift::{
     drift_monitor_enabled, drift_report, record_observation, record_prediction, reset_drift,
     set_drift_monitor, DriftEntry,
@@ -61,4 +63,7 @@ pub use trace::{
     begin_capture, begin_capture_sized, emit, end_capture, recycle, reset_trace_stats, set_tracing,
     trace_stats, tracing_enabled, Trace, TraceEvent, TraceEventKind, TraceStats,
 };
-pub use whatif::{WhatIfExperiment, WhatIfRanking, WhatIfReport};
+pub use whatif::{
+    run_tiers, TierWhatIfExperiment, TierWhatIfRanking, TierWhatIfReport, WhatIfExperiment,
+    WhatIfRanking, WhatIfReport,
+};

@@ -61,6 +61,7 @@ pub fn serve_trace(trace: &Trace) -> String {
             replica,
             node,
             cold,
+            tier,
         } = e.kind
         {
             replica_node.insert(replica, node);
@@ -75,7 +76,15 @@ pub fn serve_trace(trace: &Trace) -> String {
                     &mut out,
                 );
             }
-            let kind = if cold { "cold" } else { "warm" };
+            // Tier label first (it subsumes the boolean for tiered
+            // runs); legacy traces carry tier 0/3, which map back onto
+            // the old warm/cold names.
+            let kind = match tier {
+                1 => "snapshot",
+                2 => "zygote",
+                _ if cold => "cold",
+                _ => "warm",
+            };
             push(
                 format!(
                     "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{replica},\"name\":\"thread_name\",\
@@ -276,6 +285,7 @@ mod tests {
                         replica: 0,
                         node: 0,
                         cold: false,
+                        tier: 0,
                     },
                 ),
                 ev(0, TraceEventKind::ReplicaReady { replica: 0 }),
@@ -308,6 +318,7 @@ mod tests {
                         replica: 1,
                         node: 1,
                         cold: true,
+                        tier: 3,
                     },
                 ),
                 ev(400, TraceEventKind::ReplicaReady { replica: 1 }),

@@ -88,9 +88,17 @@ pub enum TraceEventKind {
     Complete { request: u64, replica: u32 },
     /// Failure recovery put an in-flight request back on a queue.
     Requeue { request: u64, replica: u32 },
-    /// A replica began placing/starting (`cold` = paid a sandbox cold
-    /// start; prewarmed and baseline replicas do not).
-    ReplicaSpawn { replica: u32, node: u32, cold: bool },
+    /// A replica began placing/starting. `cold` = the start pays an
+    /// on-path startup window before the replica is schedulable
+    /// (prewarmed and baseline replicas do not); `tier` is the
+    /// `StartTier` code that served the start (0 warm handover,
+    /// 1 snapshot restore, 2 zygote fork, 3 full cold boot).
+    ReplicaSpawn {
+        replica: u32,
+        node: u32,
+        cold: bool,
+        tier: u8,
+    },
     /// The replica became schedulable.
     ReplicaReady { replica: u32 },
     /// The autoscaler retired an idle replica.

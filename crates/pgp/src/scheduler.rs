@@ -34,11 +34,12 @@
 //! plans (enforced by the `identical_plans` property test).
 
 use crate::kl::{kernighan_lin_with_stats, KlObjective, KlStats};
+use chiron_lifecycle::{penalty_for_plan, LifecycleCosts, PrewarmBudget};
 use chiron_model::plan::{
     DeploymentPlan, IsolationKind, ProcessPlan, ProcessSpawn, RuntimeKind, SandboxId, SandboxPlan,
     SchedulingKind, StagePlan, SystemKind, TransferKind, WrapPlan,
 };
-use chiron_model::{FunctionId, SimDuration, Workflow};
+use chiron_model::{BillingModel, CostModel, FunctionId, SimDuration, Workflow};
 use chiron_obs::StaticCounter;
 use chiron_predict::{
     predict_threads, PredictScratch, PredictionCache, Predictor, SegmentCatalog, SimThread,
@@ -92,6 +93,15 @@ pub struct PgpConfig {
     /// Cap on the process-count search (the paper parallelises this search
     /// for large workflows; we bound it).
     pub max_process_search: usize,
+    /// Tier-mix co-optimisation: with a prewarm budget, every candidate
+    /// plan's objective gains the amortised startup exposure its resource
+    /// footprint leaves uncovered under that budget
+    /// ([`chiron_lifecycle::penalty_for_plan`]). Smaller-footprint plans
+    /// buy more fast-start coverage from the same rent, so the search is
+    /// biased toward plans that prewarm cheaply. `None` keeps the
+    /// latency-only objective — and byte-identical legacy plans. SLO
+    /// checks always use the raw predicted latency.
+    pub prewarm: Option<PrewarmBudget>,
 }
 
 impl PgpConfig {
@@ -101,6 +111,7 @@ impl PgpConfig {
             mode: PgpMode::NativeThread,
             conservative_margin: 1.25,
             max_process_search: 32,
+            prewarm: None,
         }
     }
 
@@ -110,12 +121,41 @@ impl PgpConfig {
             mode: PgpMode::NativeThread,
             conservative_margin: 1.0,
             max_process_search: 32,
+            prewarm: None,
         }
     }
 
     pub fn with_mode(mut self, mode: PgpMode) -> Self {
         self.mode = mode;
         self
+    }
+
+    pub fn with_prewarm(mut self, budget: PrewarmBudget) -> Self {
+        self.prewarm = Some(budget);
+        self
+    }
+}
+
+/// The plan-selection penalty of `config`'s prewarm budget for one
+/// candidate plan: zero without a budget (so legacy searches compare raw
+/// latencies, bit for bit), otherwise the amortised residual-startup
+/// exposure of the tier mix the budget affords this plan's footprint.
+fn prewarm_penalty(
+    workflow: &Workflow,
+    plan: &DeploymentPlan,
+    costs: &CostModel,
+    config: &PgpConfig,
+) -> SimDuration {
+    match &config.prewarm {
+        Some(budget) => penalty_for_plan(
+            plan,
+            workflow,
+            costs,
+            &LifecycleCosts::paper_calibrated(),
+            budget,
+            BillingModel::paper_calibrated().usd_per_gb_second,
+        ),
+        None => SimDuration::ZERO,
     }
 }
 
@@ -125,6 +165,10 @@ pub struct ScheduleOutcome {
     pub plan: DeploymentPlan,
     /// Conservatively predicted end-to-end latency of `plan`.
     pub predicted: SimDuration,
+    /// Amortised residual-startup penalty of `plan` under the configured
+    /// prewarm budget — the tier-mix term the search's objective added on
+    /// top of `predicted`. Zero when no budget was configured.
+    pub startup_penalty: SimDuration,
     /// Whether the SLO (if any) is met by the prediction.
     pub met_slo: bool,
     /// The chosen process count `n` for parallel stages.
@@ -415,7 +459,10 @@ impl PgpScheduler {
             .max_parallelism()
             .min(config.max_process_search)
             .max(1);
-        let mut best: Option<(DeploymentPlan, SimDuration, usize)> = None;
+        // `best` carries (plan, raw predicted latency, objective, n); the
+        // objective adds the prewarm-budget startup penalty (zero without
+        // one, so legacy searches are untouched).
+        let mut best: Option<(DeploymentPlan, SimDuration, SimDuration, usize)> = None;
         let mut stale_rounds = 0usize;
         let mut audit = PgpAudit::default();
 
@@ -428,22 +475,25 @@ impl PgpScheduler {
             let plan =
                 self.pack_and_allocate(workflow, &partitions, config, IsolationKind::None, eval);
             let predicted = eval.plan_latency(&plan);
+            let objective =
+                predicted + prewarm_penalty(workflow, &plan, &self.predictor.costs, config);
             let improved = best
                 .as_ref()
-                .map(|(_, p, _)| predicted < *p)
+                .map(|(_, _, o, _)| objective < *o)
                 .unwrap_or(true);
             if improved {
-                best = Some((plan, predicted, n));
+                best = Some((plan, predicted, objective, n));
                 stale_rounds = 0;
             } else {
                 stale_rounds += 1;
             }
             if let Some(slo) = config.slo {
                 if predicted <= slo {
-                    let (plan, predicted, n) = best.expect("just inserted");
+                    let (plan, predicted, objective, n) = best.expect("just inserted");
                     return ScheduleOutcome {
                         plan,
                         predicted,
+                        startup_penalty: objective - predicted,
                         met_slo: true,
                         processes: n,
                         audit,
@@ -453,11 +503,12 @@ impl PgpScheduler {
                 break; // latency stopped improving; stop widening.
             }
         }
-        let (plan, predicted, n) = best.expect("n = 1 always evaluated");
+        let (plan, predicted, objective, n) = best.expect("n = 1 always evaluated");
         let met_slo = config.slo.map(|slo| predicted <= slo).unwrap_or(true);
         ScheduleOutcome {
             plan,
             predicted,
+            startup_penalty: objective - predicted,
             met_slo,
             processes: n,
             audit,
@@ -492,12 +543,16 @@ impl PgpScheduler {
     ) -> DeploymentPlan {
         // Start from the most co-located plan (1 wrap per stage) and widen
         // the busiest stage until the SLO is met or wraps are singletons.
+        // Wrap-count comparisons use the prewarm-penalised objective (more
+        // wraps = more sandboxes = costlier tier coverage); the SLO gate
+        // stays on the raw latency.
         let max_procs = partitions.iter().map(Vec::len).max().unwrap_or(1);
         let mut chosen: Option<DeploymentPlan> = None;
-        let mut best_lat = SimDuration::from_nanos(u64::MAX);
+        let mut best_obj = SimDuration::from_nanos(u64::MAX);
         for wraps in 1..=max_procs {
             let plan = self.build_plan(workflow, partitions, wraps, isolation, 0);
             let lat = eval.plan_latency(&plan);
+            let obj = lat + prewarm_penalty(workflow, &plan, &self.predictor.costs, config);
             match config.slo {
                 Some(slo) => {
                     if lat <= slo {
@@ -505,14 +560,14 @@ impl PgpScheduler {
                         break; // fewest wraps meeting the SLO
                     }
                     // Keep the best-effort fallback.
-                    if lat < best_lat {
-                        best_lat = lat;
+                    if obj < best_obj {
+                        best_obj = obj;
                         chosen = Some(plan);
                     }
                 }
                 None => {
-                    if lat < best_lat {
-                        best_lat = lat;
+                    if obj < best_obj {
+                        best_obj = obj;
                         chosen = Some(plan);
                     }
                 }
@@ -657,7 +712,8 @@ impl PgpScheduler {
         // (now warm with every KL set, which the wrap evaluator re-keys).
         let ns: Vec<usize> = (1..=max_n).collect();
         let p2_workers = workers.min(ns.len()).max(1);
-        let mut results: Vec<(usize, DeploymentPlan, SimDuration)> = std::thread::scope(|scope| {
+        type Candidate = (usize, DeploymentPlan, SimDuration, SimDuration);
+        let mut results: Vec<Candidate> = std::thread::scope(|scope| {
             let check = &check;
             let catalog = &catalog;
             let ns = &ns;
@@ -684,7 +740,9 @@ impl PgpScheduler {
                                 &mut eval,
                             );
                             let predicted = eval.plan_latency(&plan);
-                            out.push((n, plan, predicted));
+                            let objective = predicted
+                                + prewarm_penalty(workflow, &plan, &self.predictor.costs, config);
+                            out.push((n, plan, predicted, objective));
                         }
                         out
                     })
@@ -695,7 +753,7 @@ impl PgpScheduler {
                 .flat_map(|h| h.join().expect("pgp worker panicked"))
                 .collect()
         });
-        results.sort_by_key(|(n, _, _)| *n);
+        results.sort_by_key(|(n, _, _, _)| *n);
         let after = cache.stats();
         audit.cache_hits = after.hits - before.hits;
         audit.cache_misses = after.misses - before.misses;
@@ -750,7 +808,9 @@ impl PgpScheduler {
                 &mut eval,
             );
             let predicted = eval.plan_latency(&plan);
-            results.push((n, plan, predicted));
+            let objective =
+                predicted + prewarm_penalty(workflow, &plan, &self.predictor.costs, config);
+            results.push((n, plan, predicted, objective));
         }
         let mut outcome = select_candidate(results, config, audit);
         outcome.audit.function_modes = function_modes(workflow, &outcome.plan);
@@ -906,7 +966,10 @@ impl PgpScheduler {
     /// the conservative prediction still meets the SLO. Without an SLO the
     /// trim keeps the latency-optimal allocation (removing a CPU must not
     /// increase the prediction). The sandbox contents never change here, so
-    /// with the cached evaluator each candidate decrement is a lookup.
+    /// with the cached evaluator each candidate decrement is a lookup — and
+    /// the prewarm penalty, a function of the memory footprint and sandbox
+    /// count only, is invariant under CPU trims and cancels out of the
+    /// comparison.
     fn trim_cpus(&self, plan: &mut DeploymentPlan, config: &PgpConfig, eval: &mut dyn PgpEval) {
         let limit = config.slo.unwrap_or_else(|| eval.plan_latency(plan));
         let mut changed = true;
@@ -947,11 +1010,13 @@ impl PgpScheduler {
         let mut plan = plan;
         plan.system = SystemKind::ChironM;
         let predicted = eval.plan_latency(&plan);
+        let startup_penalty = prewarm_penalty(workflow, &plan, &self.predictor.costs, config);
         let met_slo = config.slo.map(|slo| predicted <= slo).unwrap_or(true);
         let processes = workflow.max_parallelism();
         ScheduleOutcome {
             plan,
             predicted,
+            startup_penalty,
             met_slo,
             processes,
             // MPK mode has no n-search and no KL passes: the single fixed
@@ -1002,10 +1067,12 @@ impl PgpScheduler {
         plan.system = SystemKind::ChironP;
         self.trim_cpus(&mut plan, config, eval);
         let predicted = eval.plan_latency(&plan);
+        let startup_penalty = prewarm_penalty(workflow, &plan, &self.predictor.costs, config);
         let met_slo = config.slo.map(|slo| predicted <= slo).unwrap_or(true);
         ScheduleOutcome {
             plan,
             predicted,
+            startup_penalty,
             met_slo,
             processes: pool_size as usize,
             audit: PgpAudit {
@@ -1051,25 +1118,29 @@ fn partition_one_stage(
 }
 
 /// The sequential selection rule applied to a full, `n`-ordered candidate
-/// list (shared by the parallel search and its reference oracle): with an
-/// SLO, the best plan seen up to and including the first SLO-satisfying
-/// `n`; without one, the global latency minimum (first `n` wins ties).
+/// list of `(n, plan, predicted, objective)` tuples (shared by the
+/// parallel search and its reference oracle): with an SLO, the best plan
+/// seen up to and including the first SLO-satisfying `n`; without one,
+/// the global objective minimum (first `n` wins ties). The objective is
+/// the predicted latency plus the prewarm-budget startup penalty —
+/// identical to the latency when no budget is configured — while the SLO
+/// gate always reads the raw latency.
 fn select_candidate(
-    results: Vec<(usize, DeploymentPlan, SimDuration)>,
+    results: Vec<(usize, DeploymentPlan, SimDuration, SimDuration)>,
     config: &PgpConfig,
     audit: PgpAudit,
 ) -> ScheduleOutcome {
-    let mut best: Option<(DeploymentPlan, SimDuration, usize)> = None;
+    let mut best: Option<(DeploymentPlan, SimDuration, SimDuration, usize)> = None;
     let mut met = false;
-    for (n, plan, predicted) in results {
+    for (n, plan, predicted, objective) in results {
         if let Some(slo) = config.slo {
             if predicted <= slo {
                 let better = best
                     .as_ref()
-                    .map(|(_, p, _)| predicted < *p)
+                    .map(|(_, _, o, _)| objective < *o)
                     .unwrap_or(true);
                 if better {
-                    best = Some((plan, predicted, n));
+                    best = Some((plan, predicted, objective, n));
                 }
                 met = true;
                 break; // first SLO-satisfying n ends the scan
@@ -1077,17 +1148,18 @@ fn select_candidate(
         }
         let better = best
             .as_ref()
-            .map(|(_, p, _)| predicted < *p)
+            .map(|(_, _, o, _)| objective < *o)
             .unwrap_or(true);
         if better {
-            best = Some((plan, predicted, n));
+            best = Some((plan, predicted, objective, n));
         }
     }
-    let (plan, predicted, n) = best.expect("n = 1 always evaluated");
+    let (plan, predicted, objective, n) = best.expect("n = 1 always evaluated");
     let met_slo = config.slo.map(|_| met).unwrap_or(true);
     ScheduleOutcome {
         plan,
         predicted,
+        startup_penalty: objective - predicted,
         met_slo,
         processes: n,
         audit,
@@ -1159,6 +1231,36 @@ mod tests {
             eff.plan.total_cpus(),
             fast.plan.total_cpus()
         );
+    }
+
+    #[test]
+    fn prewarm_budget_penalises_and_stays_deterministic() {
+        let wf = apps::finra(50);
+        let prof = profile(&wf);
+        let sched = PgpScheduler::paper_calibrated();
+
+        let base = sched.schedule(&wf, &prof, &PgpConfig::performance_first());
+        assert_eq!(base.startup_penalty, SimDuration::ZERO);
+
+        // A thin budget leaves most of the demand window exposed to the
+        // cold boot, so the chosen plan carries a positive penalty.
+        let budget = PrewarmBudget::new(1e-4, 50.0);
+        let cfg = PgpConfig::performance_first().with_prewarm(budget);
+        let tiered = sched.schedule(&wf, &prof, &cfg);
+        assert!(tiered.startup_penalty > SimDuration::ZERO);
+        let stage_sets: Vec<Vec<FunctionId>> =
+            wf.stages.iter().map(|s| s.functions.clone()).collect();
+        tiered.plan.validate(&stage_sets).unwrap();
+
+        // The penalty is deterministic: the memoised search and the
+        // pre-optimisation oracle agree byte for byte under a budget too.
+        let reference = sched.schedule_reference(&wf, &prof, &cfg);
+        assert_eq!(tiered.plan, reference.plan);
+        assert_eq!(tiered.predicted, reference.predicted);
+        assert_eq!(tiered.startup_penalty, reference.startup_penalty);
+        let parallel = sched.schedule_parallel(&wf, &prof, &cfg, 4);
+        assert_eq!(tiered.plan, parallel.plan);
+        assert_eq!(tiered.startup_penalty, parallel.startup_penalty);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! the knobs shared by the router, autoscaler, and failure detector.
 
 use chiron_deploy::{ClusterConfig, PlacementPolicy};
+use chiron_lifecycle::LifecycleConfig;
 use chiron_metrics::ArrivalProcess;
 use chiron_model::{PlatformConfig, ReplicaConfig, SimDuration};
 use chiron_obs::SloPolicy;
@@ -114,6 +115,10 @@ pub struct ServeConfig {
     /// Latency SLO and burn-rate alerting policy; `None` disables the
     /// monitor (and costs nothing on the completion path).
     pub slo: Option<SloPolicy>,
+    /// Tiered sandbox-start pools (snapshot/restore, zygote fork).
+    /// `None` keeps the legacy behaviour: a scalar prewarm pool of
+    /// zero-latency handovers, then flat cold boots.
+    pub lifecycle: Option<LifecycleConfig>,
 }
 
 impl ServeConfig {
@@ -131,6 +136,7 @@ impl ServeConfig {
             heartbeat_miss_limit: 3,
             service_jitter: 0.05,
             slo: None,
+            lifecycle: None,
         }
     }
 
@@ -156,6 +162,11 @@ impl ServeConfig {
 
     pub fn with_slo(mut self, slo: SloPolicy) -> Self {
         self.slo = Some(slo);
+        self
+    }
+
+    pub fn with_lifecycle(mut self, lifecycle: LifecycleConfig) -> Self {
+        self.lifecycle = Some(lifecycle);
         self
     }
 }

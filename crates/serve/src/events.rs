@@ -23,6 +23,10 @@ pub enum EventKind {
     ReplicaReady { replica: u32 },
     /// Periodic autoscaler evaluation.
     AutoscaleTick,
+    /// A background prewarm-pool slot build (scheduled by the lifecycle
+    /// policy on an autoscaler tick) completes. `tier` is the
+    /// `StartTier` code of the pool gaining the slot.
+    PoolSlotReady { tier: u8 },
     /// Periodic node-liveness check.
     Heartbeat,
     /// Fault injection: the node disappears (crash-stop).

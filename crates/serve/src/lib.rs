@@ -96,6 +96,83 @@ mod tests {
     }
 
     #[test]
+    fn tiered_pools_replace_cold_boots_and_bill_rent() {
+        use chiron_lifecycle::LifecycleConfig;
+        let workload = Workload::step(10.0, 10.0, 300, 3_000);
+
+        let legacy = simulation(ServeConfig::paper_testbed())
+            .run(&workload, 1)
+            .unwrap();
+        let tiered = simulation(
+            ServeConfig::paper_testbed().with_lifecycle(LifecycleConfig::paper_calibrated()),
+        )
+        .run(&workload, 1)
+        .unwrap();
+
+        assert_eq!(tiered.lost, 0);
+        assert!(tiered.scale_ups > 0);
+        // The step's scale-up is absorbed by the pools: some starts come
+        // from the snapshot or zygote tiers, and full cold boots shrink.
+        let tier_starts = tiered.starts_by_tier[1] + tiered.starts_by_tier[2];
+        assert!(
+            tier_starts > 0,
+            "starts_by_tier={:?}",
+            tiered.starts_by_tier
+        );
+        assert!(
+            tiered.starts_by_tier[3] < legacy.starts_by_tier[3],
+            "tiered {:?} vs legacy {:?}",
+            tiered.starts_by_tier,
+            legacy.starts_by_tier
+        );
+        // Legacy runs only ever record warm handovers and cold boots.
+        assert_eq!(legacy.starts_by_tier[1], 0);
+        assert_eq!(legacy.starts_by_tier[2], 0);
+        // Held pool slots pay standing rent, surfaced separately from
+        // replica capacity and folded into the total bill.
+        assert!(tiered.pool_gb_seconds > 0.0);
+        assert!(tiered.pool_rent_usd > 0.0);
+        assert!(tiered.total_cost_usd() > tiered.cost_usd);
+        assert_eq!(legacy.pool_gb_seconds, 0.0);
+        // Start fractions are a distribution over the four tiers.
+        let fractions = tiered.tier_start_fractions();
+        assert!((fractions.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+
+        // Tiered runs stay deterministic: same seed, same bytes.
+        let again = simulation(
+            ServeConfig::paper_testbed().with_lifecycle(LifecycleConfig::paper_calibrated()),
+        )
+        .run(&workload, 1)
+        .unwrap();
+        assert_eq!(tiered.digest(), again.digest());
+        assert_eq!(tiered.records, again.records);
+        assert_eq!(tiered.pool_gb_seconds, again.pool_gb_seconds);
+    }
+
+    #[test]
+    fn replica_seconds_split_busy_idle_and_keepalive_tail() {
+        let report = simulation(ServeConfig::paper_testbed())
+            .run(&Workload::step(10.0, 10.0, 300, 3_000), 1)
+            .unwrap();
+        // The busy/idle split partitions total reserved capacity.
+        assert!(report.busy_replica_seconds > 0.0);
+        assert!(report.idle_replica_seconds > 0.0);
+        let split = report.busy_replica_seconds + report.idle_replica_seconds;
+        assert!(
+            (split - report.replica_seconds).abs() < 1e-6 * report.replica_seconds,
+            "busy {} + idle {} != total {}",
+            report.busy_replica_seconds,
+            report.idle_replica_seconds,
+            report.replica_seconds
+        );
+        // Scaled-up replicas alive at the last completion drain their
+        // keepalive before releasing capacity — billed, not free.
+        assert!(report.scale_ups > 0);
+        assert!(report.keepalive_tail_seconds > 0.0);
+        assert!(report.replica_seconds > report.busy_replica_seconds);
+    }
+
+    #[test]
     fn node_kill_loses_no_accepted_request() {
         for router in RouterPolicy::ALL {
             let config = ServeConfig::paper_testbed().with_router(router);

@@ -21,9 +21,13 @@ pub struct RequestRecord {
     pub replica: u32,
     /// Workload phase the arrival fell in.
     pub phase: u16,
-    /// Served by a replica whose on-path cold start this request's burst
-    /// triggered (first request of a cold-started replica).
+    /// Served by a replica whose on-path start window this request's
+    /// burst triggered (first request of a replica that paid a startup
+    /// latency — a full cold boot, a snapshot restore, or a zygote fork).
     pub cold_start: bool,
+    /// `StartTier` code of the serving replica (0 warm, 1 snapshot,
+    /// 2 zygote, 3 cold boot). Legacy runs only ever record 0 and 3.
+    pub tier: u8,
     /// Times the request went back to a queue after its replica died.
     pub requeues: u16,
 }
@@ -75,12 +79,31 @@ pub struct ServeReport {
     pub scale_ups: u32,
     pub scale_downs: u32,
     pub replicas_failed: u32,
+    /// Replica starts by `StartTier` code (warm handover, snapshot
+    /// restore, zygote fork, cold boot) — every `ReplicaSpawn`, baseline
+    /// included.
+    pub starts_by_tier: [u32; 4],
     /// Replica-seconds of reserved capacity, and its dollar value under
-    /// the paper's GB-s / GHz-s billing model.
+    /// the paper's GB-s / GHz-s billing model. Includes the keepalive
+    /// drain tail: an autoscaled replica idle at the last completion
+    /// still occupies its nodes until its keepalive expires, and those
+    /// memory-seconds are billed like any others.
     pub replica_seconds: f64,
     pub gb_seconds: f64,
     pub ghz_seconds: f64,
     pub cost_usd: f64,
+    /// The busy/idle split of `replica_seconds`: time actually serving
+    /// requests vs held reserved (startup, keepalive, queue droughts).
+    pub busy_replica_seconds: f64,
+    pub idle_replica_seconds: f64,
+    /// The portion of `replica_seconds` charged after the last
+    /// completion, while keepalives drained.
+    pub keepalive_tail_seconds: f64,
+    /// Standing rent of the prewarm pools (held snapshot slots, zygote
+    /// fork slots and the shared zygote image), exact to the event
+    /// granularity. Zero for legacy (non-lifecycle) runs.
+    pub pool_gb_seconds: f64,
+    pub pool_rent_usd: f64,
     /// `(time ns, usable replicas)` after every scaling/failure change.
     pub replica_timeline: Vec<(u64, u32)>,
     /// SLO compliance and burn-rate alert timeline; `None` when the run
@@ -119,7 +142,10 @@ impl ServeReport {
             eat(&mut hash, u64::from(r.replica));
             eat(
                 &mut hash,
-                u64::from(r.phase) << 32 | u64::from(r.cold_start) << 16 | u64::from(r.requeues),
+                u64::from(r.phase) << 32
+                    | u64::from(r.tier) << 24
+                    | u64::from(r.cold_start) << 16
+                    | u64::from(r.requeues),
             );
         }
         eat(&mut hash, self.accepted);
@@ -133,6 +159,23 @@ impl ServeReport {
             return 0.0;
         }
         self.cold_starts as f64 / self.completed as f64
+    }
+
+    /// Replica-start fractions per tier, in `StartTier` code order
+    /// (all-zero when the run never started a replica).
+    pub fn tier_start_fractions(&self) -> [f64; 4] {
+        let total: u32 = self.starts_by_tier.iter().sum();
+        if total == 0 {
+            return [0.0; 4];
+        }
+        self.starts_by_tier.map(|n| f64::from(n) / f64::from(total))
+    }
+
+    /// Full serving bill: reserved replica capacity plus the prewarm
+    /// pools' standing rent. This is the cost axis the lifecycle figure
+    /// compares tier mixes on.
+    pub fn total_cost_usd(&self) -> f64 {
+        self.cost_usd + self.pool_rent_usd
     }
 
     /// p99 sojourn over the tail of one phase: completed requests of the
@@ -168,6 +211,7 @@ mod tests {
             replica: 0,
             phase,
             cold_start: false,
+            tier: 0,
             requeues: 0,
         }
     }
@@ -196,10 +240,16 @@ mod tests {
             scale_ups: 0,
             scale_downs: 0,
             replicas_failed: 0,
+            starts_by_tier: [0; 4],
             replica_seconds: 0.0,
             gb_seconds: 0.0,
             ghz_seconds: 0.0,
             cost_usd: 0.0,
+            busy_replica_seconds: 0.0,
+            idle_replica_seconds: 0.0,
+            keepalive_tail_seconds: 0.0,
+            pool_gb_seconds: 0.0,
+            pool_rent_usd: 0.0,
             replica_timeline: Vec::new(),
             slo: None,
             records,
@@ -215,6 +265,11 @@ mod tests {
         assert_ne!(a.digest(), c.digest());
         let d = report(vec![record(1, 10, 0), record(2, 21, 0)]);
         assert_ne!(a.digest(), d.digest());
+        // The serving tier is part of the observable outcome.
+        let mut tiered = record(1, 10, 0);
+        tiered.tier = 2;
+        let e = report(vec![tiered, record(2, 20, 0)]);
+        assert_ne!(a.digest(), e.digest());
     }
 
     #[test]

@@ -13,7 +13,13 @@
 //!
 //! Replicas spawned by the autoscaler pay the 167 ms sandbox cold start
 //! unless the prewarm pool has stock; the `min_replicas` baseline is
-//! provisioned at deployment time, off the serving path.
+//! provisioned at deployment time, off the serving path. With
+//! `ServeConfig::lifecycle` set, the scalar prewarm pool is replaced by
+//! the tiered start ladder of `chiron-lifecycle`: scale-ups acquire from
+//! the cheapest pooled tier (snapshot restore, zygote fork) and fall
+//! through to the cold boot, pool slot builds ride the autoscaler tick,
+//! and the pools' standing rent lands on the bill next to replica
+//! capacity.
 //!
 //! Node kills are crash-stop: completions from a failed node are lost,
 //! and the control plane only learns of the failure after
@@ -32,6 +38,7 @@ use crate::router::{Router, Shard};
 use chiron_deploy::{
     placement_overhead, scheduling_architectures, ClusterState, NodeId, Placement, PlacementError,
 };
+use chiron_lifecycle::{PoolAction, PrewarmPools, StartTier, TierTable};
 use chiron_metrics::{plan_resources, ArrivalGen, StreamingHistogram};
 use chiron_model::{DeploymentPlan, PlanError, SimDuration, SimTime, Workflow};
 use chiron_obs::{
@@ -167,8 +174,15 @@ struct Replica {
     /// overheads (before jitter).
     service: SimDuration,
     state: ReplicaState,
-    /// Whether this replica's start paid an on-path cold start.
-    cold_started: bool,
+    /// How this replica's sandboxes came up.
+    start_tier: StartTier,
+    /// On-path startup latency the start paid (zero for warm handovers).
+    start_latency: SimDuration,
+    /// Deployment-time baseline (`min_replicas`): held for the whole
+    /// run, so no keepalive drain tail applies.
+    baseline: bool,
+    /// Nanoseconds spent serving requests (for the busy/idle split).
+    busy_ns: u64,
     served: u64,
     started_at: SimTime,
     ended_at: Option<SimTime>,
@@ -220,6 +234,11 @@ struct Run<'a> {
     completed: u64,
     dispatch_seq: u64,
     prewarm_stock: u32,
+    /// Tiered start pools; `None` = legacy scalar-prewarm behaviour.
+    pools: Option<PrewarmPools>,
+    /// Scratch: slot builds scheduled by one pool tick.
+    pool_actions_scratch: Vec<PoolAction>,
+    starts_by_tier: [u32; 4],
     /// Kills whose detection is still pending.
     undetected: Vec<(SimTime, NodeId)>,
     deadlocked: bool,
@@ -274,6 +293,21 @@ impl<'a> Run<'a> {
             RouterPolicy::PartitionedByNode => decentral,
         };
 
+        // The tier pools price slots off the plan's resident footprint;
+        // derived once, the table is shared by billing and the planner.
+        let pools = sim.config.lifecycle.as_ref().map(|cfg| {
+            let usage = plan_resources(&sim.plan, &sim.workflow, &sim.config.platform.costs);
+            let table = TierTable::derive(
+                &sim.config.platform.costs,
+                &cfg.costs,
+                usage.memory_bytes,
+                sim.plan.sandbox_count() as u32,
+                cfg.snapshot_capacity,
+                cfg.zygote_capacity,
+            );
+            PrewarmPools::new(cfg.clone(), table, SimTime::ZERO)
+        });
+
         let nodes = sim.config.cluster.nodes as usize;
         let mut phase_ends = Vec::with_capacity(workload.phases.len());
         let mut cum = 0u64;
@@ -309,6 +343,9 @@ impl<'a> Run<'a> {
             completed: 0,
             dispatch_seq: 0,
             prewarm_stock: sim.config.replicas.prewarm_pool,
+            pools,
+            pool_actions_scratch: Vec::new(),
+            starts_by_tier: [0; 4],
             // Kills aimed at node ids outside the cluster have nothing to
             // hit; drop them rather than index past the node tables.
             undetected: sim
@@ -343,17 +380,20 @@ impl<'a> Run<'a> {
             let placement =
                 run.cluster
                     .place_replica(&sim.plan, &sim.workflow, sim.config.placement)?;
-            run.push_replica(placement, SimTime::ZERO, false);
+            run.push_replica(placement, SimTime::ZERO, StartTier::Warm, SimDuration::ZERO);
             let id = run.replicas.len() - 1;
             run.replicas[id].state = ReplicaState::Idle {
                 since: SimTime::ZERO,
             };
+            run.replicas[id].baseline = true;
+            run.starts_by_tier[StartTier::Warm.code() as usize] += 1;
             emit(
                 0,
                 TraceEventKind::ReplicaSpawn {
                     replica: id as u32,
                     node: run.replicas[id].node as u32,
                     cold: false,
+                    tier: StartTier::Warm.code(),
                 },
             );
             emit(0, TraceEventKind::ReplicaReady { replica: id as u32 });
@@ -397,6 +437,11 @@ impl<'a> Run<'a> {
                     }
                 }
                 EventKind::AutoscaleTick => self.on_tick(now),
+                EventKind::PoolSlotReady { tier } => {
+                    if let Some(pools) = &mut self.pools {
+                        pools.slot_ready(StartTier::from_code(tier), now);
+                    }
+                }
                 EventKind::Heartbeat => self.on_heartbeat(now),
                 EventKind::NodeKill { node } => {
                     emit(now.as_nanos(), TraceEventKind::NodeKill { node: node.0 });
@@ -412,6 +457,9 @@ impl<'a> Run<'a> {
     fn on_arrival(&mut self, now: SimTime) {
         let id = self.arrived;
         self.arrived += 1;
+        if let Some(pools) = &mut self.pools {
+            pools.observe_arrival();
+        }
         let phase = self.phase_of(id);
         self.records.push(RequestRecord {
             arrival_ns: now.as_nanos(),
@@ -420,6 +468,7 @@ impl<'a> Run<'a> {
             replica: 0,
             phase: phase as u16,
             cold_start: false,
+            tier: 0,
             requeues: 0,
         });
         emit(
@@ -502,6 +551,9 @@ impl<'a> Run<'a> {
 
         let rep = &mut self.replicas[replica as usize];
         rep.served += 1;
+        if let Some(d) = self.records[request as usize].dispatched_ns {
+            rep.busy_ns += now.as_nanos().saturating_sub(d);
+        }
         rep.state = ReplicaState::Idle { since: now };
         let node = rep.node;
         self.refresh_node_usable();
@@ -530,6 +582,23 @@ impl<'a> Run<'a> {
         }
         self.retire_idle(now);
         self.kick(now);
+        // The pool policy rides the same tick: re-forecast, restock
+        // toward target (slot builds become future PoolSlotReady
+        // events), evict surplus rent.
+        if let Some(pools) = &mut self.pools {
+            let mut actions = std::mem::take(&mut self.pool_actions_scratch);
+            actions.clear();
+            pools.on_tick(now, self.sim.config.autoscaler.tick, &mut actions);
+            for a in &actions {
+                self.events.push(
+                    now + a.ready_in,
+                    EventKind::PoolSlotReady {
+                        tier: a.tier.code(),
+                    },
+                );
+            }
+            self.pool_actions_scratch = actions;
+        }
         self.events.push(
             now + self.sim.config.autoscaler.tick,
             EventKind::AutoscaleTick,
@@ -653,27 +722,40 @@ impl<'a> Run<'a> {
             self.sim.config.placement,
         ) {
             Ok(placement) => {
-                let prewarmed = self.prewarm_stock > 0;
-                if prewarmed {
-                    self.prewarm_stock -= 1;
-                }
-                self.push_replica(placement, now, !prewarmed);
+                // Tiered pools pick the cheapest start with stock; the
+                // legacy path keeps the scalar prewarm semantics (zero-
+                // latency handover while stock lasts, then a cold boot).
+                let (tier, latency) = match &mut self.pools {
+                    Some(pools) => {
+                        let tier = pools.acquire(now);
+                        (tier, pools.table().startup_of(tier))
+                    }
+                    None => {
+                        if self.prewarm_stock > 0 {
+                            self.prewarm_stock -= 1;
+                            (StartTier::Warm, SimDuration::ZERO)
+                        } else {
+                            (
+                                StartTier::ColdBoot,
+                                self.sim.config.platform.costs.sandbox_cold_start,
+                            )
+                        }
+                    }
+                };
+                self.push_replica(placement, now, tier, latency);
                 let id = (self.replicas.len() - 1) as u32;
+                self.starts_by_tier[tier.code() as usize] += 1;
                 emit(
                     now.as_nanos(),
                     TraceEventKind::ReplicaSpawn {
                         replica: id,
                         node: self.replicas[id as usize].node as u32,
-                        cold: !prewarmed,
+                        cold: latency > SimDuration::ZERO,
+                        tier: tier.code(),
                     },
                 );
-                let ready_at = if prewarmed {
-                    now
-                } else {
-                    now + self.sim.config.platform.costs.sandbox_cold_start
-                };
                 self.events
-                    .push(ready_at, EventKind::ReplicaReady { replica: id });
+                    .push(now + latency, EventKind::ReplicaReady { replica: id });
                 self.scale_ups += 1;
                 self.push_timeline(now);
                 true
@@ -688,7 +770,13 @@ impl<'a> Run<'a> {
         }
     }
 
-    fn push_replica(&mut self, placement: Placement, now: SimTime, cold: bool) {
+    fn push_replica(
+        &mut self,
+        placement: Placement,
+        now: SimTime,
+        tier: StartTier,
+        latency: SimDuration,
+    ) {
         let primary = self.sim.plan.stages[0].wraps[0].sandbox;
         let node = placement.node_of(primary).expect("placed plan").0 as usize;
         let service = self.service_base
@@ -699,7 +787,10 @@ impl<'a> Run<'a> {
             node,
             service,
             state: ReplicaState::Starting,
-            cold_started: cold,
+            start_tier: tier,
+            start_latency: latency,
+            baseline: false,
+            busy_ns: 0,
             served: 0,
             started_at: now,
             ended_at: None,
@@ -712,17 +803,19 @@ impl<'a> Run<'a> {
         let u: f64 = self.rng.random();
         let mult = 1.0 + self.sim.config.service_jitter * (2.0 * u - 1.0);
         let rep = &mut self.replicas[replica as usize];
-        let cold = rep.cold_started && rep.served == 0;
+        let cold = rep.start_latency > SimDuration::ZERO && rep.served == 0;
         rep.state = ReplicaState::Busy {
             request,
             dispatch_seq: seq,
         };
         let service = rep.service.mul_f64(mult);
         let node = rep.node as u32;
+        let tier = rep.start_tier;
         let rec = &mut self.records[request as usize];
         rec.dispatched_ns = Some(now.as_nanos());
         rec.replica = replica;
         rec.cold_start = cold;
+        rec.tier = tier.code();
         emit(
             now.as_nanos(),
             TraceEventKind::Dispatch {
@@ -851,23 +944,46 @@ impl<'a> Run<'a> {
         self.timeline.push((now.as_nanos(), usable));
     }
 
-    fn into_report(self) -> ServeReport {
+    fn into_report(mut self) -> ServeReport {
         let end = self.last_completion;
+        let keepalive = self.sim.config.replicas.keepalive;
         let usage = plan_resources(
             &self.sim.plan,
             &self.sim.workflow,
             &self.sim.config.platform.costs,
         );
         let mut replica_seconds = 0.0f64;
+        let mut busy_replica_seconds = 0.0f64;
+        let mut keepalive_tail_seconds = 0.0f64;
         for r in &self.replicas {
             let until = r
                 .ended_at
                 .unwrap_or(end)
                 .as_nanos()
                 .max(r.started_at.as_nanos());
+            // Keepalive drain tail: an autoscaled replica still alive at
+            // the last completion keeps occupying its nodes until its
+            // keepalive expires — capacity that used to go unbilled. The
+            // deployment-time baseline is excluded: it is held
+            // indefinitely by configuration, not by keepalive.
+            let tail = if r.ended_at.is_none() && !r.baseline {
+                match r.state {
+                    ReplicaState::Idle { since } => {
+                        let expiry = (since + keepalive).as_nanos();
+                        SimDuration::from_nanos(expiry.saturating_sub(until)).as_secs_f64()
+                    }
+                    ReplicaState::Starting | ReplicaState::Busy { .. } => keepalive.as_secs_f64(),
+                    ReplicaState::Dead | ReplicaState::Retired => 0.0,
+                }
+            } else {
+                0.0
+            };
+            keepalive_tail_seconds += tail;
             replica_seconds +=
-                SimDuration::from_nanos(until - r.started_at.as_nanos()).as_secs_f64();
+                SimDuration::from_nanos(until - r.started_at.as_nanos()).as_secs_f64() + tail;
+            busy_replica_seconds += r.busy_ns as f64 / 1e9;
         }
+        let idle_replica_seconds = (replica_seconds - busy_replica_seconds).max(0.0);
         let gb = usage.memory_bytes as f64 / (1024.0 * 1024.0 * 1024.0);
         let gb_seconds = replica_seconds * gb;
         let ghz_seconds =
@@ -875,6 +991,14 @@ impl<'a> Run<'a> {
         let billing = &self.sim.config.platform.billing;
         let cost_usd =
             gb_seconds * billing.usd_per_gb_second + ghz_seconds * billing.usd_per_ghz_second;
+        let (pool_gb_seconds, pool_rent_usd) = match &mut self.pools {
+            Some(pools) => {
+                pools.finish(end);
+                let gbs = pools.rent_gb_seconds();
+                (gbs, gbs * billing.usd_per_gb_second)
+            }
+            None => (0.0, 0.0),
+        };
 
         let phases = self
             .workload
@@ -908,10 +1032,16 @@ impl<'a> Run<'a> {
             scale_ups: self.scale_ups,
             scale_downs: self.scale_downs,
             replicas_failed: self.replicas_failed,
+            starts_by_tier: self.starts_by_tier,
             replica_seconds,
             gb_seconds,
             ghz_seconds,
             cost_usd,
+            busy_replica_seconds,
+            idle_replica_seconds,
+            keepalive_tail_seconds,
+            pool_gb_seconds,
+            pool_rent_usd,
             replica_timeline: self.timeline,
             slo: self.slo.map(BurnRateMonitor::into_summary),
             records: self.records,
