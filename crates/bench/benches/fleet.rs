@@ -1,0 +1,49 @@
+//! Fleet-federation macrobenchmark: a 16-cluster (128-node) federated
+//! serving plane absorbing ~1M simulated requests per iteration, run
+//! single-shard and sharded-with-workers so the cross-shard epoch
+//! barrier's overhead is visible next to the plain event loop.
+
+use chiron::{Chiron, FleetConfig, FleetSimulation, FleetWorkload, PgpMode};
+use chiron_model::apps;
+use chiron_model::SimDuration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const CLUSTERS: u32 = 16;
+const RPS: f64 = 2_400.0;
+const DURATION_MS: u64 = 420_000; // ~1.008M requests fleet-wide
+
+fn bench_fleet_million(c: &mut Criterion) {
+    let chiron = Chiron::default();
+    let wf = apps::finra(12);
+    let deployment = chiron.deploy(&wf, None, PgpMode::NativeThread);
+    let sim = FleetSimulation::new(
+        wf,
+        deployment.plan().clone(),
+        FleetConfig::paper_fleet(CLUSTERS),
+    )
+    .expect("fleet construction");
+    let workload = FleetWorkload::steady(RPS, SimDuration::from_millis(DURATION_MS));
+
+    let mut group = c.benchmark_group("fleet_million_requests");
+    group.sample_size(2);
+    for (shards, workers) in [(1usize, 1usize), (4, 1), (4, 4)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("shards{shards}_workers{workers}")),
+            &workload,
+            |b, wl| {
+                b.iter(|| {
+                    let report = sim
+                        .run_sharded(black_box(wl), 1, shards, workers)
+                        .expect("fleet run");
+                    assert_eq!(report.lost, 0);
+                    black_box(report.digest())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(fleet, bench_fleet_million);
+criterion_main!(fleet);

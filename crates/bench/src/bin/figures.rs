@@ -60,6 +60,7 @@ fn main() {
             "serve",
             "lifecycle",
             "perf",
+            "fleet",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -88,6 +89,14 @@ fn main() {
                 match std::fs::write("BENCH_PGP.json", &json) {
                     Ok(()) => eprintln!("wrote BENCH_PGP.json"),
                     Err(e) => eprintln!("could not write BENCH_PGP.json: {e}"),
+                }
+                json
+            }
+            "fleet" => {
+                let json = bench::fleet_figure(workers);
+                match std::fs::write("BENCH_FLEET.json", &json) {
+                    Ok(()) => eprintln!("wrote BENCH_FLEET.json"),
+                    Err(e) => eprintln!("could not write BENCH_FLEET.json: {e}"),
                 }
                 json
             }

@@ -12,6 +12,7 @@ pub mod fig12;
 pub mod figs_eval;
 pub mod figs_motivation;
 pub mod figs_serve;
+pub mod fleet;
 pub mod lifecycle;
 pub mod obs;
 pub mod perf;
@@ -23,6 +24,7 @@ pub use fig12::fig12;
 pub use figs_eval::{fig13, fig14, fig15, fig16, fig17, fig18, fig19};
 pub use figs_motivation::{fig3, fig4, fig5, fig6, fig7, fig8, table1};
 pub use figs_serve::serve_figure;
+pub use fleet::fleet_figure;
 pub use lifecycle::{lifecycle_figure, LifecycleReport};
 pub use obs::{obs_eval, ObsReport};
 pub use perf::perf;

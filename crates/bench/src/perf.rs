@@ -17,7 +17,7 @@ use chiron::model::synthetic::{synthetic, SyntheticSpec};
 use chiron::model::{apps, Workflow};
 use chiron::serving::{ServeConfig, ServeSimulation, Workload};
 use chiron::{Chiron, PgpConfig, PgpMode, PgpScheduler};
-use chiron_predict::PredictionCache;
+use chiron_predict::{distinct_profile_classes, PredictionCache};
 use chiron_profiler::Profiler;
 use std::time::Instant;
 
@@ -49,22 +49,31 @@ fn scheduler_entry(label: &str, wf: &Workflow) -> String {
     let (_, parallel_ms) = timed(|| sched.schedule_parallel(wf, &profile, &config, 4));
 
     // Mirror the scheduler's work-size heuristic so the row records
-    // whether the 4-worker run actually fanned out or fell back inline.
+    // which path the 4-worker run actually took: the gate sizes work on
+    // distinct behaviours (the population the prediction cache evaluates
+    // once each), not raw function count.
     let max_n = wf.max_parallelism().min(config.max_process_search).max(1);
-    let fallback = wf.function_count() * max_n < chiron::PARALLEL_WORK_THRESHOLD;
+    let classes = distinct_profile_classes(&profile);
+    let chosen_path = if classes * max_n < chiron::PARALLEL_WORK_THRESHOLD {
+        "sequential-memoised"
+    } else {
+        "parallel"
+    };
 
     format!(
         concat!(
             "{{\"workflow\": \"{}\", \"functions\": {}, ",
+            "\"profile_classes\": {}, ",
             "\"reference_ms\": {}, \"memoised_ms\": {}, ",
             "\"memoised_warm_ms\": {}, \"parallel4_ms\": {}, ",
             "\"speedup_memoised\": {}, \"speedup_parallel4\": {}, ",
             "\"cache_hit_rate\": {}, \"cache_entries\": {}, ",
-            "\"parallel_threshold\": {}, \"parallel_fallback\": {}, ",
+            "\"parallel_threshold\": {}, \"chosen_path\": \"{}\", ",
             "\"plans_identical\": {}}}"
         ),
         label,
         wf.function_count(),
+        classes,
         num(reference_ms),
         num(memoised_ms),
         num(warm_ms),
@@ -74,7 +83,7 @@ fn scheduler_entry(label: &str, wf: &Workflow) -> String {
         num(stats.hit_rate()),
         stats.entries,
         chiron::PARALLEL_WORK_THRESHOLD,
-        fallback,
+        chosen_path,
         memoised.plan == reference.plan,
     )
 }

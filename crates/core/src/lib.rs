@@ -45,5 +45,8 @@ pub use chiron_predict as predict;
 pub use chiron_profiler as profiler;
 pub use chiron_runtime as runtime;
 pub use chiron_serve as serving;
-pub use chiron_serve::{FaultPlan, ServeConfig, ServeReport, Workload};
+pub use chiron_serve::{
+    FaultPlan, FleetConfig, FleetPhase, FleetReport, FleetSimulation, FleetWorkload, ServeConfig,
+    ServeReport, Workload,
+};
 pub use chiron_store as store;

@@ -11,6 +11,7 @@
 pub mod cost;
 pub mod loadgen;
 pub mod resources;
+pub mod rng;
 pub mod stats;
 pub mod throughput;
 
@@ -19,5 +20,6 @@ pub use loadgen::{
     drive_load, drive_load_with, saturation_rps, ArrivalGen, ArrivalProcess, LoadReport,
 };
 pub use resources::{plan_resources, ResourceUsage};
+pub use rng::FastRng;
 pub use stats::{mean_abs_error, prediction_error, LatencySamples, StreamingHistogram};
 pub use throughput::{node_throughput, Bottleneck, ThroughputReport};

@@ -8,10 +8,9 @@
 //! finds the highest arrival rate whose sojourn time stays bounded — which
 //! must agree with the analytic figure.
 
+use crate::rng::FastRng;
 use crate::stats::LatencySamples;
 use chiron_model::SimDuration;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -44,13 +43,70 @@ pub enum ArrivalProcess {
 #[derive(Debug, Clone)]
 pub struct ArrivalGen {
     process: ArrivalProcess,
-    rng: StdRng,
+    rng: FastRng,
     /// Accumulated simulated time since the stream started — the phase
     /// of the diurnal sinusoid. Unused by the homogeneous processes.
     elapsed: SimDuration,
 }
 
+/// Fast natural log for the inverse-CDF exponential draw — the single
+/// transcendental on the arrival hot path (one call per simulated
+/// request). Splits `x = m·2^e` with `m ∈ [√½, √2)` and sums the atanh
+/// series in `t = (m−1)/(m+1)` (|t| ≤ 0.172, so the truncated `t¹¹` term
+/// is < 1e-10 relative): ~3× cheaper than libm's `ln` and exactly as
+/// deterministic. Only valid for normal positive `x`, which `1 − u`,
+/// `u ∈ [0,1)` from a 53-bit uniform, always is.
+fn fast_ln(x: f64) -> f64 {
+    debug_assert!(x > 0.0 && x.is_normal());
+    let bits = x.to_bits();
+    let mut e = ((bits >> 52) as i32) - 1023;
+    let mut m = f64::from_bits((bits & 0x000f_ffff_ffff_ffff) | 0x3ff0_0000_0000_0000);
+    if m > std::f64::consts::SQRT_2 {
+        m *= 0.5;
+        e += 1;
+    }
+    let t = (m - 1.0) / (m + 1.0);
+    let t2 = t * t;
+    let series = 1.0
+        + t2 * (1.0 / 3.0
+            + t2 * (1.0 / 5.0 + t2 * (1.0 / 7.0 + t2 * (1.0 / 9.0 + t2 * (1.0 / 11.0)))));
+    2.0 * t * series + f64::from(e) * std::f64::consts::LN_2
+}
+
+/// SplitMix64 finaliser — decorrelates substream seeds derived from a
+/// parent seed and a stream index.
+fn split_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 impl ArrivalProcess {
+    /// Derives the `index`-th substream of this process: the same process
+    /// shape with a seed split from the parent's, so a fleet of clusters
+    /// can each draw an independent arrival stream that is (a) fully
+    /// determined by the parent `(seed, index)` pair and (b) identical no
+    /// matter how clusters are grouped into shards or threads. `Uniform`
+    /// has no randomness and splits to itself.
+    pub fn substream(self, index: u32) -> ArrivalProcess {
+        match self {
+            ArrivalProcess::Uniform => ArrivalProcess::Uniform,
+            ArrivalProcess::Poisson { seed } => ArrivalProcess::Poisson {
+                seed: split_seed(seed, u64::from(index)),
+            },
+            ArrivalProcess::Diurnal {
+                period_ms,
+                amplitude_pct,
+                seed,
+            } => ArrivalProcess::Diurnal {
+                period_ms,
+                amplitude_pct,
+                seed: split_seed(seed, u64::from(index)),
+            },
+        }
+    }
+
     pub fn gaps(self) -> ArrivalGen {
         let seed = match self {
             ArrivalProcess::Uniform => 0,
@@ -58,7 +114,7 @@ impl ArrivalProcess {
         };
         ArrivalGen {
             process: self,
-            rng: StdRng::seed_from_u64(seed),
+            rng: FastRng::seed_from_u64(seed),
             elapsed: SimDuration::ZERO,
         }
     }
@@ -72,9 +128,11 @@ impl ArrivalGen {
             ArrivalProcess::Uniform => SimDuration::from_nanos((1e9 / rps).round() as u64),
             ArrivalProcess::Poisson { .. } => {
                 // Inverse-CDF exponential; 1 - u avoids ln(0).
-                let u: f64 = self.rng.random();
-                let secs = -(1.0 - u).ln() / rps;
-                SimDuration::from_nanos((secs * 1e9).round() as u64)
+                let u = self.rng.next_f64();
+                let secs = -fast_ln(1.0 - u) / rps;
+                // Half-up rounding: same as `round()` for positive gaps,
+                // one convert instead of the inlined `round` sequence.
+                SimDuration::from_nanos((secs * 1e9 + 0.5) as u64)
             }
             ArrivalProcess::Diurnal {
                 period_ms,
@@ -93,9 +151,9 @@ impl ArrivalGen {
                 let period = period_ms as f64 / 1e3;
                 let phase = 2.0 * std::f64::consts::PI * self.elapsed.as_secs_f64() / period;
                 let rate = rps * (1.0 + f64::from(amplitude_pct) / 100.0 * phase.sin());
-                let u: f64 = self.rng.random();
-                let secs = -(1.0 - u).ln() / rate;
-                SimDuration::from_nanos((secs * 1e9).round() as u64)
+                let u = self.rng.next_f64();
+                let secs = -fast_ln(1.0 - u) / rate;
+                SimDuration::from_nanos((secs * 1e9 + 0.5) as u64)
             }
         };
         self.elapsed += gap;
@@ -342,6 +400,60 @@ mod tests {
         }
         .gaps()
         .next_gap(10.0);
+    }
+
+    #[test]
+    fn substreams_are_deterministic_and_decorrelated() {
+        let parent = ArrivalProcess::Poisson { seed: 42 };
+        let draw = |p: ArrivalProcess| {
+            let mut g = p.gaps();
+            (0..200).map(|_| g.next_gap(100.0)).collect::<Vec<_>>()
+        };
+        // Same (parent, index) → same stream, regardless of when or where
+        // it is split off.
+        assert_eq!(draw(parent.substream(3)), draw(parent.substream(3)));
+        // Different indices → different streams; index 0 is not the
+        // parent stream either (so "cluster 0" never aliases the fleet
+        // seed).
+        assert_ne!(draw(parent.substream(0)), draw(parent.substream(1)));
+        assert_ne!(draw(parent.substream(0)), draw(parent));
+        // The diurnal shape survives splitting; only the seed moves.
+        let diurnal = ArrivalProcess::Diurnal {
+            period_ms: 5_000,
+            amplitude_pct: 30,
+            seed: 9,
+        };
+        match diurnal.substream(7) {
+            ArrivalProcess::Diurnal {
+                period_ms,
+                amplitude_pct,
+                seed,
+            } => {
+                assert_eq!(period_ms, 5_000);
+                assert_eq!(amplitude_pct, 30);
+                assert_ne!(seed, 9);
+            }
+            other => panic!("substream changed the process shape: {other:?}"),
+        }
+        // Uniform is deterministic already and splits to itself.
+        assert_eq!(
+            ArrivalProcess::Uniform.substream(5),
+            ArrivalProcess::Uniform
+        );
+    }
+
+    #[test]
+    fn fast_ln_matches_libm() {
+        // Sweep (0, 1] — the 1−u domain — plus values above 1 for safety.
+        let mut x = 1e-300f64;
+        while x <= 4.0 {
+            let got = fast_ln(x);
+            let want = x.ln();
+            let tol = want.abs().max(1.0) * 1e-9;
+            assert!((got - want).abs() < tol, "x={x}: {got} vs {want}");
+            x *= 1.37;
+        }
+        assert_eq!(fast_ln(1.0), 0.0);
     }
 
     #[test]

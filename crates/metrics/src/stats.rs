@@ -249,6 +249,31 @@ impl StreamingHistogram {
         self.max()
     }
 
+    /// The largest nanosecond value whose bucket's (inclusive) upper edge
+    /// is still ≤ `target` — i.e. samples ≤ the returned cut share no
+    /// bucket with any sample > `target`.
+    ///
+    /// This reduces threshold questions on a *future* histogram to two
+    /// counters kept online: for samples `v₁..vₙ`,
+    /// `hist.percentile(q) > target` ⟺
+    /// `#{v ≤ cut} < ceil(q·n) && any(v > target)` — the left clause
+    /// finds the quantile's bucket past the cut, the right one accounts
+    /// for the `max_ns` clamp `percentile` applies. Hot per-sample paths
+    /// (the autoscaler's tick window) use this instead of maintaining a
+    /// full histogram they would reset every tick.
+    pub fn threshold_cut(target_ns: u64) -> u64 {
+        let bucket = Self::bucket_of(target_ns);
+        let upper = Self::bucket_upper(bucket);
+        if upper == target_ns {
+            // Exact edge (always the case in the fine sub-2^12 region).
+            target_ns
+        } else {
+            // `bucket` straddles the target; the previous bucket's edge
+            // is the last value entirely at or below it.
+            Self::bucket_upper(bucket - 1)
+        }
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &StreamingHistogram) {
         if other.counts.len() > self.counts.len() {
@@ -412,6 +437,40 @@ mod tests {
         assert_eq!(a.percentile(0.5), whole.percentile(0.5));
         assert_eq!(a.min(), whole.min());
         assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn threshold_cut_counters_match_percentile_breach() {
+        // The counter reduction must agree with the full histogram for
+        // every (sample set, target) pair: breach ⟺ le_cut < rank ∧ over.
+        let targets: Vec<u64> = vec![500, 4_095, 4_096, 5_000, 1_000_000, 500_000_000];
+        let mut x: u64 = 0x9e37_79b9_7f4a_7c15;
+        for round in 0..200 {
+            let mut h = StreamingHistogram::new();
+            let mut vals = Vec::new();
+            let n = 1 + round % 37;
+            for _ in 0..n {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let ns = x % 1_500_000_000;
+                h.record(SimDuration::from_nanos(ns));
+                vals.push(ns);
+            }
+            for &target in &targets {
+                let cut = StreamingHistogram::threshold_cut(target);
+                assert!(cut <= target);
+                let le_cut = vals.iter().filter(|&&v| v <= cut).count() as u64;
+                let over = vals.iter().any(|&v| v > target);
+                let rank = (0.99 * vals.len() as f64).ceil().max(1.0) as u64;
+                let counters = le_cut < rank && over;
+                let full = h.percentile(0.99) > SimDuration::from_nanos(target);
+                assert_eq!(
+                    counters, full,
+                    "round {round} target {target}: counters {counters} vs full {full}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -107,6 +107,7 @@ pub fn serve_trace(trace: &Trace) -> String {
         match e.kind {
             TraceEventKind::Arrival { .. }
             | TraceEventKind::NodeKill { .. }
+            | TraceEventKind::ClusterContext { .. }
             | TraceEventKind::DesBreakdown { .. } => {}
             TraceEventKind::RunContext { workflow, plan } => {
                 push(

@@ -72,6 +72,17 @@ pub enum TraceEventKind {
     /// name and the structural plan digest. Emitted once, at capture
     /// start, by the serving simulator.
     RunContext { workflow: StrId, plan: u64 },
+    /// Tags every following event of a federated serving capture with the
+    /// cluster (shard) that emitted it. Fleet runs give each cluster
+    /// disjoint request/replica/node id bases, so one capture can hold a
+    /// whole fleet's causally-correct traces; this marker maps an id
+    /// range back to its cluster.
+    ClusterContext {
+        cluster: u32,
+        request_base: u64,
+        replica_base: u32,
+        node_base: u32,
+    },
     /// A serving request entered the system.
     Arrival { request: u64, phase: u16 },
     /// The request was put on a queue shard: `-1` the global FIFO, `-2`

@@ -42,8 +42,8 @@ use chiron_model::plan::{
 use chiron_model::{BillingModel, CostModel, FunctionId, SimDuration, Workflow};
 use chiron_obs::StaticCounter;
 use chiron_predict::{
-    predict_threads, PredictScratch, PredictionCache, Predictor, SegmentCatalog, SimThread,
-    StaggeredSet,
+    distinct_profile_classes, predict_threads, PredictScratch, PredictionCache, Predictor,
+    SegmentCatalog, SimThread, StaggeredSet,
 };
 use chiron_profiler::WorkflowProfile;
 
@@ -56,11 +56,17 @@ static KL_CANDIDATES: StaticCounter = StaticCounter::new("pgp.kl.candidates");
 static KL_PRUNED: StaticCounter = StaticCounter::new("pgp.kl.pruned");
 static KL_APPLIED: StaticCounter = StaticCounter::new("pgp.kl.applied");
 
-/// Work-size threshold (functions × candidate process counts) below which
-/// [`PgpScheduler::schedule_parallel`] delegates to the sequential
-/// memoised rule instead of fanning out worker threads: small searches
-/// finish in microseconds per cell, so thread spawn/join — and the
-/// parallel contract's full-range `n` sweep — cost more than they save.
+/// Work-size threshold — *distinct* function behaviours
+/// ([`chiron_predict::distinct_profile_classes`]) × candidate process
+/// counts — below which [`PgpScheduler::schedule_parallel`] delegates to
+/// the sequential memoised rule instead of fanning out worker threads:
+/// small searches finish in microseconds per cell, so thread spawn/join —
+/// and the parallel contract's full-range `n` sweep — cost more than they
+/// save. Distinct behaviours, not raw function count, because the shared
+/// prediction cache interns each behaviour once and serves every repeat
+/// as a lookup: a 5-class 83-function workflow carries ~5 functions'
+/// worth of work, and sizing the gate on 83 made the parallel search 5×
+/// slower than memoised-sequential (BENCH_PGP `synthetic-32-c5`).
 /// [`PgpScheduler::schedule_parallel_reference`] applies the same
 /// threshold, so the parallel search stays byte-identical to its oracle
 /// at every work size.
@@ -633,11 +639,14 @@ impl PgpScheduler {
         // extra cores (BENCH_PGP showed a 32-function search 3× slower
         // parallel than memoised-sequential), and covering the full `n`
         // range sequentially still costs ~3× the early-stopped search.
-        // Below the work threshold the whole parallel contract is a bad
-        // trade: delegate to the sequential memoised rule, exactly as a
+        // Work is sized on distinct behaviours — the population the
+        // shared cache actually evaluates — so function families that
+        // repeat a few profiles don't fan out threads over cache hits.
+        // Below the threshold the whole parallel contract is a bad trade:
+        // delegate to the sequential memoised rule, exactly as a
         // single-worker call does. The reference oracle applies the same
         // threshold, so the byte-identity guarantee is unchanged.
-        if workflow.function_count() * max_n < PARALLEL_WORK_THRESHOLD {
+        if distinct_profile_classes(profile) * max_n < PARALLEL_WORK_THRESHOLD {
             return self.schedule_with_cache(workflow, profile, config, cache);
         }
         let check = self.predictor.conservative(config.conservative_margin);
@@ -783,7 +792,7 @@ impl PgpScheduler {
             .max_parallelism()
             .min(config.max_process_search)
             .max(1);
-        if workflow.function_count() * max_n < PARALLEL_WORK_THRESHOLD {
+        if distinct_profile_classes(profile) * max_n < PARALLEL_WORK_THRESHOLD {
             return self.schedule_reference(workflow, profile, config);
         }
         let check = self.predictor.conservative(config.conservative_margin);
@@ -1177,6 +1186,7 @@ fn conflicting(workflow: &Workflow, a: FunctionId, b: FunctionId) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use chiron_model::synthetic::{synthetic, SyntheticSpec};
     use chiron_model::{apps, FunctionSpec, LanguageRuntime, Segment};
     use chiron_profiler::Profiler;
 
@@ -1394,10 +1404,32 @@ mod tests {
     #[test]
     fn parallel_search_matches_its_reference() {
         let sched = PgpScheduler::paper_calibrated();
-        // finra(63) sits just above PARALLEL_WORK_THRESHOLD (64 × 32 =
-        // 2048), exercising the fanned-out path; the smaller workflows
-        // exercise the below-threshold delegation.
-        for wf in [apps::finra(20), apps::slapp(), apps::finra(63)] {
+        // The work gate counts distinct behaviours, so repetitive app
+        // families (every finra size) now delegate; exercising the
+        // fanned-out path needs a workflow of genuinely distinct
+        // functions. The all-distinct synthetic below clears the
+        // threshold (asserted, so a generator change can't silently turn
+        // this into a fallback-only test); the smaller workflows exercise
+        // the below-threshold delegation.
+        let big = synthetic(SyntheticSpec {
+            seed: 11,
+            stages: 8,
+            max_parallelism: 32,
+            profile_classes: 0,
+            ..SyntheticSpec::default()
+        });
+        {
+            let prof = profile(&big);
+            let max_n = big
+                .max_parallelism()
+                .min(PgpConfig::performance_first().max_process_search)
+                .max(1);
+            assert!(
+                chiron_predict::distinct_profile_classes(&prof) * max_n >= PARALLEL_WORK_THRESHOLD,
+                "synthetic workflow no longer exercises the parallel path"
+            );
+        }
+        for wf in [apps::finra(20), apps::slapp(), big] {
             let prof = profile(&wf);
             for config in [
                 PgpConfig::performance_first(),

@@ -164,6 +164,32 @@ impl SegmentCatalog {
     }
 }
 
+/// Number of distinct function behaviours in a profile: unique
+/// segment-content hashes, the exact population [`PredictionCache`]
+/// dedupes on. Real fleets deploy families of near-identical functions
+/// (FINRA's rule checks repeat with period 5), so this is often far
+/// below `function_count` — and once the cache interns a behaviour,
+/// every repeat is a lookup, so search *work* scales with this count,
+/// not with raw function count. The parallel scheduler's work-size gate
+/// uses it to avoid fanning out threads over work that is mostly cache
+/// hits.
+pub fn distinct_profile_classes(profile: &WorkflowProfile) -> usize {
+    let mut hashes: Vec<u64> = profile
+        .functions
+        .iter()
+        .map(|f| {
+            let mut h = Fnv1a::new();
+            for seg in f.segments() {
+                hash_segment(&mut h, &seg);
+            }
+            h.finish()
+        })
+        .collect();
+    hashes.sort_unstable();
+    hashes.dedup();
+    hashes.len()
+}
+
 /// [`ThreadSource`] for the scheduler's canonical process shape: the set's
 /// functions started `spacing` apart (thread clone cost), all offset by
 /// `base` (isolation startup + input read, zero in the KL objective), with

@@ -50,17 +50,33 @@ impl AutoscalerConfig {
 }
 
 /// Per-run autoscaler state: the sliding (per-tick) latency window.
+///
+/// The window only ever answers one question — "is the windowed p99 over
+/// the target?" — so instead of a full histogram (whose bucket array
+/// would be rebuilt every tick on the hot path) it keeps three scalars:
+/// the sample count, the count at or below [`StreamingHistogram::threshold_cut`]
+/// of the target, and whether any sample strictly exceeded the target.
+/// `p99 > target` ⟺ `le_cut < ceil(0.99·n) ∧ over`, exactly matching the
+/// histogram's bucketed percentile (see `threshold_cut`'s docs).
 #[derive(Debug, Clone)]
 pub struct Autoscaler {
     config: AutoscalerConfig,
-    window: StreamingHistogram,
+    /// Largest sojourn (ns) still entirely below the target's bucket edge.
+    cut_ns: u64,
+    window_total: u64,
+    window_le_cut: u64,
+    window_over: bool,
 }
 
 impl Autoscaler {
     pub fn new(config: AutoscalerConfig) -> Self {
+        let cut_ns = StreamingHistogram::threshold_cut(config.p99_target.as_nanos());
         Autoscaler {
             config,
-            window: StreamingHistogram::new(),
+            cut_ns,
+            window_total: 0,
+            window_le_cut: 0,
+            window_over: false,
         }
     }
 
@@ -69,16 +85,23 @@ impl Autoscaler {
     }
 
     /// Feeds one completed request's sojourn into the current window.
+    #[inline]
     pub fn observe(&mut self, sojourn: SimDuration) {
-        self.window.record(sojourn);
+        let ns = sojourn.as_nanos();
+        self.window_total += 1;
+        self.window_le_cut += u64::from(ns <= self.cut_ns);
+        self.window_over |= ns > self.config.p99_target.as_nanos();
     }
 
     /// Tick decision: how many replicas to add given the backlog and the
     /// number of usable replicas (live + still cold-starting). Resets the
     /// latency window.
     pub fn replicas_to_add(&mut self, queued: usize, usable: u32) -> u32 {
-        let window = std::mem::take(&mut self.window);
-        let p99_breach = !window.is_empty() && window.percentile(0.99) > self.config.p99_target;
+        let rank = (0.99 * self.window_total as f64).ceil().max(1.0) as u64;
+        let p99_breach = self.window_total > 0 && self.window_le_cut < rank && self.window_over;
+        self.window_total = 0;
+        self.window_le_cut = 0;
+        self.window_over = false;
         let backlog_allowance = self.config.target_queue_per_replica * f64::from(usable.max(1));
         let backlog_breach = queued as f64 > backlog_allowance;
         if !backlog_breach && !p99_breach {

@@ -1,0 +1,470 @@
+//! Sharded multi-cluster serving: a federation of per-cluster event
+//! loops under one deterministic epoch-barrier driver.
+//!
+//! ## Architecture
+//!
+//! A fleet is `clusters` independent copies of the single-cluster
+//! simulation ([`crate::sim`]), each with its own router, autoscaler and
+//! failure detector. Above them sits the **federation router**: it admits
+//! the fleet-wide request stream by splitting it into per-cluster Poisson
+//! substreams ([`chiron_metrics::ArrivalProcess::substream`]), sets each
+//! cluster's admission rate from gossiped load, and moves queued work
+//! from saturated clusters to drained peers (spillover).
+//!
+//! ## Determinism
+//!
+//! Time advances in fixed *epochs*. Within an epoch every cluster runs
+//! its own event loop independently — clusters exchange nothing — so any
+//! grouping of clusters into shards, executed by any number of worker
+//! threads, replays the exact same per-cluster event sequences. At each
+//! barrier a single-threaded coordinator walks the clusters **in cluster
+//! order** and performs every cross-cluster action: it inspects queue
+//! depths, sheds overload through [`Run::spill_excess`], schedules the
+//! shed requests into receivers at `barrier + forward_latency`
+//! ([`Run::inject_forwarded`]), and gossips next-epoch admission rates
+//! ([`Run::set_rate`]). Because all cross-shard communication happens in
+//! this deterministic sequential step, the fleet report is byte-identical
+//! for every `(shards, workers)` choice — the proptest in
+//! `chiron-bench/tests/fleet_determinism.rs` pins this.
+//!
+//! Spillover moves *counts*, not identities: every request of a workflow
+//! is identical, so a saturated cluster pops its newest queued requests
+//! (LIFO — the oldest keep their position and their latency), marks them
+//! `forwarded`, and the receiver admits the same number as fresh
+//! arrivals after the forwarding latency. No accepted request is ever
+//! dropped: `fleet.lost == 0` unless a cluster deadlocks.
+
+use crate::config::{ServeConfig, TrafficPhase, Workload};
+use crate::report::{FleetReport, ServeReport};
+use crate::sim::{Run, ServeError, ServeSimulation};
+use chiron_metrics::ArrivalProcess;
+use chiron_model::{DeploymentPlan, SimDuration, SimTime, Workflow};
+use chiron_runtime::VirtualPlatform;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// SplitMix64 finaliser: decorrelated per-cluster seeds from the fleet
+/// seed (the same construction the arrival substreams use).
+fn split_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Fleet topology and federation policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// Number of clusters; each is one full [`ServeConfig`] worth of
+    /// nodes, router, autoscaler and failure detection.
+    pub clusters: u32,
+    /// Per-cluster configuration (all clusters are identical; locality
+    /// weights express heterogeneous demand instead).
+    pub cluster: ServeConfig,
+    /// Barrier period of the federation driver. Within an epoch clusters
+    /// run independently; spillover and rate gossip happen only at
+    /// barriers, so this bounds the staleness of federation decisions.
+    pub epoch: SimDuration,
+    /// Cross-cluster forwarding latency: a spilled request re-enters a
+    /// peer this long after the barrier that shed it.
+    pub forward_latency: SimDuration,
+    /// Queue depth above which a cluster sheds work at a barrier (and at
+    /// or below which it accepts spillover).
+    pub spill_threshold: u32,
+    /// Relative admission weight of each cluster (geographic/demand
+    /// locality). Length must equal `clusters`; uniform = balanced fleet.
+    pub locality: Vec<f64>,
+}
+
+impl FleetConfig {
+    /// A fleet of `clusters` paper-testbed clusters (8 nodes each) with
+    /// uniform locality, half-second epochs and a 2 ms forwarding hop.
+    pub fn paper_fleet(clusters: u32) -> Self {
+        FleetConfig {
+            clusters,
+            cluster: ServeConfig::paper_testbed(),
+            epoch: SimDuration::from_millis(500),
+            forward_latency: SimDuration::from_millis(2),
+            spill_threshold: 64,
+            locality: vec![1.0; clusters as usize],
+        }
+    }
+
+    pub fn with_cluster(mut self, cluster: ServeConfig) -> Self {
+        self.cluster = cluster;
+        self
+    }
+
+    pub fn with_epoch(mut self, epoch: SimDuration) -> Self {
+        self.epoch = epoch;
+        self
+    }
+
+    pub fn with_spill(mut self, threshold: u32, forward_latency: SimDuration) -> Self {
+        self.spill_threshold = threshold;
+        self.forward_latency = forward_latency;
+        self
+    }
+
+    pub fn with_locality(mut self, locality: Vec<f64>) -> Self {
+        assert_eq!(
+            locality.len(),
+            self.clusters as usize,
+            "one locality weight per cluster"
+        );
+        assert!(
+            locality.iter().all(|&w| w > 0.0),
+            "locality weights must be positive"
+        );
+        self.locality = locality;
+        self
+    }
+}
+
+/// One constant-rate segment of the fleet-wide offered load. Fleet
+/// phases are time-bounded (not request-bounded): the open-loop rate is
+/// split across clusters by gossiped weights, so no single cluster owns
+/// a fixed request quota.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetPhase {
+    /// Fleet-wide mean arrival rate.
+    pub rps: f64,
+    pub duration: SimDuration,
+}
+
+/// The fleet-wide open-loop request stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetWorkload {
+    pub phases: Vec<FleetPhase>,
+    /// Parent arrival process; cluster `c` draws from `substream(c)`.
+    pub arrivals: ArrivalProcess,
+}
+
+impl FleetWorkload {
+    pub fn steady(rps: f64, duration: SimDuration) -> Self {
+        FleetWorkload {
+            phases: vec![FleetPhase { rps, duration }],
+            arrivals: ArrivalProcess::Poisson { seed: 0 },
+        }
+    }
+
+    pub fn with_arrivals(mut self, arrivals: ArrivalProcess) -> Self {
+        self.arrivals = arrivals;
+        self
+    }
+
+    pub fn total_duration(&self) -> SimDuration {
+        self.phases
+            .iter()
+            .fold(SimDuration::ZERO, |acc, p| acc + p.duration)
+    }
+}
+
+/// A configured fleet, reusable across runs. The warm service base is
+/// profiled once on the virtual platform and shared by every cluster —
+/// the per-run cost is pure event-loop work.
+#[derive(Debug, Clone)]
+pub struct FleetSimulation {
+    config: FleetConfig,
+    sims: Vec<ServeSimulation>,
+}
+
+impl FleetSimulation {
+    pub fn new(
+        workflow: Workflow,
+        plan: DeploymentPlan,
+        config: FleetConfig,
+    ) -> Result<Self, ServeError> {
+        assert!(config.clusters > 0, "a fleet needs at least one cluster");
+        assert!(config.epoch > SimDuration::ZERO, "epoch must be positive");
+        assert_eq!(
+            config.locality.len(),
+            config.clusters as usize,
+            "one locality weight per cluster"
+        );
+        // Profile the plan once; all clusters serve the same deployment.
+        let platform =
+            VirtualPlatform::new(config.cluster.platform.clone()).with_cold_starts(false);
+        let base = platform.execute(&workflow, &plan, 0)?.e2e;
+        let sims = (0..config.clusters)
+            .map(|_| {
+                ServeSimulation::new(workflow.clone(), plan.clone(), config.cluster.clone())
+                    .with_service_base_override(base)
+            })
+            .collect();
+        Ok(FleetSimulation { config, sims })
+    }
+
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Single-shard, single-worker run — the reference executions that
+    /// every sharded run must reproduce byte for byte.
+    pub fn run(&self, workload: &FleetWorkload, seed: u64) -> Result<FleetReport, ServeError> {
+        self.run_sharded(workload, seed, 1, 1)
+    }
+
+    /// Runs the fleet with clusters grouped into `shards` contiguous
+    /// blocks, advanced by up to `workers` threads between barriers.
+    /// Sharding and worker count are pure execution policy: the returned
+    /// report is byte-identical for every choice.
+    pub fn run_sharded(
+        &self,
+        workload: &FleetWorkload,
+        seed: u64,
+        shards: usize,
+        workers: usize,
+    ) -> Result<FleetReport, ServeError> {
+        assert!(!workload.phases.is_empty(), "fleet workload has no phases");
+        assert!(
+            workload.phases.iter().all(|p| p.rps > 0.0),
+            "fleet phase rates must be positive"
+        );
+        let clusters = self.config.clusters as usize;
+        let locality_sum: f64 = self.config.locality.iter().sum();
+        let shares: Vec<f64> = self
+            .config
+            .locality
+            .iter()
+            .map(|l| l / locality_sum)
+            .collect();
+
+        // Per-cluster view of the workload: the phase table carries each
+        // cluster's locality share of the offered rate (so merged
+        // per-phase `offered_rps` sums back to the fleet rate) and zero
+        // request quota — fleet phases are time-bounded, and the actual
+        // admission rate is re-gossiped every epoch.
+        let cluster_workloads: Vec<Workload> = (0..clusters)
+            .map(|c| Workload {
+                phases: workload
+                    .phases
+                    .iter()
+                    .map(|p| TrafficPhase {
+                        rps: p.rps * shares[c],
+                        requests: 0,
+                    })
+                    .collect(),
+                arrivals: workload.arrivals.substream(c as u32),
+            })
+            .collect();
+
+        let mut phase_ends = Vec::with_capacity(workload.phases.len());
+        let mut end = SimTime::ZERO;
+        for p in &workload.phases {
+            end += p.duration;
+            phase_ends.push(end);
+        }
+        let total_end = end;
+
+        let mut runs: Vec<Run<'_>> = Vec::with_capacity(clusters);
+        for c in 0..clusters {
+            let mut run = self.sims[c].fleet_cluster(
+                &cluster_workloads[c],
+                split_seed(seed, c as u64),
+                c as u32,
+                workload.phases[0].rps * shares[c],
+            )?;
+            // Offered load tells us the request-log size up front (±5%
+            // slack for Poisson variance and spill-ins).
+            let expected: f64 = workload
+                .phases
+                .iter()
+                .map(|p| p.rps * shares[c] * p.duration.as_secs_f64())
+                .sum();
+            run.reserve_records((expected * 1.05) as usize + 64);
+            runs.push(run);
+        }
+
+        let threshold = self.config.spill_threshold as usize;
+        let mut receivers: Vec<usize> = Vec::with_capacity(clusters);
+        let mut queued: Vec<usize> = vec![0; clusters];
+        let mut weights: Vec<f64> = vec![0.0; clusters];
+        let mut now = SimTime::ZERO;
+        let mut phase = 0usize;
+        while now.as_nanos() < total_end.as_nanos() {
+            let barrier = (now + self.config.epoch).min(phase_ends[phase]);
+            advance_shards(&mut runs, barrier, shards, workers);
+
+            // ---- coordinator: the only cross-cluster code, sequential
+            // and in cluster order, so it is oblivious to sharding.
+            for (c, run) in runs.iter().enumerate() {
+                queued[c] = run.queued();
+            }
+
+            // Spillover: saturated clusters shed their newest queued
+            // requests; receivers (drained-most first) absorb them after
+            // the forwarding hop. Skipped when the whole fleet is hot —
+            // moving work between saturated clusters only adds latency.
+            receivers.clear();
+            receivers.extend((0..clusters).filter(|&c| queued[c] <= threshold));
+            if receivers.len() < clusters && !receivers.is_empty() {
+                let mut shed_total = 0u64;
+                for c in 0..clusters {
+                    if queued[c] > threshold {
+                        shed_total += runs[c].spill_excess(threshold);
+                        queued[c] = threshold;
+                    }
+                }
+                if shed_total > 0 {
+                    receivers.sort_by_key(|&c| (queued[c], c));
+                    let at = barrier + self.config.forward_latency;
+                    let base = shed_total / receivers.len() as u64;
+                    let rem = (shed_total % receivers.len() as u64) as usize;
+                    for (k, &c) in receivers.iter().enumerate() {
+                        runs[c].inject_forwarded(at, base + u64::from(k < rem));
+                    }
+                }
+            }
+
+            now = barrier;
+            if now.as_nanos() >= phase_ends[phase].as_nanos() {
+                phase += 1;
+                if phase < workload.phases.len() {
+                    for run in runs.iter_mut() {
+                        run.set_phase(phase as u16);
+                    }
+                }
+            }
+
+            // Rate gossip for the next epoch: each cluster's locality
+            // weight, discounted by its backlog per usable replica.
+            if phase < workload.phases.len() {
+                let mut sum = 0.0;
+                for c in 0..clusters {
+                    let usable = runs[c].usable_replicas().max(1);
+                    let backlog = queued[c] as f64 / f64::from(usable);
+                    weights[c] = shares[c] / (1.0 + backlog);
+                    sum += weights[c];
+                }
+                let rps = workload.phases[phase].rps;
+                for c in 0..clusters {
+                    runs[c].set_rate(rps * weights[c] / sum, now);
+                }
+            }
+        }
+
+        // Workload over: stop admitting, drain every backlog (spilled
+        // requests still in flight land during the drain), merge.
+        for run in runs.iter_mut() {
+            run.stop_accepting();
+        }
+        advance_shards(&mut runs, SimTime::FAR_FUTURE, shards, workers);
+        let reports: Vec<ServeReport> = runs.into_iter().map(Run::finish).collect();
+        Ok(FleetReport::merge(&reports))
+    }
+}
+
+/// Advances every cluster to the barrier: clusters are grouped into
+/// `shards` contiguous blocks, and up to `workers` threads pull blocks
+/// off a shared cursor (work stealing). Each block is touched by exactly
+/// one thread per barrier, and blocks exchange nothing, so the execution
+/// is deterministic for any `(shards, workers)`.
+fn advance_shards(runs: &mut [Run<'_>], until: SimTime, shards: usize, workers: usize) {
+    let shards = shards.clamp(1, runs.len().max(1));
+    let group = runs.len().div_ceil(shards);
+    if workers <= 1 || shards == 1 {
+        for run in runs.iter_mut() {
+            run.advance_until(until);
+        }
+        return;
+    }
+    let tasks: Vec<Mutex<&mut [Run<'_>]>> = runs.chunks_mut(group).map(Mutex::new).collect();
+    let cursor = AtomicUsize::new(0);
+    let threads = workers.min(tasks.len());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= tasks.len() {
+                    break;
+                }
+                // Uncontended by construction: the cursor hands each
+                // block to exactly one thread.
+                let mut block = tasks[i].lock().expect("block lock");
+                for run in block.iter_mut() {
+                    run.advance_until(until);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chiron_deploy::planners;
+    use chiron_model::apps;
+
+    fn fleet(clusters: u32) -> FleetSimulation {
+        let wf = apps::finra(12);
+        let plan = planners::faastlane_plus(&wf);
+        FleetSimulation::new(wf, plan, FleetConfig::paper_fleet(clusters)).unwrap()
+    }
+
+    #[test]
+    fn sharding_and_workers_never_change_the_bytes() {
+        let sim = fleet(6);
+        let workload = FleetWorkload::steady(600.0, SimDuration::from_millis(8_000));
+        let reference = sim.run(&workload, 11).unwrap();
+        assert!(reference.completed > 0);
+        for (shards, workers) in [(2, 1), (3, 2), (6, 4), (6, 1)] {
+            let sharded = sim.run_sharded(&workload, 11, shards, workers).unwrap();
+            assert_eq!(
+                reference.cluster_digests, sharded.cluster_digests,
+                "shards={shards} workers={workers}"
+            );
+            assert_eq!(reference.digest(), sharded.digest());
+            assert_eq!(reference, sharded);
+        }
+    }
+
+    #[test]
+    fn fleet_seeds_differ_across_clusters_and_runs() {
+        let sim = fleet(3);
+        let workload = FleetWorkload::steady(150.0, SimDuration::from_millis(4_000));
+        let a = sim.run(&workload, 1).unwrap();
+        let b = sim.run(&workload, 1).unwrap();
+        assert_eq!(a.digest(), b.digest());
+        let c = sim.run(&workload, 2).unwrap();
+        assert_ne!(a.digest(), c.digest());
+        // Substreams decorrelate the clusters: identical configs must not
+        // produce identical per-cluster outcomes.
+        assert!(
+            a.cluster_digests.windows(2).any(|w| w[0] != w[1]),
+            "clusters replayed the same stream"
+        );
+    }
+
+    #[test]
+    fn spillover_moves_load_and_loses_nothing() {
+        // Two clusters, one cold: skew the locality so cluster 0 drinks
+        // most of a rate beyond its own capacity (~160 rps for this
+        // plan) while cluster 1 stays drained and can absorb spillover.
+        let wf = apps::finra(12);
+        let plan = planners::faastlane_plus(&wf);
+        let config = FleetConfig::paper_fleet(2)
+            .with_locality(vec![9.0, 1.0])
+            .with_spill(16, SimDuration::from_millis(2));
+        let sim = FleetSimulation::new(wf, plan, config).unwrap();
+        let workload = FleetWorkload::steady(300.0, SimDuration::from_millis(6_000));
+        let report = sim.run(&workload, 5).unwrap();
+        assert!(report.forwarded > 0, "overload must spill");
+        assert_eq!(report.lost, 0, "spillover must not drop requests");
+        assert_eq!(report.completed, report.accepted - report.forwarded);
+    }
+
+    #[test]
+    fn locality_weights_steer_admission() {
+        let wf = apps::finra(12);
+        let plan = planners::faastlane_plus(&wf);
+        let config = FleetConfig::paper_fleet(2).with_locality(vec![3.0, 1.0]);
+        let sim = FleetSimulation::new(wf, plan, config).unwrap();
+        let workload = FleetWorkload::steady(200.0, SimDuration::from_millis(5_000));
+        let report = sim.run(&workload, 7).unwrap();
+        // The merged phase summary carries each cluster's offered share.
+        assert_eq!(report.clusters, 2);
+        assert!((report.phases[0].offered_rps - 200.0).abs() < 1e-6);
+        assert!(report.lost == 0);
+    }
+}

@@ -15,7 +15,11 @@
 //!   heartbeats, with replica write-off, in-flight re-queueing and
 //!   replacement placement, losing no accepted request;
 //! * **metering** — streaming sojourn percentiles, cold-start fraction and
-//!   GB-s / GHz-s dollar cost per run.
+//!   GB-s / GHz-s dollar cost per run;
+//! * a **federation** layer ([`fleet`]) — many clusters under one
+//!   epoch-barrier driver, with gossiped admission rates, cross-cluster
+//!   spillover, and exactly-merged fleet reports, byte-identical for any
+//!   shard grouping or worker count.
 //!
 //! Everything is deterministic in the `(workload, seed)` pair, so serving
 //! experiments are reproducible byte for byte.
@@ -24,6 +28,7 @@ pub mod autoscaler;
 pub mod config;
 pub mod events;
 pub mod faults;
+pub mod fleet;
 pub mod report;
 pub mod router;
 pub mod sim;
@@ -32,7 +37,8 @@ pub use autoscaler::{Autoscaler, AutoscalerConfig};
 pub use config::{RouterPolicy, ServeConfig, TrafficPhase, Workload};
 pub use events::{Event, EventKind, EventQueue};
 pub use faults::FaultPlan;
-pub use report::{PhaseSummary, RequestRecord, ServeReport};
+pub use fleet::{FleetConfig, FleetPhase, FleetSimulation, FleetWorkload};
+pub use report::{FleetReport, PhaseSummary, RequestRecord, ServeReport};
 pub use router::{Router, Shard};
 pub use sim::{ServeError, ServeSimulation};
 

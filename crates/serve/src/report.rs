@@ -30,6 +30,10 @@ pub struct RequestRecord {
     pub tier: u8,
     /// Times the request went back to a queue after its replica died.
     pub requeues: u16,
+    /// Spilled to another cluster by the federation router while still
+    /// queued: the request leaves this cluster's accounting (it is not
+    /// lost) and completes — with a fresh record — at the receiver.
+    pub forwarded: bool,
 }
 
 impl RequestRecord {
@@ -47,6 +51,10 @@ impl RequestRecord {
 }
 
 /// Latency/volume summary of one workload phase.
+///
+/// Carries the phase's full streaming histogram next to the derived
+/// scalars, so per-cluster phase summaries merge *exactly* (bucket counts
+/// add) instead of approximating percentiles from pre-reduced numbers.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PhaseSummary {
     pub offered_rps: f64,
@@ -56,6 +64,44 @@ pub struct PhaseSummary {
     pub p99_sojourn: SimDuration,
     pub max_sojourn: SimDuration,
     pub cold_starts: u64,
+    /// Completed sojourns of this phase (the source of the scalars above).
+    pub sojourns: StreamingHistogram,
+}
+
+impl PhaseSummary {
+    /// Builds the summary from a phase's sojourn histogram.
+    pub fn from_histogram(
+        offered_rps: f64,
+        completed: u64,
+        cold_starts: u64,
+        sojourns: StreamingHistogram,
+    ) -> Self {
+        PhaseSummary {
+            offered_rps,
+            completed,
+            mean_sojourn: sojourns.mean(),
+            p50_sojourn: sojourns.percentile(0.50),
+            p99_sojourn: sojourns.percentile(0.99),
+            max_sojourn: sojourns.max(),
+            cold_starts,
+            sojourns,
+        }
+    }
+
+    /// Folds another cluster's view of the same phase into this one.
+    /// Histogram buckets add, so the merged percentiles equal those of
+    /// the union of the underlying samples; offered rates add because
+    /// each cluster served a disjoint slice of the fleet stream.
+    pub fn absorb(&mut self, other: &PhaseSummary) {
+        self.offered_rps += other.offered_rps;
+        self.completed += other.completed;
+        self.cold_starts += other.cold_starts;
+        self.sojourns.merge(&other.sojourns);
+        self.mean_sojourn = self.sojourns.mean();
+        self.p50_sojourn = self.sojourns.percentile(0.50);
+        self.p99_sojourn = self.sojourns.percentile(0.99);
+        self.max_sojourn = self.sojourns.max();
+    }
 }
 
 /// Everything a serving run produced.
@@ -64,8 +110,13 @@ pub struct ServeReport {
     /// Requests admitted (open loop: every arrival is admitted).
     pub accepted: u64,
     pub completed: u64,
-    /// `accepted - completed` — zero unless the cluster deadlocked.
+    /// `accepted - completed - forwarded_out` — zero unless the cluster
+    /// deadlocked.
     pub lost: u64,
+    /// Requests this cluster admitted but spilled to a peer through the
+    /// federation router; they complete (and are counted) at the
+    /// receiver. Always zero for standalone (non-federated) runs.
+    pub forwarded_out: u64,
     /// Requests that were re-queued at least once by failure recovery.
     pub requeued_requests: u64,
     /// Requests that paid an on-path sandbox cold start.
@@ -144,6 +195,7 @@ impl ServeReport {
                 &mut hash,
                 u64::from(r.phase) << 32
                     | u64::from(r.tier) << 24
+                    | u64::from(r.forwarded) << 17
                     | u64::from(r.cold_start) << 16
                     | u64::from(r.requeues),
             );
@@ -199,6 +251,168 @@ impl ServeReport {
     }
 }
 
+/// The federation's merged view of one fleet run: per-cluster
+/// [`ServeReport`]s folded *exactly* — streaming histograms merge bucket
+/// by bucket (so fleet p50/p99 equal the percentiles of the union of all
+/// sojourns), counters and billing sum in cluster order, makespan takes
+/// the max, and reproducibility is pinned by a digest-of-digests.
+///
+/// Per-request records stay in the cluster reports; the fleet view keeps
+/// only each cluster's digest, so merging ten million requests costs
+/// histogram-merge time, not a re-sort of the records.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    pub clusters: u32,
+    /// Locally-admitted arrivals summed over clusters, spillover
+    /// re-admissions included.
+    pub accepted: u64,
+    pub completed: u64,
+    /// Requests admitted somewhere but finished nowhere. Zero unless a
+    /// cluster deadlocked: spillover moves work, it never drops it.
+    pub lost: u64,
+    /// Cross-cluster spillover volume (each forwarded request is counted
+    /// once, at the cluster that shed it).
+    pub forwarded: u64,
+    pub requeued_requests: u64,
+    pub cold_starts: u64,
+    pub makespan: SimDuration,
+    pub sojourns: StreamingHistogram,
+    pub phases: Vec<PhaseSummary>,
+    /// Sum of per-cluster peaks — fleet capacity actually stood up.
+    pub peak_replicas: u32,
+    pub scale_ups: u32,
+    pub scale_downs: u32,
+    pub replicas_failed: u32,
+    pub starts_by_tier: [u32; 4],
+    pub replica_seconds: f64,
+    pub gb_seconds: f64,
+    pub ghz_seconds: f64,
+    pub cost_usd: f64,
+    pub busy_replica_seconds: f64,
+    pub idle_replica_seconds: f64,
+    pub keepalive_tail_seconds: f64,
+    pub pool_gb_seconds: f64,
+    pub pool_rent_usd: f64,
+    pub slo_alerts_fired: u32,
+    /// Per-cluster report digests, in cluster order.
+    pub cluster_digests: Vec<u64>,
+}
+
+impl FleetReport {
+    /// Folds per-cluster reports (in cluster order) into the fleet view.
+    pub fn merge(reports: &[ServeReport]) -> FleetReport {
+        assert!(!reports.is_empty(), "a fleet has at least one cluster");
+        let mut sojourns = StreamingHistogram::new();
+        let mut phases: Vec<PhaseSummary> = Vec::new();
+        let mut out = FleetReport {
+            clusters: reports.len() as u32,
+            accepted: 0,
+            completed: 0,
+            lost: 0,
+            forwarded: 0,
+            requeued_requests: 0,
+            cold_starts: 0,
+            makespan: SimDuration::ZERO,
+            sojourns: StreamingHistogram::new(),
+            phases: Vec::new(),
+            peak_replicas: 0,
+            scale_ups: 0,
+            scale_downs: 0,
+            replicas_failed: 0,
+            starts_by_tier: [0; 4],
+            replica_seconds: 0.0,
+            gb_seconds: 0.0,
+            ghz_seconds: 0.0,
+            cost_usd: 0.0,
+            busy_replica_seconds: 0.0,
+            idle_replica_seconds: 0.0,
+            keepalive_tail_seconds: 0.0,
+            pool_gb_seconds: 0.0,
+            pool_rent_usd: 0.0,
+            slo_alerts_fired: 0,
+            cluster_digests: Vec::with_capacity(reports.len()),
+        };
+        for r in reports {
+            out.accepted += r.accepted;
+            out.completed += r.completed;
+            out.lost += r.lost;
+            out.forwarded += r.forwarded_out;
+            out.requeued_requests += r.requeued_requests;
+            out.cold_starts += r.cold_starts;
+            out.makespan = out.makespan.max(r.makespan);
+            sojourns.merge(&r.sojourns);
+            if phases.is_empty() {
+                phases = r.phases.clone();
+            } else {
+                assert_eq!(
+                    phases.len(),
+                    r.phases.len(),
+                    "clusters of one fleet run share the workload's phases"
+                );
+                for (merged, p) in phases.iter_mut().zip(&r.phases) {
+                    merged.absorb(p);
+                }
+            }
+            out.peak_replicas += r.peak_replicas;
+            out.scale_ups += r.scale_ups;
+            out.scale_downs += r.scale_downs;
+            out.replicas_failed += r.replicas_failed;
+            for (total, &tier) in out.starts_by_tier.iter_mut().zip(&r.starts_by_tier) {
+                *total += tier;
+            }
+            out.replica_seconds += r.replica_seconds;
+            out.gb_seconds += r.gb_seconds;
+            out.ghz_seconds += r.ghz_seconds;
+            out.cost_usd += r.cost_usd;
+            out.busy_replica_seconds += r.busy_replica_seconds;
+            out.idle_replica_seconds += r.idle_replica_seconds;
+            out.keepalive_tail_seconds += r.keepalive_tail_seconds;
+            out.pool_gb_seconds += r.pool_gb_seconds;
+            out.pool_rent_usd += r.pool_rent_usd;
+            if let Some(slo) = &r.slo {
+                out.slo_alerts_fired += slo.alerts_fired;
+            }
+            out.cluster_digests.push(r.digest());
+        }
+        out.sojourns = sojourns;
+        out.phases = phases;
+        out
+    }
+
+    /// Digest-of-digests: FNV-1a over every `(cluster, digest)` pair plus
+    /// the fleet counters. Byte-identical cluster outcomes — for any
+    /// shard grouping or worker count — yield the same fleet digest.
+    pub fn digest(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |v: u64| {
+            for byte in v.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for (cluster, &digest) in self.cluster_digests.iter().enumerate() {
+            eat(cluster as u64);
+            eat(digest);
+        }
+        eat(self.accepted);
+        eat(self.completed);
+        eat(self.forwarded);
+        eat(self.lost);
+        hash
+    }
+
+    pub fn total_cost_usd(&self) -> f64 {
+        self.cost_usd + self.pool_rent_usd
+    }
+
+    pub fn cold_start_fraction(&self) -> f64 {
+        if self.completed == 0 {
+            return 0.0;
+        }
+        self.cold_starts as f64 / self.completed as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,6 +427,7 @@ mod tests {
             cold_start: false,
             tier: 0,
             requeues: 0,
+            forwarded: false,
         }
     }
 
@@ -225,6 +440,7 @@ mod tests {
             accepted: records.len() as u64,
             completed: records.len() as u64,
             lost: 0,
+            forwarded_out: 0,
             requeued_requests: 0,
             cold_starts: 0,
             makespan: SimDuration::from_nanos(
@@ -286,6 +502,62 @@ mod tests {
         assert!(!r.is_completed());
         let in_flight = report(vec![r]).digest();
         assert_ne!(completed, in_flight);
+    }
+
+    #[test]
+    fn digest_sees_forwarded_flag() {
+        let plain = report(vec![record(1, 10, 0)]).digest();
+        let mut r = record(1, 10, 0);
+        r.forwarded = true;
+        r.dispatched_ns = None;
+        r.completed_ns = None;
+        let spilled = report(vec![r]).digest();
+        assert_ne!(plain, spilled);
+    }
+
+    #[test]
+    fn fleet_merge_is_exact_and_order_pinned() {
+        let a = report(vec![record(1, 11, 0), record(2, 30, 0)]);
+        let b = report(vec![record(3, 40, 0)]);
+        let fleet = FleetReport::merge(&[a.clone(), b.clone()]);
+        assert_eq!(fleet.clusters, 2);
+        assert_eq!(fleet.accepted, 3);
+        assert_eq!(fleet.completed, 3);
+        assert_eq!(fleet.lost, 0);
+        assert_eq!(fleet.makespan, SimDuration::from_nanos(40));
+        // Merged percentiles equal those of the union of all sojourns.
+        let mut union = StreamingHistogram::new();
+        union.merge(&a.sojourns);
+        union.merge(&b.sojourns);
+        assert_eq!(fleet.sojourns.percentile(0.99), union.percentile(0.99));
+        assert_eq!(fleet.sojourns.mean(), union.mean());
+        assert_eq!(fleet.cluster_digests, vec![a.digest(), b.digest()]);
+        // The digest-of-digests pins cluster order.
+        let swapped = FleetReport::merge(&[b, a]);
+        assert_ne!(fleet.digest(), swapped.digest());
+    }
+
+    #[test]
+    fn phase_summaries_absorb_exactly() {
+        let mut h1 = StreamingHistogram::new();
+        let mut h2 = StreamingHistogram::new();
+        let mut union = StreamingHistogram::new();
+        for ns in [10_000u64, 20_000, 30_000] {
+            h1.record(SimDuration::from_nanos(ns));
+            union.record(SimDuration::from_nanos(ns));
+        }
+        for ns in [1_000_000u64, 2_000_000] {
+            h2.record(SimDuration::from_nanos(ns));
+            union.record(SimDuration::from_nanos(ns));
+        }
+        let mut merged = PhaseSummary::from_histogram(10.0, 3, 1, h1);
+        merged.absorb(&PhaseSummary::from_histogram(5.0, 2, 0, h2));
+        assert_eq!(merged.completed, 5);
+        assert_eq!(merged.cold_starts, 1);
+        assert!((merged.offered_rps - 15.0).abs() < 1e-12);
+        assert_eq!(merged.p99_sojourn, union.percentile(0.99));
+        assert_eq!(merged.mean_sojourn, union.mean());
+        assert_eq!(merged.max_sojourn, union.max());
     }
 
     #[test]

@@ -20,6 +20,10 @@ pub struct Router {
     per_node: Vec<VecDeque<u64>>,
     overflow: VecDeque<u64>,
     rr: usize,
+    /// Total queued requests across every shard, maintained on each
+    /// push/pop so the hot path (`kick` early-exit, autoscaler ticks)
+    /// never sums the per-node queues.
+    len: usize,
 }
 
 /// Where a queued request was put (so re-queues can go back to the same
@@ -39,6 +43,7 @@ impl Router {
             per_node: (0..nodes).map(|_| VecDeque::new()).collect(),
             overflow: VecDeque::new(),
             rr: 0,
+            len: 0,
         }
     }
 
@@ -64,12 +69,14 @@ impl Router {
     }
 
     pub fn push_back(&mut self, shard: Shard, request: u64) {
+        self.len += 1;
         self.queue_mut(shard).push_back(request);
     }
 
     /// Re-queues a request at the front (failure recovery keeps FIFO order
     /// for work that was already dispatched once).
     pub fn push_front(&mut self, shard: Shard, request: u64) {
+        self.len += 1;
         self.queue_mut(shard).push_front(request);
     }
 
@@ -87,26 +94,58 @@ impl Router {
     /// *orphan* queue (a node with work but no usable replica, per
     /// `node_has_replica`).
     pub fn next_for(&mut self, node: usize, node_has_replica: &[bool]) -> Option<u64> {
-        match self.policy {
+        let picked = match self.policy {
             RouterPolicy::CentralFifo => self.global.pop_front(),
-            RouterPolicy::PartitionedByNode => {
+            RouterPolicy::PartitionedByNode => 'pick: {
                 if let Some(req) = self.per_node[node].pop_front() {
-                    return Some(req);
+                    break 'pick Some(req);
                 }
                 if let Some(req) = self.overflow.pop_front() {
-                    return Some(req);
+                    break 'pick Some(req);
                 }
+                let mut stolen = None;
                 for (i, queue) in self.per_node.iter_mut().enumerate() {
                     if !node_has_replica[i] {
                         if let Some(req) = queue.pop_front() {
                             STEALS.incr();
-                            return Some(req);
+                            stolen = Some(req);
+                            break;
                         }
                     }
                 }
-                None
+                stolen
             }
+        };
+        if picked.is_some() {
+            self.len -= 1;
         }
+        picked
+    }
+
+    /// Removes and returns the most recently queued request — the one
+    /// spillover sheds first, since it has waited the least and loses the
+    /// least already-paid queueing time by moving clusters. Partitioned
+    /// routers shed from their deepest queue (ties: overflow first, then
+    /// the lowest node index), which is both deterministic and the shard
+    /// the backlog actually sits on.
+    pub fn pop_newest(&mut self) -> Option<u64> {
+        let popped = match self.policy {
+            RouterPolicy::CentralFifo => self.global.pop_back(),
+            RouterPolicy::PartitionedByNode => {
+                let mut deepest: Option<&mut VecDeque<u64>> = None;
+                for q in std::iter::once(&mut self.overflow).chain(self.per_node.iter_mut()) {
+                    let depth = q.len();
+                    if depth > 0 && deepest.as_ref().map_or(0, |d| d.len()) < depth {
+                        deepest = Some(q);
+                    }
+                }
+                deepest.and_then(VecDeque::pop_back)
+            }
+        };
+        if popped.is_some() {
+            self.len -= 1;
+        }
+        popped
     }
 
     /// Empties a dead node's queue (its requests get re-sharded).
@@ -119,13 +158,12 @@ impl Router {
     /// Like [`Router::drain_node`], but appends into a caller-owned buffer
     /// so the failure-recovery path can reuse its scratch allocation.
     pub fn drain_node_into(&mut self, node: usize, out: &mut Vec<u64>) {
+        self.len -= self.per_node[node].len();
         out.extend(self.per_node[node].drain(..));
     }
 
     pub fn queued(&self) -> usize {
-        self.global.len()
-            + self.overflow.len()
-            + self.per_node.iter().map(VecDeque::len).sum::<usize>()
+        self.len
     }
 
     pub fn queued_on(&self, node: usize) -> usize {

@@ -28,10 +28,30 @@
 //! front, preserving arrival order), re-shards the dead node's queue, and
 //! spawns replacements. Accepted requests are therefore never dropped,
 //! only delayed, unless the whole cluster is gone.
+//!
+//! ## Hot path
+//!
+//! The per-event cost is what bounds fleet-scale throughput, so the loop
+//! keeps all the state it consults per event incremental: usable-replica
+//! and idle-replica counts, the per-node usable map, and the router's
+//! total queue depth are maintained at each (rare) state transition
+//! instead of being rescanned per arrival/completion, and the global
+//! sojourn metric is batched locally and folded into the registry once
+//! per run.
+//!
+//! ## Fleet mode
+//!
+//! [`crate::fleet`] runs many of these simulations — one per cluster —
+//! under an epoch-barrier federation driver. In fleet mode a `Run` is
+//! advanced epoch by epoch ([`Run::advance_until`]), draws arrivals at a
+//! per-epoch rate the federation router gossips to it, can shed its
+//! newest queued requests to peers ([`Run::spill_excess`]) and absorb
+//! theirs ([`Run::inject_forwarded`]). Trace ids get per-cluster bases so
+//! one capture holds a fleet's worth of causally-correct traces.
 
 use crate::autoscaler::Autoscaler;
 use crate::config::{RouterPolicy, ServeConfig, Workload};
-use crate::events::{EventKind, EventQueue};
+use crate::events::{Event, EventKind, EventQueue};
 use crate::faults::FaultPlan;
 use crate::report::{PhaseSummary, RequestRecord, ServeReport};
 use crate::router::{Router, Shard};
@@ -39,14 +59,12 @@ use chiron_deploy::{
     placement_overhead, scheduling_architectures, ClusterState, NodeId, Placement, PlacementError,
 };
 use chiron_lifecycle::{PoolAction, PrewarmPools, StartTier, TierTable};
-use chiron_metrics::{plan_resources, ArrivalGen, StreamingHistogram};
+use chiron_metrics::{plan_resources, ArrivalGen, FastRng, StreamingHistogram};
 use chiron_model::{DeploymentPlan, PlanError, SimDuration, SimTime, Workflow};
 use chiron_obs::{
     emit, BurnRateMonitor, StaticCounter, StaticGauge, StaticHistogram, TraceEventKind,
 };
 use chiron_runtime::VirtualPlatform;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Highest queue depth any autoscaler tick observed.
 static QUEUE_DEPTH_PEAK: StaticGauge = StaticGauge::new("serve.autoscaler.queue_depth_peak");
@@ -56,7 +74,8 @@ static AUTOSCALER_TICKS: StaticCounter = StaticCounter::new("serve.autoscaler.ti
 /// In-flight requests re-queued by failure recovery.
 static REQUEUES: StaticCounter = StaticCounter::new("serve.failures.requeues");
 /// Completed-request sojourn distribution, across every run this process
-/// executed since the last `chiron_obs::reset_metrics()`.
+/// executed since the last `chiron_obs::reset_metrics()`. Batched: each
+/// run folds its local histogram in once at report time.
 static SOJOURNS: StaticHistogram = StaticHistogram::new("serve.sojourn");
 
 /// Trace encoding of a queue shard (see [`TraceEventKind::Enqueue`]).
@@ -108,7 +127,7 @@ pub struct ServeSimulation {
     config: ServeConfig,
     faults: FaultPlan,
     /// Replaces the DES-measured warm service base (what-if experiments
-    /// use this to virtually speed up one latency component).
+    /// and fleet runs use this to skip the per-cluster profiling execute).
     service_base_override: Option<SimDuration>,
 }
 
@@ -144,7 +163,20 @@ impl ServeSimulation {
     /// Drives `workload` through the cluster. Deterministic in
     /// `(workload, seed)`: two runs yield byte-identical reports.
     pub fn run(&self, workload: &Workload, seed: u64) -> Result<ServeReport, ServeError> {
-        Run::new(self, workload, seed)?.run()
+        Run::new(self, workload, seed, None)?.run()
+    }
+
+    /// Starts one federated cluster's event loop (fleet mode): arrivals
+    /// are drawn at `initial_rate` until the federation driver gossips a
+    /// new one, and trace ids carry cluster-derived bases.
+    pub(crate) fn fleet_cluster<'a>(
+        &'a self,
+        workload: &'a Workload,
+        seed: u64,
+        cluster: u32,
+        initial_rate: f64,
+    ) -> Result<Run<'a>, ServeError> {
+        Run::new(self, workload, seed, Some((cluster, initial_rate)))
     }
 }
 
@@ -197,7 +229,23 @@ impl Replica {
     }
 }
 
-struct Run<'a> {
+/// Per-cluster federation state (fleet mode only).
+#[derive(Debug, Clone)]
+struct FleetMode {
+    /// Arrival rate for the current epoch, set by the federation router's
+    /// gossiped admission weights.
+    rate: f64,
+    /// Cleared when the fleet workload ends; stray pre-drawn arrivals are
+    /// then dropped deterministically while the backlog drains.
+    accepting: bool,
+    /// Whether a next-arrival event is pending (the arrival train
+    /// disarms itself when admission stops or the rate hits zero).
+    arrival_armed: bool,
+    /// Fleet workload phase arrivals are currently stamped with.
+    phase: u16,
+}
+
+pub(crate) struct Run<'a> {
     sim: &'a ServeSimulation,
     workload: &'a Workload,
     /// Warm single-request e2e latency of the plan (no placement/routing).
@@ -208,19 +256,33 @@ struct Run<'a> {
     router: Router,
     autoscaler: Autoscaler,
     events: EventQueue,
-    rng: StdRng,
+    rng: FastRng,
     gaps: ArrivalGen,
     replicas: Vec<Replica>,
     records: Vec<RequestRecord>,
-    /// Current queue shard of each request (for re-queues).
-    shards: Vec<Shard>,
-    /// Scratch: whether each node hosts a usable replica. Refreshed by
-    /// [`Run::refresh_node_usable`]; reused across events so the hot
-    /// dispatch path (one lookup per completion) allocates nothing.
+    /// Usable replicas per node, maintained at every replica state
+    /// transition — the dispatch path never rescans the replica table.
+    node_replicas: Vec<u32>,
+    /// Whether each node hosts a usable replica (mirror of
+    /// `node_replicas`, the shape `Router::next_for` consumes).
     node_usable: Vec<bool>,
-    /// Scratch: ascending node indices with a usable replica, derived from
-    /// `node_usable` by [`Run::refresh_hosts`].
+    /// Ascending node indices with a usable replica; rebuilt lazily when
+    /// `hosts_dirty` (host-set changes only on spawn/retire/death).
     hosts_scratch: Vec<usize>,
+    hosts_dirty: bool,
+    /// Usable replicas (live + starting), maintained incrementally.
+    usable: u32,
+    /// Idle replicas, maintained incrementally — `kick` exits in O(1)
+    /// when there is nobody to hand work to.
+    idle: u32,
+    /// Bitmask of idle replica indices (word `i >> 6`, bit `i & 63`),
+    /// maintained at every Idle transition. `kick` hands work out by bit
+    /// scan — the exact lowest-index-first order of a linear replica
+    /// sweep, without touching the replica table per arrival.
+    idle_bits: Vec<u64>,
+    /// Set by the first `NodeKill`; while false, the completion path
+    /// skips the per-assignment failed-node scan entirely.
+    has_failed_nodes: bool,
     /// Scratch: node deaths detected in one heartbeat sweep.
     detected_scratch: Vec<NodeId>,
     /// Scratch: in-flight requests to re-queue after a node death.
@@ -232,6 +294,8 @@ struct Run<'a> {
     total: u64,
     arrived: u64,
     completed: u64,
+    /// Requests spilled to peer clusters (fleet mode; zero otherwise).
+    forwarded_out: u64,
     dispatch_seq: u64,
     prewarm_stock: u32,
     /// Tiered start pools; `None` = legacy scalar-prewarm behaviour.
@@ -252,10 +316,27 @@ struct Run<'a> {
     /// Online SLO burn-rate monitor, fed at each completion (event time,
     /// so alerts are identical for any worker count).
     slo: Option<BurnRateMonitor>,
-    sojourns: StreamingHistogram,
+    /// Per-phase sojourn histograms; the report-level `sojourns` histogram
+    /// is their exact merge (bucket counts, min/max and sums all add), so
+    /// the hot path records each completion once, not twice.
     phase_hists: Vec<StreamingHistogram>,
     phase_completed: Vec<u64>,
     phase_cold: Vec<u64>,
+    /// Whether an `AutoscaleTick` is pending (the train parks itself
+    /// when the run goes quiet; fleet injections re-arm it).
+    tick_armed: bool,
+    /// Federation state; `None` for standalone runs.
+    fleet: Option<FleetMode>,
+    /// Trace id bases (zero outside fleet mode): emitted ids are
+    /// `base + local id`, so one fleet capture stays collision-free.
+    req_base: u64,
+    rep_base: u32,
+    node_base: u32,
+    /// `tracing_enabled()` snapshotted at construction — captures are
+    /// opened before a run starts and closed after it ends, so the
+    /// per-request emit sites can branch on a plain bool instead of
+    /// paying an atomic load (and eager event-payload packing) each.
+    trace: bool,
 }
 
 impl<'a> Run<'a> {
@@ -263,6 +344,7 @@ impl<'a> Run<'a> {
         sim: &'a ServeSimulation,
         workload: &'a Workload,
         seed: u64,
+        fleet: Option<(u32, f64)>,
     ) -> Result<Self, ServeError> {
         // Names the capture before any other event so attribution knows
         // which (workflow, plan) this trace belongs to.
@@ -316,6 +398,31 @@ impl<'a> Run<'a> {
             phase_ends.push(cum);
         }
 
+        let (req_base, rep_base, node_base, fleet_mode) = match fleet {
+            Some((cluster, rate)) => {
+                let bases = (u64::from(cluster) << 40, cluster << 22, cluster << 16);
+                if chiron_obs::tracing_enabled() {
+                    emit(
+                        0,
+                        TraceEventKind::ClusterContext {
+                            cluster,
+                            request_base: bases.0,
+                            replica_base: bases.1,
+                            node_base: bases.2,
+                        },
+                    );
+                }
+                let mode = FleetMode {
+                    rate,
+                    accepting: true,
+                    arrival_armed: rate > 0.0,
+                    phase: 0,
+                };
+                (bases.0, bases.1, bases.2, Some(mode))
+            }
+            None => (0, 0, 0, None),
+        };
+
         let mut run = Run {
             sim,
             workload,
@@ -327,13 +434,18 @@ impl<'a> Run<'a> {
             events: EventQueue::with_capacity(
                 sim.config.replicas.max_replicas as usize + sim.faults.node_kills.len() + 8,
             ),
-            rng: StdRng::seed_from_u64(seed ^ 0x5e2e_5e2e_5e2e_5e2e),
+            rng: FastRng::seed_from_u64(seed ^ 0x5e2e_5e2e_5e2e_5e2e),
             gaps: workload.arrivals.gaps(),
             replicas: Vec::new(),
             records: Vec::with_capacity(cum as usize),
-            shards: Vec::with_capacity(cum as usize),
-            node_usable: Vec::with_capacity(nodes),
+            node_replicas: vec![0; nodes],
+            node_usable: vec![false; nodes],
             hosts_scratch: Vec::with_capacity(nodes),
+            hosts_dirty: true,
+            usable: 0,
+            idle: 0,
+            idle_bits: Vec::new(),
+            has_failed_nodes: false,
             detected_scratch: Vec::new(),
             requeue_scratch: Vec::new(),
             stranded_scratch: Vec::new(),
@@ -341,6 +453,7 @@ impl<'a> Run<'a> {
             total: cum,
             arrived: 0,
             completed: 0,
+            forwarded_out: 0,
             dispatch_seq: 0,
             prewarm_stock: sim.config.replicas.prewarm_pool,
             pools,
@@ -364,7 +477,6 @@ impl<'a> Run<'a> {
             peak_replicas: 0,
             timeline: Vec::new(),
             slo: sim.config.slo.map(BurnRateMonitor::new),
-            sojourns: StreamingHistogram::new(),
             phase_hists: workload
                 .phases
                 .iter()
@@ -372,6 +484,12 @@ impl<'a> Run<'a> {
                 .collect(),
             phase_completed: vec![0; workload.phases.len()],
             phase_cold: vec![0; workload.phases.len()],
+            tick_armed: false,
+            fleet: fleet_mode,
+            req_base,
+            rep_base,
+            node_base,
+            trace: chiron_obs::tracing_enabled(),
         };
 
         // Deployment-time baseline: min_replicas warm at t=0 (their cold
@@ -386,27 +504,39 @@ impl<'a> Run<'a> {
                 since: SimTime::ZERO,
             };
             run.replicas[id].baseline = true;
+            run.idle += 1;
+            run.idle_bits[id >> 6] |= 1 << (id & 63);
             run.starts_by_tier[StartTier::Warm.code() as usize] += 1;
             emit(
                 0,
                 TraceEventKind::ReplicaSpawn {
-                    replica: id as u32,
-                    node: run.replicas[id].node as u32,
+                    replica: run.rep_base + id as u32,
+                    node: run.node_base + run.replicas[id].node as u32,
                     cold: false,
                     tier: StartTier::Warm.code(),
                 },
             );
-            emit(0, TraceEventKind::ReplicaReady { replica: id as u32 });
+            emit(
+                0,
+                TraceEventKind::ReplicaReady {
+                    replica: run.rep_base + id as u32,
+                },
+            );
         }
         run.push_timeline(SimTime::ZERO);
 
-        if run.total > 0 {
+        let arm_arrival = match &run.fleet {
+            Some(f) => f.arrival_armed,
+            None => run.total > 0,
+        };
+        if arm_arrival {
             run.events.push(SimTime::ZERO, EventKind::Arrival);
         }
         run.events.push(
             SimTime::ZERO + sim.config.autoscaler.tick,
             EventKind::AutoscaleTick,
         );
+        run.tick_armed = true;
         if !sim.faults.is_empty() {
             for &(at, node) in &sim.faults.node_kills {
                 run.events.push(at, EventKind::NodeKill { node });
@@ -421,80 +551,216 @@ impl<'a> Run<'a> {
 
     fn run(mut self) -> Result<ServeReport, ServeError> {
         while let Some(event) = self.events.pop() {
-            let now = event.at;
-            match event.kind {
-                EventKind::Arrival => self.on_arrival(now),
-                EventKind::Completion {
-                    replica,
-                    request,
-                    dispatch_seq,
-                } => self.on_completion(now, replica, request, dispatch_seq),
-                EventKind::ReplicaReady { replica } => {
-                    if self.replicas[replica as usize].state == ReplicaState::Starting {
-                        self.replicas[replica as usize].state = ReplicaState::Idle { since: now };
-                        emit(now.as_nanos(), TraceEventKind::ReplicaReady { replica });
-                        self.kick(now);
-                    }
-                }
-                EventKind::AutoscaleTick => self.on_tick(now),
-                EventKind::PoolSlotReady { tier } => {
-                    if let Some(pools) = &mut self.pools {
-                        pools.slot_ready(StartTier::from_code(tier), now);
-                    }
-                }
-                EventKind::Heartbeat => self.on_heartbeat(now),
-                EventKind::NodeKill { node } => {
-                    emit(now.as_nanos(), TraceEventKind::NodeKill { node: node.0 });
-                    self.cluster.fail_node(node)
-                }
-            }
+            self.handle(event);
         }
         Ok(self.into_report())
+    }
+
+    fn handle(&mut self, event: Event) {
+        let now = event.at;
+        match event.kind {
+            EventKind::Arrival => self.on_arrival(now),
+            EventKind::Forwarded => {
+                let phase = self.fleet.as_ref().map_or(0, |f| f.phase);
+                self.admit(now, phase);
+            }
+            EventKind::Completion {
+                replica,
+                request,
+                dispatch_seq,
+            } => self.on_completion(now, replica, request, dispatch_seq),
+            EventKind::ReplicaReady { replica } => {
+                if self.replicas[replica as usize].state == ReplicaState::Starting {
+                    self.replicas[replica as usize].state = ReplicaState::Idle { since: now };
+                    self.idle += 1;
+                    self.idle_bits[replica as usize >> 6] |= 1 << (replica as usize & 63);
+                    emit(
+                        now.as_nanos(),
+                        TraceEventKind::ReplicaReady {
+                            replica: self.rep_base + replica,
+                        },
+                    );
+                    self.kick(now);
+                }
+            }
+            EventKind::AutoscaleTick => self.on_tick(now),
+            EventKind::PoolSlotReady { tier } => {
+                if let Some(pools) = &mut self.pools {
+                    pools.slot_ready(StartTier::from_code(tier), now);
+                }
+            }
+            EventKind::Heartbeat => self.on_heartbeat(now),
+            EventKind::NodeKill { node } => {
+                emit(
+                    now.as_nanos(),
+                    TraceEventKind::NodeKill {
+                        node: self.node_base + node.0,
+                    },
+                );
+                self.has_failed_nodes = true;
+                self.cluster.fail_node(node)
+            }
+        }
+    }
+
+    // ---- fleet-mode driver interface ------------------------------------
+
+    /// Processes every event strictly before `until` (the epoch barrier).
+    /// Pre-sizes the request log. Fleet phases are open-ended (`requests:
+    /// 0`), so `Run::new` cannot size it from the workload; the federation
+    /// driver knows the offered `rate × duration` and reserves here, which
+    /// saves the doubling-growth copies of a multi-megabyte record vector.
+    pub(crate) fn reserve_records(&mut self, expected: usize) {
+        let len = self.records.len();
+        self.records.reserve(expected.saturating_sub(len));
+    }
+
+    pub(crate) fn advance_until(&mut self, until: SimTime) {
+        while let Some(event) = self.events.pop_before(until) {
+            self.handle(event);
+        }
+    }
+
+    /// Drains every remaining event and produces the cluster's report.
+    pub(crate) fn finish(mut self) -> ServeReport {
+        while let Some(event) = self.events.pop() {
+            self.handle(event);
+        }
+        self.into_report()
+    }
+
+    /// Gossips the next epoch's admission rate to this cluster, re-arming
+    /// the arrival train if it had parked on a zero rate.
+    pub(crate) fn set_rate(&mut self, rate: f64, now: SimTime) {
+        let rearm = {
+            let f = self.fleet.as_mut().expect("fleet mode");
+            f.rate = rate;
+            f.accepting && rate > 0.0 && !f.arrival_armed
+        };
+        if rearm {
+            self.fleet.as_mut().expect("fleet mode").arrival_armed = true;
+            let gap = self.gaps.next_gap(rate);
+            self.events.push(now + gap, EventKind::Arrival);
+        }
+    }
+
+    /// Stamps subsequent arrivals with the fleet workload phase.
+    pub(crate) fn set_phase(&mut self, phase: u16) {
+        self.fleet.as_mut().expect("fleet mode").phase = phase;
+    }
+
+    /// The fleet workload ended: stop admitting; pre-drawn arrivals are
+    /// dropped when they fire, and the backlog drains.
+    pub(crate) fn stop_accepting(&mut self) {
+        self.fleet.as_mut().expect("fleet mode").accepting = false;
+    }
+
+    pub(crate) fn queued(&self) -> usize {
+        self.router.queued()
+    }
+
+    pub(crate) fn usable_replicas(&self) -> u32 {
+        self.usable
+    }
+
+    /// Sheds the newest queued requests down to `threshold`, handing them
+    /// to the federation router. Shed records are marked `forwarded` and
+    /// leave this cluster's loss accounting.
+    pub(crate) fn spill_excess(&mut self, threshold: usize) -> u64 {
+        let mut shed = 0u64;
+        while self.router.queued() > threshold {
+            let Some(req) = self.router.pop_newest() else {
+                break;
+            };
+            self.records[req as usize].forwarded = true;
+            self.forwarded_out += 1;
+            shed += 1;
+        }
+        shed
+    }
+
+    /// Delivers `count` requests spilled by peer clusters at `at`
+    /// (barrier + forwarding latency). Re-arms the autoscaler tick train
+    /// if the cluster had gone quiet.
+    pub(crate) fn inject_forwarded(&mut self, at: SimTime, count: u64) {
+        for _ in 0..count {
+            self.events.push(at, EventKind::Forwarded);
+        }
+        if count > 0 && !self.tick_armed {
+            self.tick_armed = true;
+            self.events.push(
+                at + self.sim.config.autoscaler.tick,
+                EventKind::AutoscaleTick,
+            );
+        }
     }
 
     // ---- event handlers -------------------------------------------------
 
     fn on_arrival(&mut self, now: SimTime) {
-        let id = self.arrived;
-        self.arrived += 1;
-        if let Some(pools) = &mut self.pools {
-            pools.observe_arrival();
+        if let Some(f) = &self.fleet {
+            let (accepting, rate, phase) = (f.accepting, f.rate, f.phase);
+            if !accepting || rate <= 0.0 {
+                self.fleet.as_mut().expect("fleet mode").arrival_armed = false;
+                return;
+            }
+            self.admit(now, phase);
+            let gap = self.gaps.next_gap(rate);
+            self.events.push(now + gap, EventKind::Arrival);
+            return;
         }
-        let phase = self.phase_of(id);
-        self.records.push(RequestRecord {
-            arrival_ns: now.as_nanos(),
-            dispatched_ns: None,
-            completed_ns: None,
-            replica: 0,
-            phase: phase as u16,
-            cold_start: false,
-            tier: 0,
-            requeues: 0,
-        });
-        emit(
-            now.as_nanos(),
-            TraceEventKind::Arrival {
-                request: id,
-                phase: phase as u16,
-            },
-        );
-        self.refresh_hosts();
-        let shard = self.router.choose_shard(&self.hosts_scratch);
-        self.router.push_back(shard, id);
-        self.shards.push(shard);
-        emit(
-            now.as_nanos(),
-            TraceEventKind::Enqueue {
-                request: id,
-                shard: shard_code(shard),
-            },
-        );
-        self.kick(now);
+        let phase = self.phase_of(self.arrived) as u16;
+        self.admit(now, phase);
         if self.arrived < self.total {
             let rps = self.workload.phases[self.phase_of(self.arrived)].rps;
             let gap = self.gaps.next_gap(rps);
             self.events.push(now + gap, EventKind::Arrival);
         }
+    }
+
+    /// Admits one request: record it, queue it, hand it out if anyone is
+    /// idle. Shared by open-loop arrivals and federation injections.
+    fn admit(&mut self, now: SimTime, phase: u16) {
+        let id = self.arrived;
+        self.arrived += 1;
+        if let Some(pools) = &mut self.pools {
+            pools.observe_arrival();
+        }
+        self.records.push(RequestRecord {
+            arrival_ns: now.as_nanos(),
+            dispatched_ns: None,
+            completed_ns: None,
+            replica: 0,
+            phase,
+            cold_start: false,
+            tier: 0,
+            requeues: 0,
+            forwarded: false,
+        });
+        if self.trace {
+            emit(
+                now.as_nanos(),
+                TraceEventKind::Arrival {
+                    request: self.req_base + id,
+                    phase,
+                },
+            );
+        }
+        if self.sim.config.router == RouterPolicy::PartitionedByNode {
+            self.refresh_hosts();
+        }
+        let shard = self.router.choose_shard(&self.hosts_scratch);
+        self.router.push_back(shard, id);
+        if self.trace {
+            emit(
+                now.as_nanos(),
+                TraceEventKind::Enqueue {
+                    request: self.req_base + id,
+                    shard: shard_code(shard),
+                },
+            );
+        }
+        self.kick(now);
     }
 
     fn on_completion(&mut self, now: SimTime, replica: u32, request: u64, dispatch_seq: u64) {
@@ -505,12 +771,14 @@ impl<'a> Run<'a> {
                 if r == request && s == dispatch_seq
         );
         // A completion from a crashed node never reaches the router; the
-        // request stays Busy until heartbeat detection re-queues it.
-        let broken = rep
-            .placement
-            .assignments
-            .iter()
-            .any(|&(_, n)| self.cluster.is_failed(n));
+        // request stays Busy until heartbeat detection re-queues it. The
+        // per-assignment scan only runs once a node has actually failed.
+        let broken = self.has_failed_nodes
+            && rep
+                .placement
+                .assignments
+                .iter()
+                .any(|&(_, n)| self.cluster.is_failed(n));
         if !current || broken {
             return; // stale (re-queued / replica dead) or physically lost
         }
@@ -518,14 +786,18 @@ impl<'a> Run<'a> {
         let rec = &mut self.records[request as usize];
         rec.completed_ns = Some(now.as_nanos());
         let sojourn = SimDuration::from_nanos(now.as_nanos() - rec.arrival_ns);
-        emit(
-            now.as_nanos(),
-            TraceEventKind::Complete { request, replica },
-        );
+        let dispatched_ns = rec.dispatched_ns;
+        if self.trace {
+            emit(
+                now.as_nanos(),
+                TraceEventKind::Complete {
+                    request: self.req_base + request,
+                    replica: self.rep_base + replica,
+                },
+            );
+        }
         let phase = rec.phase as usize;
         let cold = rec.cold_start;
-        self.sojourns.record(sojourn);
-        SOJOURNS.record(sojourn);
         self.phase_hists[phase].record(sojourn);
         self.phase_completed[phase] += 1;
         if cold {
@@ -551,12 +823,13 @@ impl<'a> Run<'a> {
 
         let rep = &mut self.replicas[replica as usize];
         rep.served += 1;
-        if let Some(d) = self.records[request as usize].dispatched_ns {
+        if let Some(d) = dispatched_ns {
             rep.busy_ns += now.as_nanos().saturating_sub(d);
         }
         rep.state = ReplicaState::Idle { since: now };
         let node = rep.node;
-        self.refresh_node_usable();
+        self.idle += 1;
+        self.idle_bits[replica as usize >> 6] |= 1 << (replica as usize & 63);
         if let Some(next) = self.router.next_for(node, &self.node_usable) {
             self.dispatch(replica, next, now);
         }
@@ -564,16 +837,17 @@ impl<'a> Run<'a> {
 
     fn on_tick(&mut self, now: SimTime) {
         if !self.work_remains() || self.deadlocked {
+            self.tick_armed = false;
             return; // stop the tick train once the run is over (or wedged)
         }
         let queued = self.router.queued();
         QUEUE_DEPTH_PEAK.set_max(queued as u64);
         QUEUE_DEPTH_SUM.add(queued as u64);
         AUTOSCALER_TICKS.incr();
-        let usable = self.usable_count();
+        let usable = self.usable;
         let want = self.autoscaler.replicas_to_add(queued, usable);
         for _ in 0..want {
-            if self.usable_count() >= self.sim.config.replicas.max_replicas {
+            if self.usable >= self.sim.config.replicas.max_replicas {
                 break;
             }
             if !self.try_spawn(now) {
@@ -633,7 +907,12 @@ impl<'a> Run<'a> {
     }
 
     fn handle_node_death(&mut self, node: NodeId, now: SimTime) {
-        emit(now.as_nanos(), TraceEventKind::NodeDeath { node: node.0 });
+        emit(
+            now.as_nanos(),
+            TraceEventKind::NodeDeath {
+                node: self.node_base + node.0,
+            },
+        );
         let mut requeue = std::mem::take(&mut self.requeue_scratch);
         requeue.clear();
         let mut dead = 0u32;
@@ -644,9 +923,15 @@ impl<'a> Run<'a> {
             cluster,
             sim,
             replicas_failed,
+            usable,
+            idle,
+            idle_bits,
+            node_replicas,
+            node_usable,
+            hosts_dirty,
             ..
         } = self;
-        for rep in replicas.iter_mut() {
+        for (id, rep) in replicas.iter_mut().enumerate() {
             let touches = rep.placement.assignments.iter().any(|&(_, n)| n == node);
             if !touches || !rep.usable() {
                 continue;
@@ -654,11 +939,21 @@ impl<'a> Run<'a> {
             if let ReplicaState::Busy { request, .. } = rep.state {
                 requeue.push(request);
             }
+            if matches!(rep.state, ReplicaState::Idle { .. }) {
+                *idle -= 1;
+                idle_bits[id >> 6] &= !(1 << (id & 63));
+            }
             rep.state = ReplicaState::Dead;
             rep.ended_at = Some(now);
             // Refunds only the replica's live-node share; the dead node's
             // capacity was written off by fail_node.
             cluster.remove_replica(&sim.plan, &sim.workflow, &rep.placement);
+            *usable -= 1;
+            node_replicas[rep.node] -= 1;
+            if node_replicas[rep.node] == 0 {
+                node_usable[rep.node] = false;
+                *hosts_dirty = true;
+            }
             *replicas_failed += 1;
             dead += 1;
         }
@@ -676,7 +971,6 @@ impl<'a> Run<'a> {
             for &req in &stranded {
                 let shard = self.router.choose_shard(&self.hosts_scratch);
                 self.router.push_back(shard, req);
-                self.shards[req as usize] = shard;
             }
             self.stranded_scratch = stranded;
         }
@@ -688,20 +982,19 @@ impl<'a> Run<'a> {
             emit(
                 now.as_nanos(),
                 TraceEventKind::Requeue {
-                    request: req,
-                    replica: self.records[req as usize].replica,
+                    request: self.req_base + req,
+                    replica: self.rep_base + self.records[req as usize].replica,
                 },
             );
             let shard = self.router.choose_shard(&self.hosts_scratch);
             self.router.push_front(shard, req);
-            self.shards[req as usize] = shard;
         }
         REQUEUES.add(requeue.len() as u64);
         self.requeue_scratch = requeue;
 
         // Replace the lost capacity immediately (cold starts apply).
         for _ in 0..dead {
-            if self.usable_count() >= self.sim.config.replicas.max_replicas {
+            if self.usable >= self.sim.config.replicas.max_replicas {
                 break;
             }
             if !self.try_spawn(now) {
@@ -748,8 +1041,8 @@ impl<'a> Run<'a> {
                 emit(
                     now.as_nanos(),
                     TraceEventKind::ReplicaSpawn {
-                        replica: id,
-                        node: self.replicas[id as usize].node as u32,
+                        replica: self.rep_base + id,
+                        node: self.node_base + self.replicas[id as usize].node as u32,
                         cold: latency > SimDuration::ZERO,
                         tier: tier.code(),
                     },
@@ -761,7 +1054,7 @@ impl<'a> Run<'a> {
                 true
             }
             Err(_) => {
-                if self.usable_count() == 0 && self.router.queued() > 0 {
+                if self.usable == 0 && self.router.queued() > 0 {
                     // Nothing can ever progress again: no replicas, no room.
                     self.deadlocked = true;
                 }
@@ -782,6 +1075,9 @@ impl<'a> Run<'a> {
         let service = self.service_base
             + placement_overhead(&self.sim.plan, &placement, self.cluster.config())
             + self.policy_overhead;
+        if self.replicas.len() >= self.idle_bits.len() * 64 {
+            self.idle_bits.push(0);
+        }
         self.replicas.push(Replica {
             placement,
             node,
@@ -795,12 +1091,18 @@ impl<'a> Run<'a> {
             started_at: now,
             ended_at: None,
         });
+        self.usable += 1;
+        self.node_replicas[node] += 1;
+        if self.node_replicas[node] == 1 {
+            self.node_usable[node] = true;
+            self.hosts_dirty = true;
+        }
     }
 
     fn dispatch(&mut self, replica: u32, request: u64, now: SimTime) {
         self.dispatch_seq += 1;
         let seq = self.dispatch_seq;
-        let u: f64 = self.rng.random();
+        let u = self.rng.next_f64();
         let mult = 1.0 + self.sim.config.service_jitter * (2.0 * u - 1.0);
         let rep = &mut self.replicas[replica as usize];
         let cold = rep.start_latency > SimDuration::ZERO && rep.served == 0;
@@ -808,6 +1110,8 @@ impl<'a> Run<'a> {
             request,
             dispatch_seq: seq,
         };
+        self.idle -= 1;
+        self.idle_bits[replica as usize >> 6] &= !(1 << (replica as usize & 63));
         let service = rep.service.mul_f64(mult);
         let node = rep.node as u32;
         let tier = rep.start_tier;
@@ -816,15 +1120,17 @@ impl<'a> Run<'a> {
         rec.replica = replica;
         rec.cold_start = cold;
         rec.tier = tier.code();
-        emit(
-            now.as_nanos(),
-            TraceEventKind::Dispatch {
-                request,
-                replica,
-                node,
-                cold,
-            },
-        );
+        if self.trace {
+            emit(
+                now.as_nanos(),
+                TraceEventKind::Dispatch {
+                    request: self.req_base + request,
+                    replica: self.rep_base + replica,
+                    node: self.node_base + node,
+                    cold,
+                },
+            );
+        }
         self.events.push(
             now + service,
             EventKind::Completion {
@@ -835,13 +1141,25 @@ impl<'a> Run<'a> {
         );
     }
 
-    /// Hands queued work to every idle replica that can take some.
+    /// Hands queued work to every idle replica that can take some, in
+    /// ascending replica-index order. O(1) when there is nothing to do —
+    /// and near O(idle) otherwise: candidates come off the idle bitmask
+    /// by bit scan, so an arrival never sweeps the replica table.
     fn kick(&mut self, now: SimTime) {
-        // Dispatching keeps replicas usable (Idle → Busy), so one refresh
-        // covers the whole sweep.
-        self.refresh_node_usable();
-        for i in 0..self.replicas.len() {
-            if matches!(self.replicas[i].state, ReplicaState::Idle { .. }) {
+        if self.idle == 0 || self.router.queued() == 0 {
+            return;
+        }
+        for w in 0..self.idle_bits.len() {
+            // Snapshot of the word: `dispatch` clears exactly the bit we
+            // just consumed and sets none, so the snapshot stays accurate
+            // for the remaining candidates.
+            let mut word = self.idle_bits[w];
+            while word != 0 {
+                if self.idle == 0 || self.router.queued() == 0 {
+                    return;
+                }
+                let i = (w << 6) | word.trailing_zeros() as usize;
+                word &= word - 1;
                 if let Some(req) = self
                     .router
                     .next_for(self.replicas[i].node, &self.node_usable)
@@ -855,10 +1173,9 @@ impl<'a> Run<'a> {
     fn retire_idle(&mut self, now: SimTime) {
         let keepalive = self.sim.config.replicas.keepalive;
         let min = self.sim.config.replicas.min_replicas;
-        // Each retirement removes exactly one usable replica, so a local
-        // counter tracks `usable_count()` without re-scanning per replica;
-        // the disjoint field borrows avoid cloning each placement.
-        let mut usable = self.usable_count();
+        let rep_base = self.rep_base;
+        // Each retirement removes exactly one usable replica; the disjoint
+        // field borrows avoid cloning each placement.
         let Run {
             replicas,
             cluster,
@@ -867,10 +1184,16 @@ impl<'a> Run<'a> {
             scale_downs,
             peak_replicas,
             timeline,
+            usable,
+            idle,
+            idle_bits,
+            node_replicas,
+            node_usable,
+            hosts_dirty,
             ..
         } = self;
         for (id, rep) in replicas.iter_mut().enumerate() {
-            if usable <= min {
+            if *usable <= min {
                 break;
             }
             let ReplicaState::Idle { since } = rep.state else {
@@ -889,13 +1212,22 @@ impl<'a> Run<'a> {
             rep.ended_at = Some(now);
             emit(
                 now.as_nanos(),
-                TraceEventKind::ReplicaRetired { replica: id as u32 },
+                TraceEventKind::ReplicaRetired {
+                    replica: rep_base + id as u32,
+                },
             );
             cluster.remove_replica(&sim.plan, &sim.workflow, &rep.placement);
             *scale_downs += 1;
-            usable -= 1;
-            *peak_replicas = (*peak_replicas).max(usable);
-            timeline.push((now.as_nanos(), usable));
+            *usable -= 1;
+            *idle -= 1;
+            idle_bits[id >> 6] &= !(1 << (id & 63));
+            node_replicas[rep.node] -= 1;
+            if node_replicas[rep.node] == 0 {
+                node_usable[rep.node] = false;
+                *hosts_dirty = true;
+            }
+            *peak_replicas = (*peak_replicas).max(*usable);
+            timeline.push((now.as_nanos(), *usable));
         }
     }
 
@@ -908,23 +1240,12 @@ impl<'a> Run<'a> {
             .unwrap_or(self.phase_ends.len() - 1)
     }
 
-    fn usable_count(&self) -> u32 {
-        self.replicas.iter().filter(|r| r.usable()).count() as u32
-    }
-
-    fn refresh_node_usable(&mut self) {
-        self.node_usable.clear();
-        self.node_usable
-            .resize(self.sim.config.cluster.nodes as usize, false);
-        for r in &self.replicas {
-            if r.usable() {
-                self.node_usable[r.node] = true;
-            }
-        }
-    }
-
+    /// Rebuilds the ascending usable-host list if it went stale.
     fn refresh_hosts(&mut self) {
-        self.refresh_node_usable();
+        if !self.hosts_dirty {
+            return;
+        }
+        self.hosts_dirty = false;
         self.hosts_scratch.clear();
         self.hosts_scratch.extend(
             self.node_usable
@@ -935,13 +1256,15 @@ impl<'a> Run<'a> {
     }
 
     fn work_remains(&self) -> bool {
-        self.arrived < self.total || self.completed < self.arrived
+        match &self.fleet {
+            Some(f) => f.accepting || self.completed + self.forwarded_out < self.arrived,
+            None => self.arrived < self.total || self.completed < self.arrived,
+        }
     }
 
     fn push_timeline(&mut self, now: SimTime) {
-        let usable = self.usable_count();
-        self.peak_replicas = self.peak_replicas.max(usable);
-        self.timeline.push((now.as_nanos(), usable));
+        self.peak_replicas = self.peak_replicas.max(self.usable);
+        self.timeline.push((now.as_nanos(), self.usable));
     }
 
     fn into_report(mut self) -> ServeReport {
@@ -1000,33 +1323,39 @@ impl<'a> Run<'a> {
             None => (0.0, 0.0),
         };
 
+        let phase_hists = std::mem::take(&mut self.phase_hists);
+        // Exact reconstruction: a StreamingHistogram merge adds bucket
+        // counts and combines min/max/sum losslessly, so merging the phase
+        // histograms equals having recorded every sojourn directly.
+        let mut sojourns = StreamingHistogram::new();
+        for hist in &phase_hists {
+            sojourns.merge(hist);
+        }
         let phases = self
             .workload
             .phases
             .iter()
-            .zip(self.phase_hists.iter())
+            .zip(phase_hists)
             .zip(self.phase_completed.iter().zip(self.phase_cold.iter()))
-            .map(|((p, hist), (&completed, &cold))| PhaseSummary {
-                offered_rps: p.rps,
-                completed,
-                mean_sojourn: hist.mean(),
-                p50_sojourn: hist.percentile(0.50),
-                p99_sojourn: hist.percentile(0.99),
-                max_sojourn: hist.max(),
-                cold_starts: cold,
+            .map(|((p, hist), (&completed, &cold))| {
+                PhaseSummary::from_histogram(p.rps, completed, cold, hist)
             })
             .collect();
 
         let requeued_requests = self.records.iter().filter(|r| r.requeues > 0).count() as u64;
 
+        // One registry-lock acquisition instead of one per completion.
+        SOJOURNS.merge(&sojourns);
+
         ServeReport {
             accepted: self.arrived,
             completed: self.completed,
-            lost: self.arrived - self.completed,
+            lost: self.arrived - self.completed - self.forwarded_out,
+            forwarded_out: self.forwarded_out,
             requeued_requests,
             cold_starts: self.cold_starts,
             makespan: SimDuration::from_nanos(end.as_nanos()),
-            sojourns: self.sojourns,
+            sojourns,
             phases,
             peak_replicas: self.peak_replicas,
             scale_ups: self.scale_ups,
