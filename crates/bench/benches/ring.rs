@@ -1,0 +1,116 @@
+//! Microbenchmarks of the real SPSC ring (`chiron-runtime::rt::ring`):
+//! same-thread push/pop latency across payload sizes, the cross-thread
+//! ping-pong that defines the tier's floor, and bulk streaming
+//! throughput. The measured `floor + bytes/bandwidth` fit these curves
+//! trace is what calibrates the model's `shm_ring` tier (see
+//! `figures -- transfer` and `TransferModel::paper_calibrated`).
+
+use chiron_runtime::{measure_fit, ring};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// Same-thread frame round trip: push one CRC-framed payload, pop it
+/// zero-copy. No cross-core traffic — this is the pure framing + copy +
+/// CRC cost per payload size.
+fn bench_push_pop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring_push_pop");
+    for size in [16usize, 1 << 10, 16 << 10, 64 << 10] {
+        let payload = vec![0x5Au8; size];
+        let (mut tx, mut rx) = ring((size + 8) * 4);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &payload, |b, payload| {
+            b.iter(|| {
+                tx.try_push(payload).expect("frame fits");
+                black_box(
+                    rx.pop_with(|a, b| a.len() + b.len())
+                        .expect("uncorrupted")
+                        .expect("frame ready"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Cross-thread ping-pong of 16-byte frames — the latency floor of the
+/// tier (one hop is half a round trip).
+fn bench_ping_pong(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring_ping_pong_16b");
+    group.sample_size(10);
+    group.bench_function("round_trip", |b| {
+        b.iter(|| {
+            let (mut to_echo, mut from_main) = ring(1 << 12);
+            let (mut to_main, mut from_echo) = ring(1 << 12);
+            const ROUNDS: u32 = 1_000;
+            let echo = std::thread::spawn(move || {
+                for _ in 0..ROUNDS {
+                    let mut buf = [0u8; 16];
+                    let n = from_main
+                        .pop_with_blocking(|a, b| {
+                            buf[..a.len()].copy_from_slice(a);
+                            buf[a.len()..a.len() + b.len()].copy_from_slice(b);
+                            a.len() + b.len()
+                        })
+                        .expect("uncorrupted ping");
+                    to_main.push_blocking(&buf[..n]).expect("pong fits");
+                }
+            });
+            let payload = [7u8; 16];
+            for _ in 0..ROUNDS {
+                to_echo.push_blocking(&payload).expect("ping fits");
+                black_box(
+                    from_echo
+                        .pop_with_blocking(|a, b| a.len() + b.len())
+                        .expect("uncorrupted pong"),
+                );
+            }
+            echo.join().expect("echo thread");
+        })
+    });
+    group.finish();
+}
+
+/// Bulk streaming of 64 KiB frames through a 1 MiB ring — the bandwidth
+/// half of the fit.
+fn bench_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring_stream_64kib");
+    group.sample_size(10);
+    group.bench_function("512_frames", |b| {
+        b.iter(|| {
+            const FRAME: usize = 64 << 10;
+            const FRAMES: usize = 512;
+            let (mut tx, mut rx) = ring(1 << 20);
+            let drain = std::thread::spawn(move || {
+                for _ in 0..FRAMES {
+                    black_box(
+                        rx.pop_with_blocking(|a, b| a.len() + b.len())
+                            .expect("uncorrupted stream"),
+                    );
+                }
+            });
+            let chunk = vec![0xA5u8; FRAME];
+            for _ in 0..FRAMES {
+                tx.push_blocking(&chunk).expect("frame fits");
+            }
+            drain.join().expect("drain thread");
+        })
+    });
+    group.finish();
+}
+
+/// The calibration fit itself, end to end — what `figures -- transfer`
+/// records into `BENCH_TRANSFER.json`.
+fn bench_measure_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring_measure_fit");
+    group.sample_size(10);
+    group.bench_function("fit", |b| b.iter(|| black_box(measure_fit())));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_push_pop,
+    bench_ping_pong,
+    bench_stream,
+    bench_measure_fit
+);
+criterion_main!(benches);

@@ -61,6 +61,7 @@ fn main() {
             "lifecycle",
             "perf",
             "fleet",
+            "transfer",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -97,6 +98,14 @@ fn main() {
                 match std::fs::write("BENCH_FLEET.json", &json) {
                     Ok(()) => eprintln!("wrote BENCH_FLEET.json"),
                     Err(e) => eprintln!("could not write BENCH_FLEET.json: {e}"),
+                }
+                json
+            }
+            "transfer" => {
+                let json = bench::transfer_figure(workers);
+                match std::fs::write("BENCH_TRANSFER.json", &json) {
+                    Ok(()) => eprintln!("wrote BENCH_TRANSFER.json"),
+                    Err(e) => eprintln!("could not write BENCH_TRANSFER.json: {e}"),
                 }
                 json
             }

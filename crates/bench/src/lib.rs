@@ -18,6 +18,7 @@ pub mod obs;
 pub mod perf;
 pub mod perf_eval;
 pub mod sweep;
+pub mod transfer;
 
 pub use ablations::ablations;
 pub use fig12::fig12;
@@ -29,3 +30,4 @@ pub use lifecycle::{lifecycle_figure, LifecycleReport};
 pub use obs::{obs_eval, ObsReport};
 pub use perf::perf;
 pub use perf_eval::perf_eval;
+pub use transfer::{transfer_figure, transfer_report};

@@ -130,6 +130,29 @@ impl Chiron {
         }
     }
 
+    /// Steps ➋–➎ with a caller-supplied PGP configuration — the hook for
+    /// opting into non-default knobs like the shm-ring transfer tier
+    /// (`PgpConfig::with_transfer`) while keeping the same profiling,
+    /// drift-baseline and wrap-generation pipeline as [`Chiron::deploy`].
+    pub fn deploy_with_config(&self, workflow: &Workflow, config: &PgpConfig) -> Deployment {
+        let profile = self.profiler.profile_workflow(workflow);
+        let schedule = self.run_scheduler(workflow, &profile, config);
+        if chiron_obs::drift_monitor_enabled() {
+            chiron_obs::record_prediction(
+                &workflow.name,
+                chiron_obs::drift::plan_key(&schedule.plan),
+                None,
+                schedule.predicted,
+            );
+        }
+        let wraps = generate(workflow, &schedule.plan);
+        Deployment {
+            profile,
+            schedule,
+            wraps,
+        }
+    }
+
     /// Step ➏: routes one request through the deployed wraps.
     pub fn invoke(
         &self,

@@ -26,8 +26,9 @@ pub use function::{
     FunctionId, FunctionSpec, LanguageRuntime, Segment, SyscallKind, WorkloadClass,
 };
 pub use plan::{
-    DeploymentPlan, IsolationKind, PlanError, ProcessPlan, ProcessSpawn, RuntimeKind, SandboxId,
-    SandboxPlan, SchedulingKind, StagePlan, SystemKind, TransferKind, WrapPlan,
+    DeploymentPlan, IsolationKind, NodePlacement, PlanError, ProcessPlan, ProcessSpawn,
+    RuntimeKind, SandboxId, SandboxPlan, SchedulingKind, StagePlan, SystemKind, TransferKind,
+    WrapPlan,
 };
 pub use platform::{BillingModel, CostModel, JitterModel, PlatformConfig, SchedulingModel};
 pub use serving::{ReplicaConfig, ReplicaId};

@@ -157,6 +157,81 @@ pub enum TransferKind {
     LocalMinio,
     /// Payload piggy-backed on the RPC invocation (wrap-to-wrap transfer).
     RpcPayload,
+    /// Zero-copy shared-memory SPSC ring between wraps co-located on one
+    /// node (the sub-microsecond regime of Fig. 4's left edge). Pairs of
+    /// sandboxes on different nodes fall back to [`TransferKind::RpcPayload`]
+    /// — locality is decided by [`NodePlacement`].
+    ShmRing,
+}
+
+/// Deterministic sandbox→node assignment derived from a plan.
+///
+/// The plan itself carries no node field (its serde form, digests and every
+/// committed report stay unperturbed); instead, any component that needs
+/// locality — the DES, the predictor, the PGP objective — recomputes the
+/// same first-fit packing from the same inputs, so fast/reference/parallel
+/// paths agree byte for byte.
+///
+/// Packing rule: sandboxes in declaration order, each onto the first node
+/// with enough spare CPU capacity (`node_cpus` per node); a sandbox wider
+/// than a whole node gets a node of its own.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodePlacement {
+    /// `nodes[sandbox.index()]` = node index. Indexed by declaration order
+    /// position, not raw id (ids may be sparse).
+    nodes: Vec<(SandboxId, u32)>,
+}
+
+impl NodePlacement {
+    /// First-fit packing of `plan.sandboxes` onto nodes of `node_cpus`
+    /// CPUs each. Deterministic: depends only on the plan's sandbox list.
+    pub fn first_fit(plan: &DeploymentPlan, node_cpus: u32) -> NodePlacement {
+        let mut free: Vec<u32> = Vec::new();
+        let mut nodes = Vec::with_capacity(plan.sandboxes.len());
+        for sb in &plan.sandboxes {
+            let slot = free.iter().position(|&f| f >= sb.cpus);
+            let node = match slot {
+                Some(i) => {
+                    free[i] -= sb.cpus.min(free[i]);
+                    i as u32
+                }
+                None => {
+                    // Fresh node; an oversize sandbox saturates it outright.
+                    free.push(node_cpus.saturating_sub(sb.cpus));
+                    (free.len() - 1) as u32
+                }
+            };
+            nodes.push((sb.id, node));
+        }
+        NodePlacement { nodes }
+    }
+
+    /// The node a sandbox landed on (`None` for ids not in the plan).
+    pub fn node_of(&self, id: SandboxId) -> Option<u32> {
+        self.nodes.iter().find(|(sb, _)| *sb == id).map(|&(_, n)| n)
+    }
+
+    /// Whether two sandboxes share a node — the co-location predicate the
+    /// shm-ring tier keys on. A sandbox is trivially co-located with
+    /// itself; unknown ids are never co-located.
+    pub fn colocated(&self, a: SandboxId, b: SandboxId) -> bool {
+        if a == b {
+            return true;
+        }
+        match (self.node_of(a), self.node_of(b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    /// Number of nodes the packing used.
+    pub fn node_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|&(_, n)| n as usize + 1)
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 /// How the platform's gateway schedules function starts for one-to-one
@@ -485,6 +560,68 @@ mod tests {
             plan.validate(&[vec![fid(0)]]).unwrap_err(),
             PlanError::ZeroCpus(SandboxId(0))
         );
+    }
+
+    #[test]
+    fn first_fit_packs_in_declaration_order() {
+        let plan = plan_one_stage(
+            vec![WrapPlan {
+                sandbox: SandboxId(0),
+                processes: vec![ProcessPlan::forked(vec![fid(0)])],
+            }],
+            vec![
+                SandboxPlan {
+                    id: SandboxId(0),
+                    cpus: 30,
+                    pool_size: 0,
+                },
+                SandboxPlan {
+                    id: SandboxId(1),
+                    cpus: 20,
+                    pool_size: 0,
+                },
+                SandboxPlan {
+                    id: SandboxId(2),
+                    cpus: 10,
+                    pool_size: 0,
+                },
+            ],
+        );
+        let p = NodePlacement::first_fit(&plan, 40);
+        // 30 fills node 0 to 10 spare; 20 opens node 1; 10 back-fills node 0.
+        assert_eq!(p.node_of(SandboxId(0)), Some(0));
+        assert_eq!(p.node_of(SandboxId(1)), Some(1));
+        assert_eq!(p.node_of(SandboxId(2)), Some(0));
+        assert!(p.colocated(SandboxId(0), SandboxId(2)));
+        assert!(!p.colocated(SandboxId(0), SandboxId(1)));
+        assert!(p.colocated(SandboxId(1), SandboxId(1)));
+        assert!(!p.colocated(SandboxId(0), SandboxId(9)));
+        assert_eq!(p.node_count(), 2);
+    }
+
+    #[test]
+    fn first_fit_gives_oversize_sandboxes_their_own_node() {
+        let plan = plan_one_stage(
+            vec![WrapPlan {
+                sandbox: SandboxId(0),
+                processes: vec![ProcessPlan::forked(vec![fid(0)])],
+            }],
+            vec![
+                SandboxPlan {
+                    id: SandboxId(0),
+                    cpus: 64,
+                    pool_size: 0,
+                },
+                SandboxPlan {
+                    id: SandboxId(1),
+                    cpus: 1,
+                    pool_size: 0,
+                },
+            ],
+        );
+        let p = NodePlacement::first_fit(&plan, 40);
+        assert_eq!(p.node_of(SandboxId(0)), Some(0));
+        assert_eq!(p.node_of(SandboxId(1)), Some(1));
     }
 
     #[test]

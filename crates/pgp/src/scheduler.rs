@@ -108,6 +108,13 @@ pub struct PgpConfig {
     /// latency-only objective — and byte-identical legacy plans. SLO
     /// checks always use the raw predicted latency.
     pub prewarm: Option<PrewarmBudget>,
+    /// Wrap-to-wrap transfer mechanism of every emitted plan.
+    /// [`TransferKind::RpcPayload`] (the default) keeps legacy plans
+    /// byte-identical; [`TransferKind::ShmRing`] lets co-located wrap
+    /// pairs ride the zero-copy shared-memory ring while split pairs fall
+    /// back to RPC — the evaluator prices both through the same first-fit
+    /// node packing the platform uses, so the search sees the savings.
+    pub transfer: TransferKind,
 }
 
 impl PgpConfig {
@@ -118,6 +125,7 @@ impl PgpConfig {
             conservative_margin: 1.25,
             max_process_search: 32,
             prewarm: None,
+            transfer: TransferKind::RpcPayload,
         }
     }
 
@@ -128,6 +136,7 @@ impl PgpConfig {
             conservative_margin: 1.0,
             max_process_search: 32,
             prewarm: None,
+            transfer: TransferKind::RpcPayload,
         }
     }
 
@@ -138,6 +147,11 @@ impl PgpConfig {
 
     pub fn with_prewarm(mut self, budget: PrewarmBudget) -> Self {
         self.prewarm = Some(budget);
+        self
+    }
+
+    pub fn with_transfer(mut self, transfer: TransferKind) -> Self {
+        self.transfer = transfer;
         self
     }
 }
@@ -556,7 +570,7 @@ impl PgpScheduler {
         let mut chosen: Option<DeploymentPlan> = None;
         let mut best_obj = SimDuration::from_nanos(u64::MAX);
         for wraps in 1..=max_procs {
-            let plan = self.build_plan(workflow, partitions, wraps, isolation, 0);
+            let plan = self.build_plan(workflow, partitions, wraps, isolation, 0, config.transfer);
             let lat = eval.plan_latency(&plan);
             let obj = lat + prewarm_penalty(workflow, &plan, &self.predictor.costs, config);
             match config.slo {
@@ -837,7 +851,16 @@ impl PgpScheduler {
         isolation: IsolationKind,
         pool_size: u32,
     ) -> DeploymentPlan {
-        self.build_plan(workflow, partitions, wrap_count, isolation, pool_size)
+        // Plan enumeration keeps the legacy RPC-payload tier so Fig. 12's
+        // candidate space (and its digests) are unchanged.
+        self.build_plan(
+            workflow,
+            partitions,
+            wrap_count,
+            isolation,
+            pool_size,
+            TransferKind::RpcPayload,
+        )
     }
 
     /// Round-robin stage partitions into `n` processes followed by KL
@@ -868,6 +891,7 @@ impl PgpScheduler {
         wrap_count: usize,
         isolation: IsolationKind,
         pool_size: u32,
+        transfer: TransferKind,
     ) -> DeploymentPlan {
         let pooled = pool_size > 0;
         let mut stages = Vec::with_capacity(partitions.len());
@@ -964,7 +988,7 @@ impl PgpScheduler {
             workflow: workflow.name.clone(),
             runtime: RuntimeKind::PseudoParallel,
             isolation,
-            transfer: TransferKind::RpcPayload,
+            transfer,
             scheduling: SchedulingKind::PreDeployed,
             sandboxes,
             stages,
@@ -1058,6 +1082,7 @@ impl PgpScheduler {
             usize::MAX,
             IsolationKind::None,
             pool_size,
+            config.transfer,
         );
         // A pool is a single wrap: force everything into sandbox 0.
         for stage in &mut plan.stages {

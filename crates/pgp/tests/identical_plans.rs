@@ -6,7 +6,7 @@
 //! setting they must emit plans byte-identical to their pre-optimisation
 //! reference implementations, while actually exercising the memo cache.
 
-use chiron_model::{FunctionSpec, Segment, SimDuration, SyscallKind, Workflow};
+use chiron_model::{FunctionSpec, Segment, SimDuration, SyscallKind, TransferKind, Workflow};
 use chiron_pgp::{PgpConfig, PgpMode, PgpScheduler};
 use chiron_predict::PredictionCache;
 use chiron_profiler::Profiler;
@@ -74,5 +74,35 @@ proptest! {
         // The fast paths must actually run memoised: identical process
         // contents recur across the n-search, KL rounds and CPU trimming.
         prop_assert!(total_hits > 0, "prediction cache was never hit");
+    }
+
+    /// The shm-ring tier changes the objective (co-located wraps price
+    /// their handoffs at the ring), so the search may pick different
+    /// packings — but fast, reference, and parallel searches must still
+    /// agree byte for byte, and every emitted plan must carry the tier.
+    #[test]
+    fn shm_tier_searches_stay_identical(wf in arb_workflow(), slo_ms in 5u64..250) {
+        let prof = Profiler::default().profile_workflow(&wf);
+        let sched = PgpScheduler::paper_calibrated();
+        for config in [
+            PgpConfig::performance_first().with_transfer(TransferKind::ShmRing),
+            PgpConfig::with_slo(SimDuration::from_millis(slo_ms))
+                .with_transfer(TransferKind::ShmRing),
+        ] {
+            let cache = PredictionCache::new();
+            let fast = sched.schedule_with_cache(&wf, &prof, &config, &cache);
+            let slow = sched.schedule_reference(&wf, &prof, &config);
+            prop_assert_eq!(&fast.plan, &slow.plan);
+            prop_assert_eq!(fast.predicted, slow.predicted);
+            prop_assert_eq!(fast.processes, slow.processes);
+            prop_assert_eq!(fast.met_slo, slow.met_slo);
+            prop_assert_eq!(fast.plan.transfer, TransferKind::ShmRing);
+
+            let par = sched.schedule_parallel(&wf, &prof, &config, 4);
+            let oracle = sched.schedule_parallel_reference(&wf, &prof, &config);
+            prop_assert_eq!(&par.plan, &oracle.plan);
+            prop_assert_eq!(par.predicted, oracle.predicted);
+            prop_assert_eq!(par.processes, oracle.processes);
+        }
     }
 }

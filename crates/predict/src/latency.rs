@@ -18,8 +18,8 @@ use crate::threadsim::{predict_threads, predict_true_parallel, SimArena, SimThre
 use chiron_isolation::IsolationCosts;
 use chiron_model::plan::ProcessSpawn;
 use chiron_model::{
-    CostModel, DeploymentPlan, PlatformConfig, SchedulingKind, SchedulingModel, Segment,
-    SimDuration, TransferKind, Workflow, WrapPlan,
+    CostModel, DeploymentPlan, NodePlacement, PlatformConfig, SchedulingKind, SchedulingModel,
+    Segment, SimDuration, TransferKind, Workflow, WrapPlan,
 };
 use chiron_profiler::WorkflowProfile;
 use chiron_store::TransferModel;
@@ -105,7 +105,17 @@ impl Predictor {
         plan: &DeploymentPlan,
         wrap_latency: &mut dyn FnMut(&WrapPlan, u64, bool, bool) -> SimDuration,
     ) -> SimDuration {
-        let store_based = plan.transfer != TransferKind::RpcPayload;
+        let store_based = !matches!(
+            plan.transfer,
+            TransferKind::RpcPayload | TransferKind::ShmRing
+        );
+        // Mirrors the virtual platform exactly: locality only matters to
+        // the shm-ring tier, decided by the same first-fit packing.
+        let placement = (plan.transfer == TransferKind::ShmRing)
+            .then(|| NodePlacement::first_fit(plan, self.costs.node_cpus));
+        let colocated = |a: chiron_model::SandboxId, b: chiron_model::SandboxId| {
+            placement.as_ref().is_some_and(|p| p.colocated(a, b))
+        };
         let last_stage = plan.stages.len() - 1;
         let mut total = SimDuration::ZERO;
         let mut prev_primary = None;
@@ -121,10 +131,14 @@ impl Predictor {
             if plan.scheduling == SchedulingKind::PreDeployed {
                 if let Some(prev) = prev_primary {
                     if prev != primary {
-                        total += self.costs.rpc
-                            + self
-                                .transfer
-                                .cross_sandbox(TransferKind::RpcPayload, stage_input_bytes);
+                        total += if colocated(prev, primary) {
+                            self.transfer.shm_ring.latency(stage_input_bytes)
+                        } else {
+                            self.costs.rpc
+                                + self
+                                    .transfer
+                                    .cross_sandbox(TransferKind::RpcPayload, stage_input_bytes)
+                        };
                     }
                 }
             }
@@ -132,6 +146,9 @@ impl Predictor {
 
             let mut stage_dur = SimDuration::ZERO;
             for (k, wrap) in stage_plan.wraps.iter().enumerate() {
+                let ring_local = k > 0
+                    && plan.scheduling == SchedulingKind::PreDeployed
+                    && colocated(primary, wrap.sandbox);
                 let invoke = match plan.scheduling {
                     SchedulingKind::Asf => self.scheduling.asf_schedule_time(k as u32),
                     SchedulingKind::OpenFaasGateway => {
@@ -140,6 +157,11 @@ impl Predictor {
                     SchedulingKind::PreDeployed => {
                         if k == 0 {
                             SimDuration::ZERO
+                        } else if ring_local {
+                            // T_INV stays; the ring replaces the RPC round
+                            // trip + piggy-backed payload copy.
+                            self.costs.inv * k as u64
+                                + self.transfer.shm_ring.latency(stage_input_bytes)
                         } else {
                             self.costs.inv * k as u64
                                 + self.costs.rpc
@@ -155,7 +177,13 @@ impl Predictor {
                 let remote_return = plan.scheduling != SchedulingKind::PreDeployed || k > 0;
                 let mut end = invoke + wrap_dur;
                 if remote_return {
-                    end += self.costs.rpc;
+                    // A co-located wrap posts its result over the ring:
+                    // doorbell floor in place of the return RPC.
+                    end += if ring_local {
+                        self.transfer.shm_ring.floor
+                    } else {
+                        self.costs.rpc
+                    };
                 }
                 stage_dur = stage_dur.max(end);
             }
@@ -191,7 +219,14 @@ impl Predictor {
                     s
                 }
                 ProcessSpawn::Pool => {
-                    self.costs.pool_dispatch + self.transfer.cross_process(stage_input_bytes)
+                    // Mirrors the DES: under the shm-ring tier the pool
+                    // dispatch payload rides the ring instead of a pipe.
+                    self.costs.pool_dispatch
+                        + if plan.transfer == TransferKind::ShmRing {
+                            self.transfer.shm_ring.latency(stage_input_bytes)
+                        } else {
+                            self.transfer.cross_process(stage_input_bytes)
+                        }
                 }
                 ProcessSpawn::MainReuse => SimDuration::ZERO,
             };
@@ -265,9 +300,21 @@ impl Predictor {
             SimDuration::from_nanos((total_cpu.as_nanos() as f64 / f64::from(cpus)).ceil() as u64);
         let exec_end = max_end.max(packed);
 
-        // Eq. 3's serial result drain over the pipe.
-        let ipc = self.costs.ipc_pipe * (wrap.processes.len() as u64 - 1);
+        // Eq. 3's serial result drain over the pipe — or the ring floor
+        // per process when the wrap's plan rides the shm-ring tier.
+        let ipc = self.drain_cost(plan) * (wrap.processes.len() as u64 - 1);
         exec_end + ipc + max_write
+    }
+
+    /// Per-process serial drain cost (Eq. 3's `T_IPC` term): a pipe write
+    /// by default, the ring's doorbell floor under the shm-ring tier (the
+    /// wrap's processes share a node by construction).
+    fn drain_cost(&self, plan: &DeploymentPlan) -> SimDuration {
+        if plan.transfer == TransferKind::ShmRing {
+            self.transfer.shm_ring.floor
+        } else {
+            self.costs.ipc_pipe
+        }
     }
 
     /// `wrap_latency` with memoised, allocation-free process simulations.
@@ -300,7 +347,14 @@ impl Predictor {
                     s
                 }
                 ProcessSpawn::Pool => {
-                    self.costs.pool_dispatch + self.transfer.cross_process(stage_input_bytes)
+                    // Mirrors the DES: under the shm-ring tier the pool
+                    // dispatch payload rides the ring instead of a pipe.
+                    self.costs.pool_dispatch
+                        + if plan.transfer == TransferKind::ShmRing {
+                            self.transfer.shm_ring.latency(stage_input_bytes)
+                        } else {
+                            self.transfer.cross_process(stage_input_bytes)
+                        }
                 }
                 ProcessSpawn::MainReuse => SimDuration::ZERO,
             };
@@ -403,7 +457,7 @@ impl Predictor {
         let packed =
             SimDuration::from_nanos((total_cpu.as_nanos() as f64 / f64::from(cpus)).ceil() as u64);
         let exec_end = max_end.max(packed);
-        let ipc = self.costs.ipc_pipe * (wrap.processes.len() as u64 - 1);
+        let ipc = self.drain_cost(plan) * (wrap.processes.len() as u64 - 1);
         exec_end + ipc + max_write
     }
 }
@@ -514,6 +568,58 @@ mod tests {
                 (predicted.as_millis_f64() - truth.as_millis_f64()).abs() / truth.as_millis_f64();
             assert!(err < 0.15, "{}: pred {predicted} truth {truth}", wf.name);
         }
+    }
+
+    /// FINRA split across two wraps (two 2-cpu sandboxes, first-fit packs
+    /// both onto one node) so the shm-ring tier's co-location pricing is
+    /// actually exercised.
+    fn two_wrap_plan(wf: &Workflow, transfer: TransferKind) -> DeploymentPlan {
+        let mut plan = faastlane_plan(wf, 2);
+        plan.transfer = transfer;
+        plan.sandboxes.push(SandboxPlan {
+            id: SandboxId(1),
+            cpus: 2,
+            pool_size: 0,
+        });
+        for stage in &mut plan.stages {
+            let procs = std::mem::take(&mut stage.wraps[0].processes);
+            if procs.len() < 2 {
+                stage.wraps[0].processes = procs;
+                continue;
+            }
+            let mid = procs.len() / 2;
+            let (a, b) = procs.split_at(mid);
+            stage.wraps[0].processes = a.to_vec();
+            stage.wraps.push(WrapPlan {
+                sandbox: SandboxId(1),
+                processes: b.to_vec(),
+            });
+        }
+        plan
+    }
+
+    #[test]
+    fn tracks_ground_truth_for_shm_ring_plans() {
+        let wf = apps::finra(5);
+        let profile = Profiler::default().profile_workflow(&wf);
+        let pred = Predictor::paper_calibrated();
+        let platform = VirtualPlatform::new(PlatformConfig::paper_calibrated());
+        for transfer in [TransferKind::RpcPayload, TransferKind::ShmRing] {
+            let plan = two_wrap_plan(&wf, transfer);
+            let predicted = pred.predict(&wf, &profile, &plan);
+            let truth = platform.execute(&wf, &plan, 0).unwrap().e2e;
+            let err =
+                (predicted.as_millis_f64() - truth.as_millis_f64()).abs() / truth.as_millis_f64();
+            assert!(
+                err < 0.15,
+                "{transfer:?}: pred {predicted} truth {truth} err {err}"
+            );
+        }
+        // And the predictor agrees with the DES on the direction: the ring
+        // plan is strictly faster than its RPC twin.
+        let ring = pred.predict(&wf, &profile, &two_wrap_plan(&wf, TransferKind::ShmRing));
+        let rpc = pred.predict(&wf, &profile, &two_wrap_plan(&wf, TransferKind::RpcPayload));
+        assert!(ring < rpc, "ring {ring} vs rpc {rpc}");
     }
 
     #[test]

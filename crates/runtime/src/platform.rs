@@ -28,8 +28,8 @@ use crate::span::{FunctionTimeline, RequestOutcome, Span, SpanKind};
 use chiron_isolation::IsolationCosts;
 use chiron_model::plan::ProcessSpawn;
 use chiron_model::{
-    DeploymentPlan, FunctionId, PlanError, PlatformConfig, SchedulingKind, Segment, SimDuration,
-    SimTime, TransferKind, Workflow, WrapPlan,
+    DeploymentPlan, FunctionId, NodePlacement, PlanError, PlatformConfig, SandboxId,
+    SchedulingKind, Segment, SimDuration, SimTime, TransferKind, Workflow, WrapPlan,
 };
 use chiron_store::TransferModel;
 use std::cell::RefCell;
@@ -188,7 +188,16 @@ impl VirtualPlatform {
         let costs = &self.config.costs;
         let mut jit = Jitter::new(self.config.jitter, seed);
         let iso = IsolationCosts::for_kind(plan.isolation);
-        let store_based = plan.transfer != TransferKind::RpcPayload;
+        let store_based = !matches!(
+            plan.transfer,
+            TransferKind::RpcPayload | TransferKind::ShmRing
+        );
+        // Locality only matters to the shm-ring tier; every other kind
+        // prices independently of placement, so skip the packing work.
+        let placement = (plan.transfer == TransferKind::ShmRing)
+            .then(|| NodePlacement::first_fit(plan, costs.node_cpus));
+        let colocated =
+            |a: SandboxId, b: SandboxId| placement.as_ref().is_some_and(|p| p.colocated(a, b));
         let last_stage = plan.stages.len() - 1;
 
         let mut timelines: Vec<Option<FunctionTimeline>> = vec![None; workflow.function_count()];
@@ -212,12 +221,17 @@ impl VirtualPlatform {
             if plan.scheduling == SchedulingKind::PreDeployed {
                 if let Some(prev) = prev_primary {
                     if prev != primary {
-                        t = t
-                            + jit.comm(costs.rpc)
-                            + jit.comm(
-                                self.transfer
-                                    .cross_sandbox(TransferKind::RpcPayload, stage_input_bytes),
-                            );
+                        // A co-located pair rides the ring: the doorbell
+                        // floor replaces the RPC round trip entirely.
+                        t += if colocated(prev, primary) {
+                            jit.comm(self.transfer.shm_ring.latency(stage_input_bytes))
+                        } else {
+                            jit.comm(costs.rpc)
+                                + jit.comm(
+                                    self.transfer
+                                        .cross_sandbox(TransferKind::RpcPayload, stage_input_bytes),
+                                )
+                        };
                     }
                 }
             }
@@ -240,6 +254,13 @@ impl VirtualPlatform {
                     SchedulingKind::PreDeployed => {
                         if k == 0 {
                             stage_start
+                        } else if colocated(primary, wrap.sandbox) {
+                            // Invocation still costs T_INV per Eq. 2, but
+                            // the payload rides the ring in place of the
+                            // RPC round trip + piggy-backed copy.
+                            stage_start
+                                + jit.comm(costs.inv * k as u64)
+                                + jit.comm(self.transfer.shm_ring.latency(stage_input_bytes))
                         } else {
                             stage_start
                                 + jit.comm(costs.inv * k as u64)
@@ -284,6 +305,9 @@ impl VirtualPlatform {
             for (k, &end) in wrap_ends.iter().enumerate() {
                 let e = if k == 0 && !remote_return {
                     end
+                } else if !remote_return && colocated(stage_plan.wraps[k].sandbox, primary) {
+                    // Result notification over the ring: doorbell only.
+                    end + jit.comm(self.transfer.shm_ring.floor)
                 } else {
                     end + jit.comm(costs.rpc)
                 };
@@ -380,8 +404,15 @@ impl VirtualPlatform {
                     cursor = end;
                 }
                 ProcessSpawn::Pool => {
-                    let dispatch = jit.startup(costs.pool_dispatch)
-                        + jit.comm(self.transfer.cross_process(stage_input_bytes));
+                    // Under the shm-ring tier the dispatch payload rides the
+                    // ring (orchestrator and worker share the node by
+                    // construction); otherwise it crosses a pipe.
+                    let payload = if plan.transfer == TransferKind::ShmRing {
+                        self.transfer.shm_ring.latency(stage_input_bytes)
+                    } else {
+                        self.transfer.cross_process(stage_input_bytes)
+                    };
+                    let dispatch = jit.startup(costs.pool_dispatch) + jit.comm(payload);
                     let end = cursor + dispatch;
                     pre_all.push(Span {
                         kind: SpanKind::Startup,
@@ -510,7 +541,13 @@ impl VirtualPlatform {
                 .iter()
                 .map(|&fid| workflow.function(fid).output_bytes)
                 .sum();
-            let cost = jit.comm(costs.ipc_pipe + self.transfer.cross_process(out_bytes));
+            // Processes of one wrap share a node: under the shm-ring tier
+            // the drain rides the ring (floor replaces T_IPC's pipe write).
+            let cost = if plan.transfer == TransferKind::ShmRing {
+                jit.comm(self.transfer.shm_ring.latency(out_bytes))
+            } else {
+                jit.comm(costs.ipc_pipe + self.transfer.cross_process(out_bytes))
+            };
             drain = start + cost;
             ipc_span[p] = Some(Span {
                 kind: SpanKind::Ipc,
@@ -643,7 +680,14 @@ impl VirtualPlatform {
         let costs = &self.config.costs;
         let mut jit = Jitter::new(self.config.jitter, seed);
         let iso = IsolationCosts::for_kind(plan.isolation);
-        let store_based = plan.transfer != TransferKind::RpcPayload;
+        let store_based = !matches!(
+            plan.transfer,
+            TransferKind::RpcPayload | TransferKind::ShmRing
+        );
+        let placement = (plan.transfer == TransferKind::ShmRing)
+            .then(|| NodePlacement::first_fit(plan, costs.node_cpus));
+        let colocated =
+            |a: SandboxId, b: SandboxId| placement.as_ref().is_some_and(|p| p.colocated(a, b));
         let last_stage = plan.stages.len() - 1;
 
         let mut timelines: Vec<Option<FunctionTimeline>> = vec![None; workflow.function_count()];
@@ -665,12 +709,17 @@ impl VirtualPlatform {
             if plan.scheduling == SchedulingKind::PreDeployed {
                 if let Some(prev) = prev_primary {
                     if prev != primary {
-                        t = t
-                            + jit.comm(costs.rpc)
-                            + jit.comm(
-                                self.transfer
-                                    .cross_sandbox(TransferKind::RpcPayload, stage_input_bytes),
-                            );
+                        // A co-located pair rides the ring: the doorbell
+                        // floor replaces the RPC round trip entirely.
+                        t += if colocated(prev, primary) {
+                            jit.comm(self.transfer.shm_ring.latency(stage_input_bytes))
+                        } else {
+                            jit.comm(costs.rpc)
+                                + jit.comm(
+                                    self.transfer
+                                        .cross_sandbox(TransferKind::RpcPayload, stage_input_bytes),
+                                )
+                        };
                     }
                 }
             }
@@ -693,6 +742,13 @@ impl VirtualPlatform {
                     SchedulingKind::PreDeployed => {
                         if k == 0 {
                             stage_start
+                        } else if colocated(primary, wrap.sandbox) {
+                            // Invocation still costs T_INV per Eq. 2, but
+                            // the payload rides the ring in place of the
+                            // RPC round trip + piggy-backed copy.
+                            stage_start
+                                + jit.comm(costs.inv * k as u64)
+                                + jit.comm(self.transfer.shm_ring.latency(stage_input_bytes))
                         } else {
                             stage_start
                                 + jit.comm(costs.inv * k as u64)
@@ -734,6 +790,9 @@ impl VirtualPlatform {
             for (k, &end) in wrap_ends.iter().enumerate() {
                 let e = if k == 0 && !remote_return {
                     end
+                } else if !remote_return && colocated(stage_plan.wraps[k].sandbox, primary) {
+                    // Result notification over the ring: doorbell only.
+                    end + jit.comm(self.transfer.shm_ring.floor)
                 } else {
                     end + jit.comm(costs.rpc)
                 };
@@ -821,8 +880,15 @@ impl VirtualPlatform {
                     cursor = end;
                 }
                 ProcessSpawn::Pool => {
-                    let dispatch = jit.startup(costs.pool_dispatch)
-                        + jit.comm(self.transfer.cross_process(stage_input_bytes));
+                    // Under the shm-ring tier the dispatch payload rides the
+                    // ring (orchestrator and worker share the node by
+                    // construction); otherwise it crosses a pipe.
+                    let payload = if plan.transfer == TransferKind::ShmRing {
+                        self.transfer.shm_ring.latency(stage_input_bytes)
+                    } else {
+                        self.transfer.cross_process(stage_input_bytes)
+                    };
+                    let dispatch = jit.startup(costs.pool_dispatch) + jit.comm(payload);
                     let end = cursor + dispatch;
                     pre.push(Span {
                         kind: SpanKind::Startup,
@@ -934,7 +1000,13 @@ impl VirtualPlatform {
                 .iter()
                 .map(|&fid| workflow.function(fid).output_bytes)
                 .sum();
-            let cost = jit.comm(costs.ipc_pipe + self.transfer.cross_process(out_bytes));
+            // Processes of one wrap share a node: under the shm-ring tier
+            // the drain rides the ring (floor replaces T_IPC's pipe write).
+            let cost = if plan.transfer == TransferKind::ShmRing {
+                jit.comm(self.transfer.shm_ring.latency(out_bytes))
+            } else {
+                jit.comm(costs.ipc_pipe + self.transfer.cross_process(out_bytes))
+            };
             drain = start + cost;
             ipc_span[p] = Some(Span {
                 kind: SpanKind::Ipc,
@@ -1397,6 +1469,91 @@ mod tests {
         // The rules' own execution times differ by up to 11.5ms; a fork
         // ladder would add ~14ms of stagger on top of that.
         assert!(spread < 12.5, "pool spread {spread}ms");
+    }
+
+    /// The multi-wrap FINRA-4 plan (two sandboxes of 2 cpus — first-fit
+    /// packs both onto one 40-cpu node) under a configurable transfer kind.
+    fn finra4_two_wraps(transfer: TransferKind) -> (Workflow, DeploymentPlan) {
+        let wf = apps::finra(4);
+        let plan = DeploymentPlan {
+            system: SystemKind::Chiron,
+            workflow: wf.name.clone(),
+            runtime: RuntimeKind::PseudoParallel,
+            isolation: IsolationKind::None,
+            transfer,
+            scheduling: SchedulingKind::PreDeployed,
+            sandboxes: vec![
+                SandboxPlan {
+                    id: SandboxId(0),
+                    cpus: 2,
+                    pool_size: 0,
+                },
+                SandboxPlan {
+                    id: SandboxId(1),
+                    cpus: 2,
+                    pool_size: 0,
+                },
+            ],
+            stages: vec![
+                StagePlan {
+                    wraps: vec![WrapPlan {
+                        sandbox: SandboxId(0),
+                        processes: vec![ProcessPlan::main_reuse(vec![FunctionId(0)])],
+                    }],
+                },
+                StagePlan {
+                    wraps: vec![
+                        WrapPlan {
+                            sandbox: SandboxId(0),
+                            processes: vec![
+                                ProcessPlan::forked(vec![FunctionId(1)]),
+                                ProcessPlan::forked(vec![FunctionId(2)]),
+                            ],
+                        },
+                        WrapPlan {
+                            sandbox: SandboxId(1),
+                            processes: vec![
+                                ProcessPlan::forked(vec![FunctionId(3)]),
+                                ProcessPlan::forked(vec![FunctionId(4)]),
+                            ],
+                        },
+                    ],
+                },
+            ],
+        };
+        (wf, plan)
+    }
+
+    #[test]
+    fn shm_ring_beats_rpc_payload_when_colocated() {
+        let p = platform();
+        let (wf, rpc_plan) = finra4_two_wraps(TransferKind::RpcPayload);
+        let (_, ring_plan) = finra4_two_wraps(TransferKind::ShmRing);
+        let rpc = p.execute(&wf, &rpc_plan, 0).unwrap();
+        let ring = p.execute(&wf, &ring_plan, 0).unwrap();
+        // Both 2-cpu sandboxes pack onto one 40-cpu node, so the remote
+        // wrap's invocation payload, result return, and the IPC drains all
+        // ride the ring — the saving is the dropped RPC round trips plus
+        // the pipe-vs-ring bandwidth gap.
+        assert!(ring.e2e < rpc.e2e, "ring {} vs rpc {}", ring.e2e, rpc.e2e);
+        // The drain still appears, but priced at ring cost (< 1µs for the
+        // tiny rule outputs vs ≥1ms of T_IPC each).
+        assert!(ring.total(SpanKind::Ipc) < SimDuration::from_micros(10));
+        // Two wraps × one drained process each at T_IPC ≈ 1ms.
+        assert!(rpc.total(SpanKind::Ipc) >= SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn shm_ring_engines_stay_byte_identical() {
+        let p = VirtualPlatform::new(
+            PlatformConfig::paper_calibrated().with_jitter(chiron_model::JitterModel::cluster()),
+        );
+        let (wf, plan) = finra4_two_wraps(TransferKind::ShmRing);
+        for seed in [0u64, 7, 2023] {
+            let fast = p.execute(&wf, &plan, seed).unwrap();
+            let reference = p.execute_reference(&wf, &plan, seed).unwrap();
+            assert_eq!(fast, reference, "shm-ring engines diverge on seed {seed}");
+        }
     }
 
     #[test]
