@@ -1,0 +1,60 @@
+//! Fleet-observability macrobenchmark: the 16-cluster federated serving
+//! plane run with tracing disabled and enabled, so the cost of the
+//! fleet-wide capture path (per-cluster capture windows, forwarding
+//! spans, regime sensors, SLO monitors) is visible next to the bare
+//! event loop — the wall-clock companion of the `figures -- fleet-obs`
+//! overhead gate.
+
+use chiron::serving::ServeConfig;
+use chiron::{Chiron, FleetConfig, FleetSimulation, FleetWorkload, PgpMode};
+use chiron_model::{apps, SimDuration};
+use chiron_obs::{RegimeConfig, SloPolicy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const CLUSTERS: u32 = 16;
+const RPS: f64 = 2_400.0;
+const DURATION_MS: u64 = 30_000; // 72k requests fleet-wide per iteration
+
+fn bench_fleet_obs(c: &mut Criterion) {
+    let chiron = Chiron::default();
+    let wf = apps::finra(12);
+    let deployment = chiron.deploy(&wf, None, PgpMode::NativeThread);
+    let sim = FleetSimulation::new(
+        wf,
+        deployment.plan().clone(),
+        FleetConfig::paper_fleet(CLUSTERS).with_cluster(
+            ServeConfig::paper_testbed()
+                .with_slo(SloPolicy::multi_window(SimDuration::from_millis(1_200)))
+                .with_regime(RegimeConfig::default()),
+        ),
+    )
+    .expect("fleet construction");
+    let workload = FleetWorkload::steady(RPS, SimDuration::from_millis(DURATION_MS));
+
+    let mut group = c.benchmark_group("fleet_obs");
+    group.sample_size(10);
+    for tracing in [false, true] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if tracing { "enabled" } else { "disabled" }),
+            &workload,
+            |b, wl| {
+                b.iter(|| {
+                    chiron_obs::set_tracing(tracing);
+                    let (report, trace) = sim
+                        .run_sharded_traced(black_box(wl), 1, 4, 4)
+                        .expect("fleet run");
+                    chiron_obs::set_tracing(false);
+                    assert_eq!(report.lost, 0);
+                    let digest = report.digest();
+                    chiron_obs::recycle(trace);
+                    black_box(digest)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(fleet_obs, bench_fleet_obs);
+criterion_main!(fleet_obs);

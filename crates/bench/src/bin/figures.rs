@@ -125,6 +125,22 @@ fn main() {
                 }
                 format!("{}\n{}", report.text, report.json)
             }
+            "fleet-obs" => {
+                let report = bench::fleet_obs_figure();
+                match std::fs::write("BENCH_FLEETOBS.json", &report.json) {
+                    Ok(()) => eprintln!("wrote BENCH_FLEETOBS.json"),
+                    Err(e) => eprintln!("could not write BENCH_FLEETOBS.json: {e}"),
+                }
+                match std::fs::write("fleet_trace.json", &report.perfetto) {
+                    Ok(()) => eprintln!("wrote fleet_trace.json (open at ui.perfetto.dev)"),
+                    Err(e) => eprintln!("could not write fleet_trace.json: {e}"),
+                }
+                match std::fs::write("fleet_incident.txt", &report.incident) {
+                    Ok(()) => eprintln!("wrote fleet_incident.txt (flight-recorder window)"),
+                    Err(e) => eprintln!("could not write fleet_incident.txt: {e}"),
+                }
+                format!("{}\n{}", report.text, report.json)
+            }
             "obs" => {
                 let report = bench::obs_eval(workers);
                 match std::fs::write("BENCH_OBS.json", &report.json) {

@@ -13,6 +13,7 @@ pub mod figs_eval;
 pub mod figs_motivation;
 pub mod figs_serve;
 pub mod fleet;
+pub mod fleetobs;
 pub mod lifecycle;
 pub mod obs;
 pub mod perf;
@@ -26,6 +27,7 @@ pub use figs_eval::{fig13, fig14, fig15, fig16, fig17, fig18, fig19};
 pub use figs_motivation::{fig3, fig4, fig5, fig6, fig7, fig8, table1};
 pub use figs_serve::serve_figure;
 pub use fleet::fleet_figure;
+pub use fleetobs::{fleet_obs_figure, fleet_obs_report, FleetObsReport};
 pub use lifecycle::{lifecycle_figure, LifecycleReport};
 pub use obs::{obs_eval, ObsReport};
 pub use perf::perf;

@@ -302,10 +302,10 @@ impl Chiron {
                     )
                     .with_service_base_override(scaled)
                 }
-                // Queueing and retry are emergent properties of the DES —
-                // there is no single constant whose virtual speedup models
-                // them honestly.
-                Component::Queueing | Component::Retry => return None,
+                // Queueing, retry, and cross-cluster forwarding are
+                // emergent properties of the DES — there is no single
+                // constant whose virtual speedup models them honestly.
+                Component::Queueing | Component::Retry | Component::Forwarding => return None,
             };
             let report = sim.with_faults(faults.clone()).run(workload, seed).ok()?;
             Some(report.sojourns.percentile(0.99).as_millis_f64())

@@ -42,7 +42,7 @@ use crate::trace::{Trace, TraceEventKind};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
-/// The six serving latency components, in canonical (render and
+/// The seven serving latency components, in canonical (render and
 /// tie-break) order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Component {
@@ -52,16 +52,20 @@ pub enum Component {
     Interaction,
     Execution,
     Retry,
+    /// Cross-cluster hop latency of a spilled (forwarded) request — the
+    /// fleet's federation tax, carried by `Forward`/`RemoteAdmit` events.
+    Forwarding,
 }
 
 impl Component {
-    pub const ALL: [Component; 6] = [
+    pub const ALL: [Component; 7] = [
         Component::Queueing,
         Component::ColdStart,
         Component::GilBlock,
         Component::Interaction,
         Component::Execution,
         Component::Retry,
+        Component::Forwarding,
     ];
 
     pub fn name(self) -> &'static str {
@@ -72,6 +76,7 @@ impl Component {
             Component::Interaction => "interaction",
             Component::Execution => "execution",
             Component::Retry => "retry",
+            Component::Forwarding => "forwarding",
         }
     }
 
@@ -90,7 +95,7 @@ pub struct RequestAttribution {
     pub request: u64,
     pub phase: u16,
     pub sojourn_ns: u64,
-    pub components: [u64; 6],
+    pub components: [u64; 7],
 }
 
 impl RequestAttribution {
@@ -108,15 +113,15 @@ pub struct ComponentStats {
 }
 
 /// Per-`(workflow, plan, stage)` component profile. `stage: None` is the
-/// end-to-end serving profile (samples = requests, all six components);
+/// end-to-end serving profile (samples = requests, all seven components);
 /// `Some(s)` is the DES profile of stage `s` (samples = function
-/// windows, the four in-service components — queueing/retry are serving
-/// phenomena and stay zero).
+/// windows, the four in-service components — queueing/retry/forwarding
+/// are serving phenomena and stay zero).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ComponentProfile {
     pub stage: Option<u16>,
     pub samples: u64,
-    pub components: [ComponentStats; 6],
+    pub components: [ComponentStats; 7],
 }
 
 /// The attribution of one serving run.
@@ -135,6 +140,10 @@ pub struct AttributionReport {
     pub profiles: Vec<ComponentProfile>,
     /// Accepted requests that never completed (trace truncated or lost).
     pub incomplete: u64,
+    /// Requests that left this trace's clusters via spillover (their
+    /// sojourn completes under the destination cluster's id, where the
+    /// hop latency shows up as `forwarding` blame).
+    pub forwarded_out: u64,
     /// The DES service-window weights used for apportionment, in
     /// `[startup, blocked, interaction, exec]` order (all zero when the
     /// trace carried no `DesBreakdown` events — the whole service window
@@ -227,7 +236,7 @@ struct RequestState {
     phase: u16,
     wait_start_ns: u64,
     open_dispatch: Option<(u64, u32)>,
-    components: [u64; 6],
+    components: [u64; 7],
     /// Startup-wait overlap per serving tier, `[snapshot, zygote,
     /// coldboot]` — the tier split of the request's pre-dispatch
     /// cold-start blame.
@@ -303,20 +312,50 @@ pub fn attribute(trace: &Trace) -> AttributionReport {
     let mut states: HashMap<u64, RequestState> = HashMap::new();
     let mut done: Vec<RequestAttribution> = Vec::new();
     let mut cold_start_by_tier = [0u64; 4];
+    let mut forwarded_out: u64 = 0;
     for e in &trace.events {
         match e.kind {
             TraceEventKind::Arrival { request, phase } => {
-                states.insert(
-                    request,
-                    RequestState {
-                        arrival_ns: e.time_ns,
-                        phase,
-                        wait_start_ns: e.time_ns,
-                        open_dispatch: None,
-                        components: [0; 6],
-                        cold_by_tier: [0; 3],
-                    },
-                );
+                // A forwarded request's state was already opened by its
+                // `RemoteAdmit` (same stamp, emitted first) — the local
+                // Arrival only contributes the phase tag then.
+                if let Some(s) = states.get_mut(&request) {
+                    s.phase = phase;
+                } else {
+                    states.insert(
+                        request,
+                        RequestState {
+                            arrival_ns: e.time_ns,
+                            phase,
+                            wait_start_ns: e.time_ns,
+                            open_dispatch: None,
+                            components: [0; 7],
+                            cold_by_tier: [0; 3],
+                        },
+                    );
+                }
+            }
+            TraceEventKind::RemoteAdmit {
+                request, hop_ns, ..
+            } => {
+                // The request's life started on the wire `hop_ns` ago:
+                // its sojourn covers the hop, attributed exactly to the
+                // `forwarding` component, and local waiting starts now.
+                let mut s = RequestState {
+                    arrival_ns: e.time_ns.saturating_sub(u64::from(hop_ns)),
+                    phase: 0,
+                    wait_start_ns: e.time_ns,
+                    open_dispatch: None,
+                    components: [0; 7],
+                    cold_by_tier: [0; 3],
+                };
+                s.components[Component::Forwarding.index()] = u64::from(hop_ns);
+                states.insert(request, s);
+            }
+            TraceEventKind::Forward { request, .. } => {
+                // The origin-side id dies here; the sojourn continues
+                // (and completes) under the destination cluster's id.
+                forwarded_out += u64::from(states.remove(&request).is_some());
             }
             TraceEventKind::Enqueue { request, .. } => {
                 if let Some(s) = states.get_mut(&request) {
@@ -400,7 +439,7 @@ pub fn attribute(trace: &Trace) -> AttributionReport {
     let mut e2e = ComponentProfile {
         stage: None,
         samples: done.len() as u64,
-        components: [ComponentStats::default(); 6],
+        components: [ComponentStats::default(); 7],
     };
     let mut sorted: Vec<u64> = Vec::with_capacity(done.len());
     for c in Component::ALL {
@@ -431,7 +470,7 @@ pub fn attribute(trace: &Trace) -> AttributionReport {
         let mut profile = ComponentProfile {
             stage: Some(stage),
             samples: samples[0].len() as u64,
-            components: [ComponentStats::default(); 6],
+            components: [ComponentStats::default(); 7],
         };
         for (slot, values) in DES_SLOTS.iter().zip(samples.iter()) {
             let mut v = values.clone();
@@ -455,14 +494,15 @@ pub fn attribute(trace: &Trace) -> AttributionReport {
         requests: done,
         profiles,
         incomplete,
+        forwarded_out,
         service_weights,
         cold_start_by_tier,
     }
 }
 
 impl AttributionReport {
-    /// Whether every request's six components sum exactly to its sojourn
-    /// — the report's defining invariant.
+    /// Whether every request's seven components sum exactly to its
+    /// sojourn — the report's defining invariant.
     pub fn sums_exact(&self) -> bool {
         self.requests.iter().all(RequestAttribution::sums_exact)
     }
@@ -494,17 +534,18 @@ impl AttributionReport {
         let mut out = String::with_capacity(64 + self.requests.len() * 96);
         let _ = writeln!(
             out,
-            "attribution workflow={} plan={:016x} requests={} incomplete={} weights={:?}",
+            "attribution workflow={} plan={:016x} requests={} incomplete={} forwarded_out={} weights={:?}",
             self.workflow,
             self.plan,
             self.requests.len(),
             self.incomplete,
+            self.forwarded_out,
             self.service_weights,
         );
         for r in &self.requests {
             let _ = writeln!(
                 out,
-                "req {:>6} phase {} sojourn {:>12} q {:>12} cs {:>12} gb {:>12} ia {:>12} ex {:>12} rt {:>12}",
+                "req {:>6} phase {} sojourn {:>12} q {:>12} cs {:>12} gb {:>12} ia {:>12} ex {:>12} rt {:>12} fw {:>12}",
                 r.request,
                 r.phase,
                 r.sojourn_ns,
@@ -514,6 +555,7 @@ impl AttributionReport {
                 r.components[3],
                 r.components[4],
                 r.components[5],
+                r.components[6],
             );
         }
         out.push_str(&self.render_profiles());
@@ -532,7 +574,12 @@ impl AttributionReport {
             let _ = writeln!(out, "profile {scope} samples={}", p.samples);
             for c in Component::ALL {
                 let s = p.components[c.index()];
-                if p.stage.is_some() && matches!(c, Component::Queueing | Component::Retry) {
+                if p.stage.is_some()
+                    && matches!(
+                        c,
+                        Component::Queueing | Component::Retry | Component::Forwarding
+                    )
+                {
                     continue; // serving-only components: always zero in DES profiles
                 }
                 let _ = writeln!(
@@ -604,7 +651,7 @@ impl AttributionReport {
         );
         let by_request: HashMap<u64, &RequestAttribution> =
             self.requests.iter().map(|r| (r.request, r)).collect();
-        let mut cumulative = [0u64; 6];
+        let mut cumulative = [0u64; 7];
         for &(time_ns, request) in completions {
             let Some(r) = by_request.get(&request) else {
                 continue;
@@ -800,14 +847,14 @@ mod tests {
         // interaction, 500 execution.
         let r0 = &report.requests[0];
         assert_eq!(r0.sojourn_ns, 1500);
-        assert_eq!(r0.components, [500, 0, 250, 250, 500, 0]);
+        assert_eq!(r0.components, [500, 0, 250, 250, 500, 0, 0]);
 
         // Request 1: 67 ns of its wait overlap replica 1's cold window,
         // 33 ns of lost dispatch (retry), 100 ns re-queued, then a 500 ns
         // service window → 125/125/250.
         let r1 = &report.requests[1];
         assert_eq!(r1.sojourn_ns, 700);
-        assert_eq!(r1.components, [100, 67, 125, 125, 250, 33]);
+        assert_eq!(r1.components, [100, 67, 125, 125, 250, 33, 0]);
 
         // Blame ranking is total-ordered with deterministic ties.
         let ranking = report.blame_ranking();
@@ -891,5 +938,118 @@ mod tests {
         let report = attribute(&trace);
         assert_eq!(report.incomplete, 1);
         assert_eq!(report.requests.len(), 2);
+    }
+
+    /// A fleet spillover: request 5 (cluster 0's id space) is forwarded
+    /// at the epoch barrier and re-admitted 2 µs later as request
+    /// `(1 << 40) | 0` in cluster 1's id space.
+    #[test]
+    fn forwarded_requests_carry_exact_forwarding_blame() {
+        let wf = crate::intern::intern("attrib-fwd-wf");
+        let remote: u64 = 1 << 40;
+        let trace = Trace {
+            events: vec![
+                ev(
+                    0,
+                    TraceEventKind::RunContext {
+                        workflow: wf,
+                        plan: 0x9,
+                    },
+                ),
+                ev(
+                    0,
+                    TraceEventKind::ReplicaSpawn {
+                        replica: 1 << 22,
+                        node: 1 << 16,
+                        cold: false,
+                        tier: 0,
+                    },
+                ),
+                ev(0, TraceEventKind::ReplicaReady { replica: 1 << 22 }),
+                // The origin-side life: arrival, a queue it never leaves,
+                // then the barrier forwards it away.
+                ev(
+                    1_000,
+                    TraceEventKind::Arrival {
+                        request: 5,
+                        phase: 0,
+                    },
+                ),
+                ev(
+                    1_000,
+                    TraceEventKind::Enqueue {
+                        request: 5,
+                        shard: -1,
+                    },
+                ),
+                ev(
+                    10_000,
+                    TraceEventKind::Forward {
+                        request: 5,
+                        hop: 0,
+                        from_cluster: 0,
+                        to_cluster: 1,
+                    },
+                ),
+                // The destination-side life, 2 µs of hop later. RemoteAdmit
+                // precedes the same-stamp Arrival (stable order).
+                ev(
+                    12_000,
+                    TraceEventKind::RemoteAdmit {
+                        request: remote,
+                        hop: 0,
+                        from_cluster: 0,
+                        hop_ns: 2_000,
+                    },
+                ),
+                ev(
+                    12_000,
+                    TraceEventKind::Arrival {
+                        request: remote,
+                        phase: 3,
+                    },
+                ),
+                ev(
+                    12_000,
+                    TraceEventKind::Enqueue {
+                        request: remote,
+                        shard: -1,
+                    },
+                ),
+                ev(
+                    12_500,
+                    TraceEventKind::Dispatch {
+                        request: remote,
+                        replica: 1 << 22,
+                        node: 1 << 16,
+                        cold: false,
+                    },
+                ),
+                ev(
+                    13_500,
+                    TraceEventKind::Complete {
+                        request: remote,
+                        replica: 1 << 22,
+                    },
+                ),
+            ],
+        };
+        let report = attribute(&trace);
+        assert_eq!(report.forwarded_out, 1);
+        assert_eq!(report.incomplete, 0);
+        assert_eq!(report.requests.len(), 1);
+        let r = &report.requests[0];
+        assert_eq!(r.request, remote);
+        assert_eq!(r.phase, 3, "Arrival must tag, not clobber, the state");
+        // Sojourn from wire departure: 2 µs hop + 500 ns queue + 1 µs
+        // service (no DES weights → all execution). Exact.
+        assert_eq!(r.sojourn_ns, 3_500);
+        assert_eq!(r.components, [500, 0, 0, 0, 1_000, 0, 2_000]);
+        assert!(report.sums_exact());
+        assert_eq!(
+            report.profiles[0].components[Component::Forwarding.index()].total_ns,
+            2_000
+        );
+        assert!(report.render().contains("forwarded_out=1"));
     }
 }

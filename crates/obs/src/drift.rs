@@ -155,12 +155,15 @@ pub fn drift_report() -> Vec<DriftEntry> {
     out
 }
 
+/// The monitor is process-global; tests that flip or reset it (here and
+/// in `lib.rs`) serialise on this lock.
+#[cfg(test)]
+pub(crate) static TEST_GATE: Mutex<()> = Mutex::new(());
+
 #[cfg(test)]
 mod tests {
+    use super::TEST_GATE as GATE;
     use super::*;
-
-    /// The monitor is process-global; tests that flip it serialise here.
-    static GATE: Mutex<()> = Mutex::new(());
 
     #[test]
     fn residuals_accumulate_per_key() {

@@ -29,6 +29,9 @@
 //! * [`slo`] — an online multi-window burn-rate monitor the serving
 //!   simulator evaluates at event time, so alerts are byte-identical for
 //!   any worker count.
+//! * [`regime`] — an online Page–Hinkley/CUSUM regime-change detector
+//!   over latency residuals plus a flight recorder that snapshots the
+//!   recent trace window, metrics, and drift state when a sensor fires.
 //! * [`whatif`] — Coz-style virtual-speedup experiments over the DES,
 //!   ranking top-blamed components by predicted p99 improvement.
 //! * [`intern`] — the string interner keeping trace events small.
@@ -41,6 +44,7 @@ pub mod drift;
 pub mod intern;
 pub mod metrics;
 pub mod perfetto;
+pub mod regime;
 pub mod slo;
 pub mod trace;
 pub mod whatif;
@@ -58,12 +62,70 @@ pub use metrics::{
     StaticHistogram,
 };
 pub use perfetto::serve_trace;
+pub use regime::{
+    incident_from_trace, FlightRecorder, IncidentSnapshot, RegimeChangeInfo, RegimeConfig,
+    RegimeDetector, E2E_STAGE,
+};
 pub use slo::{BurnRateMonitor, SloPolicy, SloSummary, SloTransition};
 pub use trace::{
     begin_capture, begin_capture_sized, emit, end_capture, recycle, reset_trace_stats, set_tracing,
-    trace_stats, tracing_enabled, Trace, TraceEvent, TraceEventKind, TraceStats,
+    take_buffer, trace_stats, tracing_enabled, Trace, TraceEvent, TraceEventKind, TraceStats,
 };
 pub use whatif::{
     run_tiers, TierWhatIfExperiment, TierWhatIfRanking, TierWhatIfReport, WhatIfExperiment,
     WhatIfRanking, WhatIfReport,
 };
+
+/// Scoped reset for every process-global observability sink — the
+/// metrics registry, the drift series, and the trace-stats counters —
+/// mirroring [`reset_trace_stats`] but covering the whole crate. Figure
+/// harnesses call this between cells so back-to-back runs in one process
+/// never bleed counters into each other's reports. (Detector and
+/// flight-recorder state is per-run owned, so there is nothing global to
+/// reset there.)
+pub fn reset_observability() {
+    reset_metrics();
+    reset_drift();
+    reset_trace_stats();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chiron_model::SimDuration;
+
+    static BLEED_A: StaticCounter = StaticCounter::new("obs.test.bleed.a");
+    static BLEED_H: StaticHistogram = StaticHistogram::new("obs.test.bleed.h");
+
+    /// The satellite-3 isolation contract: a figure cell that resets
+    /// between runs starts from a provably clean slate — no counter,
+    /// histogram, drift, or trace-stat state survives from the cell
+    /// before it.
+    #[test]
+    fn reset_observability_isolates_back_to_back_runs() {
+        let _m = metrics::TEST_GATE.lock();
+        let _d = drift::TEST_GATE.lock();
+        // "Run 1" dirties every global sink.
+        BLEED_A.add(41);
+        BLEED_H.record(SimDuration::from_millis(7));
+        set_drift_monitor(true);
+        record_observation("obs-test-bleed-wf", 99, None, SimDuration::from_millis(3));
+        set_drift_monitor(false);
+
+        reset_observability();
+
+        // "Run 2" sees zeros everywhere.
+        assert_eq!(BLEED_A.get(), 0);
+        assert_eq!(BLEED_H.summary().samples, 0);
+        assert!(drift_report()
+            .iter()
+            .all(|e| e.workflow != "obs-test-bleed-wf"));
+        let snap = snapshot();
+        let ours = snap
+            .counters
+            .iter()
+            .find(|(n, _)| *n == "obs.test.bleed.a")
+            .expect("registration survives reset");
+        assert_eq!(ours.1, 0);
+    }
+}

@@ -311,6 +311,12 @@ impl MetricsSnapshot {
     }
 }
 
+/// The registry is process-global; tests that reset it (here and in
+/// `lib.rs`) serialise on this lock so concurrent test threads never see
+/// each other's zeroes.
+#[cfg(test)]
+pub(crate) static TEST_GATE: Mutex<()> = Mutex::new(());
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -321,6 +327,7 @@ mod tests {
 
     #[test]
     fn register_update_snapshot_reset() {
+        let _g = TEST_GATE.lock();
         TEST_COUNTER.add(3);
         TEST_COUNTER.incr();
         TEST_GAUGE.set(7);

@@ -53,6 +53,29 @@ pub fn serve_trace(trace: &Trace) -> String {
         &mut out,
     );
 
+    // Fleet captures carry ClusterContext markers mapping node-id ranges
+    // back to clusters; resolve them first so node tracks group by
+    // cluster in the UI. Standalone traces have none and keep plain
+    // `node N` names.
+    let mut cluster_bases: Vec<(u32, u32)> = Vec::new(); // (node_base, cluster)
+    for e in &trace.events {
+        if let TraceEventKind::ClusterContext {
+            cluster, node_base, ..
+        } = e.kind
+        {
+            cluster_bases.push((node_base, cluster));
+        }
+    }
+    cluster_bases.sort_unstable();
+    // → (cluster, cluster-local node id) when the trace is a fleet trace.
+    let cluster_of = |node: u32| -> Option<(u32, u32)> {
+        let idx = cluster_bases.partition_point(|&(base, _)| base <= node);
+        idx.checked_sub(1).map(|i| {
+            let (base, cluster) = cluster_bases[i];
+            (cluster, node - base)
+        })
+    };
+
     // Track metadata and replica→node mapping come from spawn events.
     let mut replica_node: HashMap<u32, u32> = HashMap::new();
     let mut named_nodes: Vec<u32> = Vec::new();
@@ -68,10 +91,14 @@ pub fn serve_trace(trace: &Trace) -> String {
             let pid = NODE_PID_BASE + node;
             if !named_nodes.contains(&node) {
                 named_nodes.push(node);
+                let name = match cluster_of(node) {
+                    Some((cluster, local)) => format!("cluster {cluster} node {local}"),
+                    None => format!("node {node}"),
+                };
                 push(
                     format!(
                         "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\
-                         \"args\":{{\"name\":\"node {node}\"}}}}"
+                         \"args\":{{\"name\":\"{name}\"}}}}"
                     ),
                     &mut out,
                 );
@@ -228,6 +255,79 @@ pub fn serve_trace(trace: &Trace) -> String {
                     format!(
                         "{{\"ph\":\"i\",\"pid\":{CONTROL_PID},\"tid\":0,\"ts\":{:.3},\
                          \"s\":\"g\",\"name\":\"node {node} dead\"}}",
+                        us(e.time_ns),
+                    ),
+                    &mut out,
+                );
+            }
+            TraceEventKind::Forward {
+                request,
+                hop,
+                from_cluster,
+                to_cluster,
+            } => {
+                // Flow-arrow start: Perfetto joins this to the matching
+                // `ph:"f"` at the destination's RemoteAdmit via `id`.
+                push(
+                    format!(
+                        "{{\"ph\":\"i\",\"pid\":{CONTROL_PID},\"tid\":0,\"ts\":{:.3},\
+                         \"s\":\"g\",\"name\":\"forward req {request} c{from_cluster}->c{to_cluster}\"}}",
+                        us(e.time_ns),
+                    ),
+                    &mut out,
+                );
+                push(
+                    format!(
+                        "{{\"ph\":\"s\",\"cat\":\"forward\",\"id\":{hop},\"pid\":{CONTROL_PID},\
+                         \"tid\":0,\"ts\":{:.3},\"name\":\"hop {hop}\"}}",
+                        us(e.time_ns),
+                    ),
+                    &mut out,
+                );
+            }
+            TraceEventKind::RemoteAdmit {
+                request,
+                hop,
+                from_cluster,
+                hop_ns,
+            } => {
+                push(
+                    format!(
+                        "{{\"ph\":\"i\",\"pid\":{CONTROL_PID},\"tid\":0,\"ts\":{:.3},\
+                         \"s\":\"g\",\"name\":\"remote-admit req {request} from c{from_cluster} \
+                         (+{:.3}us)\"}}",
+                        us(e.time_ns),
+                        us(u64::from(hop_ns)),
+                    ),
+                    &mut out,
+                );
+                push(
+                    format!(
+                        "{{\"ph\":\"f\",\"bp\":\"e\",\"cat\":\"forward\",\"id\":{hop},\
+                         \"pid\":{CONTROL_PID},\"tid\":0,\"ts\":{:.3},\"name\":\"hop {hop}\"}}",
+                        us(e.time_ns),
+                    ),
+                    &mut out,
+                );
+            }
+            TraceEventKind::RegimeChange {
+                up,
+                stage,
+                baseline_us,
+                observed_us,
+                samples,
+            } => {
+                let dir = if up { "up" } else { "down" };
+                let stage_label = if stage == u16::MAX {
+                    "e2e".to_string()
+                } else {
+                    format!("stage {stage}")
+                };
+                push(
+                    format!(
+                        "{{\"ph\":\"i\",\"pid\":{CONTROL_PID},\"tid\":0,\"ts\":{:.3},\
+                         \"s\":\"g\",\"name\":\"regime {dir} ({stage_label}: \
+                         {baseline_us}us->{observed_us}us, n={samples})\"}}",
                         us(e.time_ns),
                     ),
                     &mut out,
@@ -438,6 +538,91 @@ mod tests {
         // Request 0 was requeued, so it shows two queue spans; request 1
         // adds a third.
         assert_eq!(json.matches("\"queue\"").count(), 3);
+    }
+
+    #[test]
+    fn fleet_traces_group_by_cluster_and_draw_flow_arrows() {
+        let trace = Trace {
+            events: vec![
+                ev(
+                    0,
+                    TraceEventKind::ClusterContext {
+                        cluster: 0,
+                        request_base: 0,
+                        replica_base: 0,
+                        node_base: 0,
+                    },
+                ),
+                ev(
+                    0,
+                    TraceEventKind::ClusterContext {
+                        cluster: 1,
+                        request_base: 1 << 40,
+                        replica_base: 1 << 22,
+                        node_base: 1 << 16,
+                    },
+                ),
+                ev(
+                    0,
+                    TraceEventKind::ReplicaSpawn {
+                        replica: 0,
+                        node: 0,
+                        cold: false,
+                        tier: 0,
+                    },
+                ),
+                ev(
+                    0,
+                    TraceEventKind::ReplicaSpawn {
+                        replica: 1 << 22,
+                        node: (1 << 16) + 2,
+                        cold: false,
+                        tier: 0,
+                    },
+                ),
+                ev(
+                    1_000,
+                    TraceEventKind::Forward {
+                        request: 7,
+                        hop: 4,
+                        from_cluster: 0,
+                        to_cluster: 1,
+                    },
+                ),
+                ev(
+                    3_000,
+                    TraceEventKind::RemoteAdmit {
+                        request: (1 << 40) + 5,
+                        hop: 4,
+                        from_cluster: 0,
+                        hop_ns: 2_000,
+                    },
+                ),
+                ev(
+                    9_000,
+                    TraceEventKind::RegimeChange {
+                        up: true,
+                        stage: u16::MAX,
+                        baseline_us: 10,
+                        observed_us: 25,
+                        samples: 217,
+                    },
+                ),
+            ],
+        };
+        let json = serve_trace(&trace);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        for needle in [
+            "\"name\":\"cluster 0 node 0\"",
+            "\"name\":\"cluster 1 node 2\"",
+            "forward req 7 c0->c1",
+            "from c0",
+            "\"ph\":\"s\",\"cat\":\"forward\",\"id\":4",
+            "\"ph\":\"f\",\"bp\":\"e\",\"cat\":\"forward\",\"id\":4",
+            "regime up (e2e: 10us->25us, n=217)",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
     }
 
     #[test]

@@ -238,6 +238,51 @@ pub struct SloSummary {
 }
 
 impl SloSummary {
+    /// Folds another cluster's summary into this one — the fleet merge.
+    /// Counts and alert time add exactly; transitions from both sides are
+    /// re-sorted by event time (stable, so same-instant transitions keep
+    /// fold order — callers fold in cluster-index order) and compliance is
+    /// recomputed from the merged totals. Target/objective are taken from
+    /// the first non-empty side; fleets share one policy.
+    pub fn absorb(&mut self, other: &SloSummary) {
+        if self.total == 0 && other.total > 0 {
+            self.target = other.target;
+            self.objective = other.objective;
+        }
+        self.total += other.total;
+        self.bad += other.bad;
+        self.compliance = if self.total == 0 {
+            1.0
+        } else {
+            1.0 - self.bad as f64 / self.total as f64
+        };
+        self.alerts_fired += other.alerts_fired;
+        self.alerts_cleared += other.alerts_cleared;
+        self.first_alert_ns = match (self.first_alert_ns, other.first_alert_ns) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.time_in_alert_ns += other.time_in_alert_ns;
+        self.transitions.extend_from_slice(&other.transitions);
+        self.transitions.sort_by_key(|t| t.at_ns); // stable
+    }
+
+    /// The identity element for [`SloSummary::absorb`].
+    pub fn empty() -> Self {
+        SloSummary {
+            target: SimDuration::from_nanos(0),
+            objective: 0.0,
+            total: 0,
+            bad: 0,
+            compliance: 1.0,
+            alerts_fired: 0,
+            alerts_cleared: 0,
+            first_alert_ns: None,
+            time_in_alert_ns: 0,
+            transitions: Vec::new(),
+        }
+    }
+
     /// Deterministic one-line-per-transition timeline (the byte string
     /// the `--workers` invariance gate compares).
     pub fn render_timeline(&self) -> String {
@@ -384,5 +429,49 @@ mod tests {
         assert_eq!(summary.total, 0);
         assert_eq!(summary.compliance, 1.0);
         assert!(summary.transitions.is_empty());
+    }
+
+    #[test]
+    fn absorb_merges_counts_and_interleaves_transitions() {
+        let mut p = policy();
+        p.min_samples = 2;
+        let mut a = BurnRateMonitor::new(p);
+        for i in 0..6u64 {
+            a.observe(i * MS, SimDuration::from_millis(500));
+        }
+        let mut b = BurnRateMonitor::new(p);
+        for i in 0..8u64 {
+            // Fires later than cluster a's alert.
+            let lat = if i < 4 { 10 } else { 500 };
+            b.observe((i + 3) * MS, SimDuration::from_millis(lat));
+        }
+        let sa = a.into_summary();
+        let sb = b.into_summary();
+        let mut fleet = SloSummary::empty();
+        fleet.absorb(&sa);
+        fleet.absorb(&sb);
+        assert_eq!(fleet.total, sa.total + sb.total);
+        assert_eq!(fleet.bad, sa.bad + sb.bad);
+        assert_eq!(fleet.alerts_fired, sa.alerts_fired + sb.alerts_fired);
+        assert_eq!(
+            fleet.time_in_alert_ns,
+            sa.time_in_alert_ns + sb.time_in_alert_ns
+        );
+        assert_eq!(
+            fleet.first_alert_ns,
+            sa.first_alert_ns
+                .min(sb.first_alert_ns.or(sa.first_alert_ns))
+        );
+        assert!((fleet.compliance - (1.0 - fleet.bad as f64 / fleet.total as f64)).abs() < 1e-12);
+        // Transitions come out in event-time order across the clusters.
+        assert!(fleet
+            .transitions
+            .windows(2)
+            .all(|w| w[0].at_ns <= w[1].at_ns));
+        assert_eq!(
+            fleet.transitions.len(),
+            sa.transitions.len() + sb.transitions.len()
+        );
+        assert_eq!(fleet.target, sa.target);
     }
 }

@@ -47,11 +47,19 @@ thread_local! {
     /// The current capture buffer, if this thread is inside a
     /// `begin_capture`/`end_capture` window.
     static CAPTURE: RefCell<Option<Vec<TraceEvent>>> = const { RefCell::new(None) };
-    /// Buffer handed back by [`recycle`], reused by this thread's next
-    /// [`begin_capture`] so repeated captures pay the page-fault cost of
-    /// a multi-megabyte event buffer once, not per capture.
-    static SPARE: RefCell<Vec<TraceEvent>> = const { RefCell::new(Vec::new()) };
+    /// Buffers handed back by [`recycle`], reused by this thread's next
+    /// [`begin_capture`] or [`take_buffer`] so repeated captures pay the
+    /// page-fault cost of a multi-megabyte event buffer once, not per
+    /// capture. A pool rather than a single slot because a traced fleet
+    /// run banks into one buffer *per cluster* concurrently; the pool
+    /// lets a whole fleet's buffers circulate warm between runs.
+    static SPARE: RefCell<Vec<Vec<TraceEvent>>> = const { RefCell::new(Vec::new()) };
 }
+
+/// Spare buffers kept per thread; beyond this, recycled buffers are
+/// simply dropped. Sized for a large traced fleet (one buffer per
+/// cluster, the merged trace, and the construction capture).
+const SPARE_POOL_CAP: usize = 64;
 
 /// Turns tracing on or off process-wide.
 pub fn set_tracing(on: bool) {
@@ -151,6 +159,39 @@ pub enum TraceEventKind {
         short_burn_centi: u32,
         long_burn_centi: u32,
     },
+    /// A queued request left its origin cluster for a less-loaded one
+    /// (fleet spillover). Emitted by the origin at the epoch barrier;
+    /// `hop` is a fleet-unique forwarding id that pairs this event with
+    /// the destination's [`TraceEventKind::RemoteAdmit`] (Perfetto draws
+    /// the pair as a flow arrow).
+    Forward {
+        request: u64,
+        hop: u32,
+        from_cluster: u16,
+        to_cluster: u16,
+    },
+    /// The destination cluster admitted a forwarded request after
+    /// `hop_ns` of cross-cluster transfer. `request` is the id the
+    /// request takes on in the destination's id space; `hop` pairs it
+    /// with the origin's [`TraceEventKind::Forward`].
+    RemoteAdmit {
+        request: u64,
+        hop: u32,
+        from_cluster: u16,
+        hop_ns: u32,
+    },
+    /// The online regime-change sensor (Page–Hinkley/CUSUM over latency
+    /// residuals) fired at event time: the observed level shifted `up`
+    /// (or down) versus the tracked baseline. `stage` is the per-stage
+    /// series index, `u16::MAX` for the end-to-end series; latencies are
+    /// saturating microseconds.
+    RegimeChange {
+        up: bool,
+        stage: u16,
+        baseline_us: u32,
+        observed_us: u32,
+        samples: u32,
+    },
 }
 
 /// One traced event. Events with equal stamps keep their emit order (the
@@ -181,15 +222,42 @@ impl Trace {
         self.events.is_empty()
     }
 
-    /// Merges traces captured on separate cells/threads. The caller must
-    /// pass them in a deterministic order (e.g. cell index); the stable
-    /// sort keeps that order for simultaneous events, so the merged trace
-    /// has the same normal form regardless of worker count.
+    /// Merges traces captured on separate cells/threads into one global
+    /// timeline. The caller must pass them in a deterministic order
+    /// (e.g. cell index); the stable sort keeps that order for
+    /// simultaneous events, so the merged trace has the same normal form
+    /// regardless of worker count.
     pub fn concat(parts: Vec<Trace>) -> Trace {
         let events: Vec<TraceEvent> = parts.into_iter().flat_map(|t| t.events).collect();
         let mut trace = Trace { events };
         trace.normalize();
         trace
+    }
+
+    /// Stitches per-cluster captures in caller order *without* re-sorting
+    /// across parts. This is the fleet's normal form: each part is
+    /// internally time-ordered and deterministic per cluster, so the
+    /// merged bytes are still identical for every execution policy, and
+    /// the stitch is a flat copy instead of an O(n log n) interleaving
+    /// merge on the timed serving path. Per-request analyses (attribution,
+    /// the flight recorder's look-behind window) read each cluster's
+    /// stream contiguously; anything needing one global timeline can
+    /// [`Trace::concat`] instead.
+    pub fn chain(parts: Vec<Trace>) -> Trace {
+        let total: usize = parts.iter().map(Trace::len).sum();
+        let mut parts = parts.into_iter();
+        let Some(mut merged) = parts.next() else {
+            return Trace::default();
+        };
+        merged.events.reserve(total - merged.events.len());
+        for part in parts {
+            merged.events.extend_from_slice(&part.events);
+            // Hand each consumed part's allocation back to the spare
+            // pool: the next traced run's clusters bank into these warm
+            // buffers instead of faulting in fresh pages.
+            recycle(part);
+        }
+        merged
     }
 
     fn normalize(&mut self) {
@@ -250,24 +318,63 @@ pub fn begin_capture_sized(capacity: usize) {
         return;
     }
     CAPTURE_BUFFERS.fetch_add(1, Ordering::Relaxed);
-    let mut buf = SPARE.with(|s| std::mem::take(&mut *s.borrow_mut()));
-    buf.clear();
+    // Smallest spare buffer that already fits, so captures (typically
+    // small — a fleet run's construction window holds a few dozen
+    // events) never consume an allocation a cluster's banked event
+    // stream wants.
+    let mut buf = SPARE
+        .with(|s| {
+            let mut pool = s.borrow_mut();
+            let fit = pool
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.capacity() >= capacity)
+                .min_by_key(|(_, b)| b.capacity())
+                .map(|(i, _)| i);
+            fit.map(|i| pool.swap_remove(i))
+        })
+        .unwrap_or_default();
     if buf.capacity() < capacity {
         buf.reserve_exact(capacity);
     }
     CAPTURE.with(|c| *c.borrow_mut() = Some(buf));
 }
 
-/// Returns a finished trace's event buffer to this thread's spare slot,
-/// so the next [`begin_capture`] reuses the warm allocation instead of
-/// faulting in fresh pages. Purely an allocation-reuse hint for callers
-/// that capture in a loop — dropping the trace instead is always correct.
+/// Pops the *largest* recycled event buffer from this thread's spare
+/// pool (empty, warm pages) or allocates a fresh empty one. Traced fleet
+/// runs pull one per cluster, in descending cluster-load order no caller
+/// has to compute: the hottest cluster asks first and gets the biggest
+/// warm allocation, so banked buffers reuse the previous run's pages
+/// instead of faulting in fresh ones.
+pub fn take_buffer() -> Vec<TraceEvent> {
+    SPARE
+        .with(|s| {
+            let mut pool = s.borrow_mut();
+            let max = pool
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, b)| b.capacity())
+                .map(|(i, _)| i);
+            max.map(|i| pool.swap_remove(i))
+        })
+        .unwrap_or_default()
+}
+
+/// Returns a finished trace's event buffer to this thread's spare pool,
+/// so the next [`begin_capture`] or [`take_buffer`] reuses the warm
+/// allocation instead of faulting in fresh pages. Purely an
+/// allocation-reuse hint for callers that capture in a loop — dropping
+/// the trace instead is always correct.
 pub fn recycle(trace: Trace) {
+    let mut events = trace.events;
+    if events.capacity() == 0 {
+        return;
+    }
+    events.clear();
     SPARE.with(|s| {
-        let mut spare = s.borrow_mut();
-        if trace.events.capacity() > spare.capacity() {
-            *spare = trace.events;
-            spare.clear();
+        let mut pool = s.borrow_mut();
+        if pool.len() < SPARE_POOL_CAP {
+            pool.push(events);
         }
     });
 }

@@ -30,10 +30,63 @@
 //! ([`measure_fit`], plus the Criterion bench `bench/benches/ring.rs`)
 //! calibrates the `shm_ring` tier in `chiron-store::transfer`.
 
+use chiron_model::SimDuration;
+use chiron_obs::{StaticCounter, StaticHistogram};
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+// Data-plane telemetry, registered with `chiron-obs` so `figures -- obs`
+// and the fleet flight recorder see ring health next to the simulator's
+// own metrics. Every record is gated on `chiron_obs::tracing_enabled()`
+// (one Relaxed atomic load), so the sub-microsecond push/pop paths pay
+// nothing when observability is off.
+//
+// Occupancy is measured in *bytes* but `StaticHistogram` is
+// duration-typed; we store bytes as nanoseconds (1 B ↔ 1 ns), which the
+// metric name makes explicit.
+static RING_OCCUPANCY: StaticHistogram = StaticHistogram::new("runtime.ring.occupancy_bytes_as_ns");
+static RING_TORN_FRAMES: StaticCounter = StaticCounter::new("runtime.ring.torn_frames");
+static RING_CRC_FAILURES: StaticCounter = StaticCounter::new("runtime.ring.crc_failures");
+static RING_FULL_REJECTS: StaticCounter = StaticCounter::new("runtime.ring.full_rejects");
+static RING_BACKOFF_YIELDS: StaticCounter = StaticCounter::new("runtime.ring.backoff_yields");
+
+/// Point-in-time totals of the ring data-plane telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingStats {
+    /// Occupancy samples recorded (one per successful push).
+    pub occupancy_samples: u64,
+    /// Frames whose published region was shorter than their own framing.
+    pub torn_frames: u64,
+    /// Frames whose payload failed CRC validation on pop.
+    pub crc_failures: u64,
+    /// Pushes rejected because the ring was full at that instant.
+    pub full_rejects: u64,
+    /// Spin budgets exhausted into a scheduler yield while waiting.
+    pub backoff_yields: u64,
+}
+
+/// Snapshot of the global ring telemetry counters.
+pub fn ring_stats() -> RingStats {
+    RingStats {
+        occupancy_samples: RING_OCCUPANCY.summary().samples,
+        torn_frames: RING_TORN_FRAMES.get(),
+        crc_failures: RING_CRC_FAILURES.get(),
+        full_rejects: RING_FULL_REJECTS.get(),
+        backoff_yields: RING_BACKOFF_YIELDS.get(),
+    }
+}
+
+/// Resets the global ring telemetry (scoped to the ring: other
+/// registered metrics are untouched).
+pub fn reset_ring_stats() {
+    RING_OCCUPANCY.reset();
+    RING_TORN_FRAMES.reset();
+    RING_CRC_FAILURES.reset();
+    RING_FULL_REJECTS.reset();
+    RING_BACKOFF_YIELDS.reset();
+}
 
 /// Bytes of frame header preceding every payload: `[len u32][crc u32]`.
 pub const FRAME_HEADER_BYTES: usize = 8;
@@ -135,6 +188,9 @@ impl Backoff {
             self.0 += 1;
             std::hint::spin_loop();
         } else {
+            if chiron_obs::tracing_enabled() {
+                RING_BACKOFF_YIELDS.incr();
+            }
             std::thread::yield_now();
         }
     }
@@ -255,6 +311,9 @@ impl Producer {
         if self.shared.capacity() - self.tail.wrapping_sub(self.cached_head) < frame {
             self.cached_head = self.shared.head.0.load(Ordering::Acquire);
             if self.shared.capacity() - self.tail.wrapping_sub(self.cached_head) < frame {
+                if chiron_obs::tracing_enabled() {
+                    RING_FULL_REJECTS.incr();
+                }
                 return Err(RingError::Full);
             }
         }
@@ -271,6 +330,12 @@ impl Producer {
         self.tail = self.tail.wrapping_add(frame);
         // Publish: the consumer's Acquire load of `tail` sees the bytes.
         self.shared.tail.0.store(self.tail, Ordering::Release);
+        if chiron_obs::tracing_enabled() {
+            // Against the cached head, so the sample never adds an extra
+            // Acquire to the fast path; a stale head only over-reports.
+            let occupied = self.tail.wrapping_sub(self.cached_head) as u64;
+            RING_OCCUPANCY.record(SimDuration::from_nanos(occupied));
+        }
         Ok(())
     }
 
@@ -333,6 +398,9 @@ impl Consumer {
         // The producer publishes whole frames, so a readable region
         // shorter than its own framing is corruption, not emptiness.
         if readable < FRAME_HEADER_BYTES {
+            if chiron_obs::tracing_enabled() {
+                RING_TORN_FRAMES.incr();
+            }
             return Err(RingError::Corrupt);
         }
         // SAFETY: `[head, head + readable)` was published by the
@@ -348,6 +416,9 @@ impl Consumer {
             )
         };
         if FRAME_HEADER_BYTES + len > readable {
+            if chiron_obs::tracing_enabled() {
+                RING_TORN_FRAMES.incr();
+            }
             return Err(RingError::Corrupt);
         }
         // SAFETY: same published region, offset past the header.
@@ -356,6 +427,9 @@ impl Consumer {
                 .slices(self.head.wrapping_add(FRAME_HEADER_BYTES), len)
         };
         if crc32_pair(a, b) != crc {
+            if chiron_obs::tracing_enabled() {
+                RING_CRC_FAILURES.incr();
+            }
             return Err(RingError::Corrupt);
         }
         let out = read(a, b);
@@ -576,6 +650,40 @@ mod tests {
             }
         }
         producer.join().unwrap();
+    }
+
+    #[test]
+    fn telemetry_is_zero_cost_when_tracing_disabled() {
+        // Phase 1: tracing off — pushes, pops, full rejections, and a CRC
+        // failure must leave every instrument untouched.
+        let before = ring_stats();
+        let (mut tx, mut rx) = ring(64);
+        tx.try_push(&[1u8; 20]).unwrap();
+        tx.try_push(&[2u8; 20]).unwrap();
+        assert_eq!(tx.try_push(&[3u8; 20]), Err(RingError::Full));
+        rx.pop().unwrap().unwrap();
+        unsafe {
+            *tx.shared.buf[(20 + FRAME_HEADER_BYTES * 2 + 2) & tx.shared.mask].get() ^= 0xFF;
+        }
+        assert_eq!(rx.pop(), Err(RingError::Corrupt));
+        assert_eq!(ring_stats(), before, "disabled tracing must record nothing");
+
+        // Phase 2: tracing on — the same traffic shows up in the stats.
+        chiron_obs::set_tracing(true);
+        let (mut tx, mut rx) = ring(64);
+        tx.try_push(&[1u8; 20]).unwrap();
+        tx.try_push(&[2u8; 20]).unwrap();
+        assert_eq!(tx.try_push(&[3u8; 20]), Err(RingError::Full));
+        rx.pop().unwrap().unwrap();
+        unsafe {
+            *tx.shared.buf[(20 + FRAME_HEADER_BYTES * 2 + 2) & tx.shared.mask].get() ^= 0xFF;
+        }
+        assert_eq!(rx.pop(), Err(RingError::Corrupt));
+        chiron_obs::set_tracing(false);
+        let after = ring_stats();
+        assert!(after.occupancy_samples >= before.occupancy_samples + 2);
+        assert!(after.full_rejects > before.full_rejects);
+        assert!(after.crc_failures > before.crc_failures);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use chiron_deploy::{ClusterConfig, PlacementPolicy};
 use chiron_lifecycle::LifecycleConfig;
 use chiron_metrics::ArrivalProcess;
 use chiron_model::{PlatformConfig, ReplicaConfig, SimDuration};
-use chiron_obs::SloPolicy;
+use chiron_obs::{RegimeConfig, SloPolicy};
 use serde::{Deserialize, Serialize};
 
 use crate::autoscaler::AutoscalerConfig;
@@ -119,6 +119,10 @@ pub struct ServeConfig {
     /// `None` keeps the legacy behaviour: a scalar prewarm pool of
     /// zero-latency handovers, then flat cold boots.
     pub lifecycle: Option<LifecycleConfig>,
+    /// Online regime-change sensor (Page–Hinkley/CUSUM over sojourn
+    /// residuals), evaluated at event time on the completion path.
+    /// `None` disables it (and costs nothing per completion).
+    pub regime: Option<RegimeConfig>,
 }
 
 impl ServeConfig {
@@ -137,6 +141,7 @@ impl ServeConfig {
             service_jitter: 0.05,
             slo: None,
             lifecycle: None,
+            regime: None,
         }
     }
 
@@ -167,6 +172,11 @@ impl ServeConfig {
 
     pub fn with_lifecycle(mut self, lifecycle: LifecycleConfig) -> Self {
         self.lifecycle = Some(lifecycle);
+        self
+    }
+
+    pub fn with_regime(mut self, regime: RegimeConfig) -> Self {
+        self.regime = Some(regime);
         self
     }
 }

@@ -35,10 +35,12 @@
 //! dropped: `fleet.lost == 0` unless a cluster deadlocks.
 
 use crate::config::{ServeConfig, TrafficPhase, Workload};
+use crate::faults::FaultPlan;
 use crate::report::{FleetReport, ServeReport};
 use crate::sim::{Run, ServeError, ServeSimulation};
 use chiron_metrics::ArrivalProcess;
 use chiron_model::{DeploymentPlan, SimDuration, SimTime, Workflow};
+use chiron_obs::Trace;
 use chiron_runtime::VirtualPlatform;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -130,6 +132,11 @@ pub struct FleetPhase {
     /// Fleet-wide mean arrival rate.
     pub rps: f64,
     pub duration: SimDuration,
+    /// Service-time multiplier every cluster applies while this phase is
+    /// active (1.0 = calibrated service times). Stepping it between
+    /// phases injects a fleet-wide latency regime shift — the scenario
+    /// the online regime-change sensor is gated on detecting.
+    pub service_multiplier: f64,
 }
 
 /// The fleet-wide open-loop request stream.
@@ -143,7 +150,11 @@ pub struct FleetWorkload {
 impl FleetWorkload {
     pub fn steady(rps: f64, duration: SimDuration) -> Self {
         FleetWorkload {
-            phases: vec![FleetPhase { rps, duration }],
+            phases: vec![FleetPhase {
+                rps,
+                duration,
+                service_multiplier: 1.0,
+            }],
             arrivals: ArrivalProcess::Poisson { seed: 0 },
         }
     }
@@ -199,6 +210,15 @@ impl FleetSimulation {
         &self.config
     }
 
+    /// Applies a fault plan to one cluster's simulation: fleet faults
+    /// are cluster-local (node ids in the plan index into that cluster's
+    /// own nodes).
+    pub fn with_cluster_faults(mut self, cluster: u32, faults: FaultPlan) -> Self {
+        let slot = &mut self.sims[cluster as usize];
+        *slot = slot.clone().with_faults(faults);
+        self
+    }
+
     /// Single-shard, single-worker run — the reference executions that
     /// every sharded run must reproduce byte for byte.
     pub fn run(&self, workload: &FleetWorkload, seed: u64) -> Result<FleetReport, ServeError> {
@@ -216,6 +236,40 @@ impl FleetSimulation {
         shards: usize,
         workers: usize,
     ) -> Result<FleetReport, ServeError> {
+        self.run_sharded_traced(workload, seed, shards, workers)
+            .map(|(report, _)| report)
+    }
+
+    /// [`Self::run_sharded`] plus the fleet-merged trace: each cluster
+    /// records its events into its own banked buffer (so work-stealing
+    /// never mixes clusters), and the parts are stitched in cluster
+    /// order ([`Trace::chain`]) — the trace is byte-identical for every
+    /// `(shards, workers)` too. Empty unless tracing is enabled.
+    pub fn run_sharded_traced(
+        &self,
+        workload: &FleetWorkload,
+        seed: u64,
+        shards: usize,
+        workers: usize,
+    ) -> Result<(FleetReport, Trace), ServeError> {
+        self.run_sharded_parts(workload, seed, shards, workers)
+            .map(|(report, parts)| (report, Trace::chain(parts)))
+    }
+
+    /// [`Self::run_sharded_traced`] without the final stitch: the
+    /// per-cluster trace parts come back in cluster order, still
+    /// cluster-owned. This is the serving path's boundary — banking
+    /// events is the run-time cost of tracing; stitching the parts into
+    /// one fleet trace is analysis-plane work ([`Trace::chain`] is a
+    /// flat copy the overhead figure excludes from its timed region, as
+    /// it excludes attribution and the flight recorder).
+    pub fn run_sharded_parts(
+        &self,
+        workload: &FleetWorkload,
+        seed: u64,
+        shards: usize,
+        workers: usize,
+    ) -> Result<(FleetReport, Vec<Trace>), ServeError> {
         assert!(!workload.phases.is_empty(), "fleet workload has no phases");
         assert!(
             workload.phases.iter().all(|p| p.rps > 0.0),
@@ -273,13 +327,22 @@ impl FleetSimulation {
                 .map(|p| p.rps * shares[c] * p.duration.as_secs_f64())
                 .sum();
             run.reserve_records((expected * 1.05) as usize + 64);
+            run.set_phase(0, workload.phases[0].service_multiplier);
             runs.push(run);
         }
 
         let threshold = self.config.spill_threshold as usize;
+        let hop_ns = u32::try_from(self.config.forward_latency.as_nanos()).unwrap_or(u32::MAX);
         let mut receivers: Vec<usize> = Vec::with_capacity(clusters);
         let mut queued: Vec<usize> = vec![0; clusters];
         let mut weights: Vec<f64> = vec![0.0; clusters];
+        // Forwarding hops get fleet-unique ids in shed order; `pending`
+        // holds one barrier's `(origin, local request id)` sheds and
+        // `hop_batch` one receiver's `(hop, origin)` slice of them.
+        let mut next_hop = 0u32;
+        let mut shed_scratch: Vec<u64> = Vec::new();
+        let mut pending: Vec<(usize, u64)> = Vec::new();
+        let mut hop_batch: Vec<(u32, u16)> = Vec::new();
         let mut now = SimTime::ZERO;
         let mut phase = 0usize;
         while now.as_nanos() < total_end.as_nanos() {
@@ -300,9 +363,12 @@ impl FleetSimulation {
             receivers.extend((0..clusters).filter(|&c| queued[c] <= threshold));
             if receivers.len() < clusters && !receivers.is_empty() {
                 let mut shed_total = 0u64;
+                pending.clear();
                 for c in 0..clusters {
                     if queued[c] > threshold {
-                        shed_total += runs[c].spill_excess(threshold);
+                        shed_scratch.clear();
+                        shed_total += runs[c].spill_excess(threshold, &mut shed_scratch);
+                        pending.extend(shed_scratch.iter().map(|&req| (c, req)));
                         queued[c] = threshold;
                     }
                 }
@@ -311,8 +377,21 @@ impl FleetSimulation {
                     let at = barrier + self.config.forward_latency;
                     let base = shed_total / receivers.len() as u64;
                     let rem = (shed_total % receivers.len() as u64) as usize;
+                    // Receivers take consecutive slices of the shed list;
+                    // each hop is noted at its origin (Forward) and
+                    // announced to its receiver (→ RemoteAdmit).
+                    let mut cursor = 0usize;
                     for (k, &c) in receivers.iter().enumerate() {
-                        runs[c].inject_forwarded(at, base + u64::from(k < rem));
+                        let take = (base + u64::from(k < rem)) as usize;
+                        hop_batch.clear();
+                        for &(origin, req) in &pending[cursor..cursor + take] {
+                            let hop = next_hop;
+                            next_hop += 1;
+                            runs[origin].note_forward(barrier, req, hop, c as u16);
+                            hop_batch.push((hop, origin as u16));
+                        }
+                        cursor += take;
+                        runs[c].inject_forwarded(at, &hop_batch, hop_ns);
                     }
                 }
             }
@@ -322,7 +401,7 @@ impl FleetSimulation {
                 phase += 1;
                 if phase < workload.phases.len() {
                     for run in runs.iter_mut() {
-                        run.set_phase(phase as u16);
+                        run.set_phase(phase as u16, workload.phases[phase].service_multiplier);
                     }
                 }
             }
@@ -350,8 +429,14 @@ impl FleetSimulation {
             run.stop_accepting();
         }
         advance_shards(&mut runs, SimTime::FAR_FUTURE, shards, workers);
-        let reports: Vec<ServeReport> = runs.into_iter().map(Run::finish).collect();
-        Ok(FleetReport::merge(&reports))
+        let mut reports: Vec<ServeReport> = Vec::with_capacity(clusters);
+        let mut parts: Vec<Trace> = Vec::with_capacity(clusters);
+        for run in runs {
+            let (report, trace) = run.finish();
+            reports.push(report);
+            parts.push(trace);
+        }
+        Ok((FleetReport::merge(&reports), parts))
     }
 }
 
@@ -452,6 +537,70 @@ mod tests {
         assert!(report.forwarded > 0, "overload must spill");
         assert_eq!(report.lost, 0, "spillover must not drop requests");
         assert_eq!(report.completed, report.accepted - report.forwarded);
+    }
+
+    #[test]
+    fn traced_fleet_runs_are_byte_identical_and_causal() {
+        let wf = apps::finra(12);
+        let plan = planners::faastlane_plus(&wf);
+        let config = FleetConfig::paper_fleet(2)
+            .with_locality(vec![9.0, 1.0])
+            .with_spill(16, SimDuration::from_millis(2));
+        let sim = FleetSimulation::new(wf, plan, config).unwrap();
+        let workload = FleetWorkload::steady(300.0, SimDuration::from_millis(6_000));
+        chiron_obs::set_tracing(true);
+        let (reference, ref_trace) = sim.run_sharded_traced(&workload, 5, 1, 1).unwrap();
+        let (_, sharded_trace) = sim.run_sharded_traced(&workload, 5, 2, 2).unwrap();
+        chiron_obs::set_tracing(false);
+        assert!(reference.forwarded > 0, "scenario must spill");
+        assert!(!ref_trace.is_empty());
+        assert_eq!(
+            ref_trace.digest(),
+            sharded_trace.digest(),
+            "fleet trace bytes must not depend on (shards, workers)"
+        );
+        let render = ref_trace.render();
+        assert!(render.contains("ClusterContext"), "cluster id maps missing");
+        // Every spilled request leaves a Forward at its origin and exactly
+        // one paired RemoteAdmit at its receiver.
+        assert_eq!(
+            render.matches("Forward {").count() as u64,
+            reference.forwarded
+        );
+        assert_eq!(
+            render.matches("RemoteAdmit {").count() as u64,
+            reference.forwarded
+        );
+    }
+
+    #[test]
+    fn regime_sensor_detects_injected_service_shift() {
+        let wf = apps::finra(12);
+        let plan = planners::faastlane_plus(&wf);
+        let config = FleetConfig::paper_fleet(2).with_cluster(
+            ServeConfig::paper_testbed().with_regime(chiron_obs::RegimeConfig::default()),
+        );
+        let sim = FleetSimulation::new(wf, plan, config).unwrap();
+        let workload = FleetWorkload {
+            phases: vec![
+                FleetPhase {
+                    rps: 400.0,
+                    duration: SimDuration::from_millis(6_000),
+                    service_multiplier: 1.0,
+                },
+                FleetPhase {
+                    rps: 400.0,
+                    duration: SimDuration::from_millis(4_000),
+                    service_multiplier: 1.8,
+                },
+            ],
+            arrivals: ArrivalProcess::Poisson { seed: 0 },
+        };
+        let report = sim.run(&workload, 3).unwrap();
+        assert!(
+            report.regime_changes > 0,
+            "sensor must fire on the injected service-time shift"
+        );
     }
 
     #[test]

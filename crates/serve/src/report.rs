@@ -160,6 +160,9 @@ pub struct ServeReport {
     /// SLO compliance and burn-rate alert timeline; `None` when the run
     /// was configured without an SLO.
     pub slo: Option<SloSummary>,
+    /// Regime changes the online sensor fired (zero when the run was
+    /// configured without a `RegimeConfig`).
+    pub regime_changes: u32,
     /// Per-request outcomes, indexed by request id (arrival order).
     pub records: Vec<RequestRecord>,
 }
@@ -294,6 +297,13 @@ pub struct FleetReport {
     pub pool_gb_seconds: f64,
     pub pool_rent_usd: f64,
     pub slo_alerts_fired: u32,
+    /// Fleet-merged SLO view: per-cluster summaries folded exactly in
+    /// cluster order ([`SloSummary::absorb`] — counts and alert time add,
+    /// transitions interleave by event time, compliance is recomputed
+    /// from merged totals). `None` when no cluster ran with an SLO.
+    pub slo: Option<SloSummary>,
+    /// Regime changes fired across the fleet (sum of cluster counts).
+    pub regime_changes: u32,
     /// Per-cluster report digests, in cluster order.
     pub cluster_digests: Vec<u64>,
 }
@@ -330,6 +340,8 @@ impl FleetReport {
             pool_gb_seconds: 0.0,
             pool_rent_usd: 0.0,
             slo_alerts_fired: 0,
+            slo: None,
+            regime_changes: 0,
             cluster_digests: Vec::with_capacity(reports.len()),
         };
         for r in reports {
@@ -371,7 +383,9 @@ impl FleetReport {
             out.pool_rent_usd += r.pool_rent_usd;
             if let Some(slo) = &r.slo {
                 out.slo_alerts_fired += slo.alerts_fired;
+                out.slo.get_or_insert_with(SloSummary::empty).absorb(slo);
             }
+            out.regime_changes += r.regime_changes;
             out.cluster_digests.push(r.digest());
         }
         out.sojourns = sojourns;
@@ -468,6 +482,7 @@ mod tests {
             pool_rent_usd: 0.0,
             replica_timeline: Vec::new(),
             slo: None,
+            regime_changes: 0,
             records,
         }
     }
@@ -535,6 +550,37 @@ mod tests {
         // The digest-of-digests pins cluster order.
         let swapped = FleetReport::merge(&[b, a]);
         assert_ne!(fleet.digest(), swapped.digest());
+    }
+
+    #[test]
+    fn fleet_merge_folds_slo_and_regime() {
+        let mut a = report(vec![record(1, 10, 0)]);
+        a.regime_changes = 2;
+        let mut sa = SloSummary::empty();
+        sa.total = 10;
+        sa.bad = 1;
+        sa.alerts_fired = 1;
+        sa.first_alert_ns = Some(5_000);
+        a.slo = Some(sa);
+        let mut b = report(vec![record(2, 20, 0)]);
+        b.regime_changes = 1;
+        let mut sb = SloSummary::empty();
+        sb.total = 30;
+        sb.bad = 3;
+        sb.first_alert_ns = Some(2_000);
+        b.slo = Some(sb);
+        let fleet = FleetReport::merge(&[a, b]);
+        assert_eq!(fleet.regime_changes, 3);
+        assert_eq!(fleet.slo_alerts_fired, 1);
+        let slo = fleet.slo.expect("clusters carried SLO summaries");
+        assert_eq!(slo.total, 40);
+        assert_eq!(slo.bad, 4);
+        assert_eq!(slo.alerts_fired, 1);
+        assert_eq!(slo.first_alert_ns, Some(2_000));
+        assert!((slo.compliance - 0.9).abs() < 1e-12);
+        // No SLO anywhere → the merged view stays None.
+        let plain = FleetReport::merge(&[report(vec![record(1, 10, 0)])]);
+        assert!(plain.slo.is_none());
     }
 
     #[test]

@@ -62,9 +62,29 @@ use chiron_lifecycle::{PoolAction, PrewarmPools, StartTier, TierTable};
 use chiron_metrics::{plan_resources, ArrivalGen, FastRng, StreamingHistogram};
 use chiron_model::{DeploymentPlan, PlanError, SimDuration, SimTime, Workflow};
 use chiron_obs::{
-    emit, BurnRateMonitor, StaticCounter, StaticGauge, StaticHistogram, TraceEventKind,
+    emit, BurnRateMonitor, RegimeDetector, StaticCounter, StaticGauge, StaticHistogram, Trace,
+    TraceEvent, TraceEventKind,
 };
 use chiron_runtime::VirtualPlatform;
+use std::collections::VecDeque;
+
+/// [`Run::record`] over disjoint field borrows, for handlers that have
+/// destructured the run: fleet clusters append to their banked buffer,
+/// standalone runs go through the thread-local capture. The caller has
+/// already checked the run's `trace` flag.
+#[inline]
+fn record_into(
+    trace_events: &mut Vec<TraceEvent>,
+    fleet: bool,
+    time_ns: u64,
+    kind: TraceEventKind,
+) {
+    if fleet {
+        trace_events.push(TraceEvent { time_ns, kind });
+    } else {
+        emit(time_ns, kind);
+    }
+}
 
 /// Highest queue depth any autoscaler tick observed.
 static QUEUE_DEPTH_PEAK: StaticGauge = StaticGauge::new("serve.autoscaler.queue_depth_peak");
@@ -243,6 +263,14 @@ struct FleetMode {
     arrival_armed: bool,
     /// Fleet workload phase arrivals are currently stamped with.
     phase: u16,
+    /// Service-time multiplier of the current fleet phase (regime shifts
+    /// are injected by stepping this between phases).
+    service_mult: f64,
+    /// Forwarding hops awaiting admission: `(hop id, origin cluster,
+    /// hop ns)` in injection order, popped by the `Forwarded` handler to
+    /// emit the causally-paired `RemoteAdmit` event. Only populated while
+    /// tracing.
+    pending_remote: VecDeque<(u32, u16, u32)>,
 }
 
 pub(crate) struct Run<'a> {
@@ -316,6 +344,9 @@ pub(crate) struct Run<'a> {
     /// Online SLO burn-rate monitor, fed at each completion (event time,
     /// so alerts are identical for any worker count).
     slo: Option<BurnRateMonitor>,
+    /// Online regime-change sensor, fed each completion's sojourn at
+    /// event time (so detections are identical for any worker count).
+    regime: Option<RegimeDetector>,
     /// Per-phase sojourn histograms; the report-level `sojourns` histogram
     /// is their exact merge (bucket counts, min/max and sums all add), so
     /// the hot path records each completion once, not twice.
@@ -332,6 +363,11 @@ pub(crate) struct Run<'a> {
     req_base: u64,
     rep_base: u32,
     node_base: u32,
+    /// Fleet mode's per-cluster trace: events banked window by window
+    /// (each `advance_until` opens and closes a thread-local capture, so
+    /// a cluster's events survive work-stealing across worker threads).
+    /// Standalone runs leave this empty — their caller owns the capture.
+    trace_events: Vec<TraceEvent>,
     /// `tracing_enabled()` snapshotted at construction — captures are
     /// opened before a run starts and closed after it ends, so the
     /// per-request emit sites can branch on a plain bool instead of
@@ -346,6 +382,22 @@ impl<'a> Run<'a> {
         seed: u64,
         fleet: Option<(u32, f64)>,
     ) -> Result<Self, ServeError> {
+        // Fleet clusters own their trace: the construction window runs
+        // inside a thread-local capture whose events are banked into
+        // `trace_events` (standalone runs keep the caller-owned capture
+        // untouched). The banked buffer itself comes from the spare pool
+        // — pulled *before* the capture opens so successive traced runs
+        // hand the largest recycled allocation (last run's merged trace)
+        // to the event stream, keeping its pages warm.
+        let fleet_traced = fleet.is_some() && chiron_obs::tracing_enabled();
+        let banked = if fleet_traced {
+            chiron_obs::take_buffer()
+        } else {
+            Vec::new()
+        };
+        if fleet_traced {
+            chiron_obs::begin_capture_sized(0);
+        }
         // Names the capture before any other event so attribution knows
         // which (workflow, plan) this trace belongs to.
         if chiron_obs::tracing_enabled() {
@@ -417,6 +469,8 @@ impl<'a> Run<'a> {
                     accepting: true,
                     arrival_armed: rate > 0.0,
                     phase: 0,
+                    service_mult: 1.0,
+                    pending_remote: VecDeque::new(),
                 };
                 (bases.0, bases.1, bases.2, Some(mode))
             }
@@ -477,6 +531,7 @@ impl<'a> Run<'a> {
             peak_replicas: 0,
             timeline: Vec::new(),
             slo: sim.config.slo.map(BurnRateMonitor::new),
+            regime: sim.config.regime.map(RegimeDetector::new),
             phase_hists: workload
                 .phases
                 .iter()
@@ -489,6 +544,7 @@ impl<'a> Run<'a> {
             req_base,
             rep_base,
             node_base,
+            trace_events: banked,
             trace: chiron_obs::tracing_enabled(),
         };
 
@@ -546,6 +602,7 @@ impl<'a> Run<'a> {
                 EventKind::Heartbeat,
             );
         }
+        run.capture_close();
         Ok(run)
     }
 
@@ -562,6 +619,27 @@ impl<'a> Run<'a> {
             EventKind::Arrival => self.on_arrival(now),
             EventKind::Forwarded => {
                 let phase = self.fleet.as_ref().map_or(0, |f| f.phase);
+                // The paired RemoteAdmit precedes the same-stamp Arrival
+                // (recorded in emit order), carrying the hop id and
+                // latency attribution needs; `self.arrived` is the id
+                // `admit` is about to assign.
+                if self.trace {
+                    if let Some((hop, from_cluster, hop_ns)) = self
+                        .fleet
+                        .as_mut()
+                        .and_then(|f| f.pending_remote.pop_front())
+                    {
+                        self.record(
+                            now.as_nanos(),
+                            TraceEventKind::RemoteAdmit {
+                                request: self.req_base + self.arrived,
+                                hop,
+                                from_cluster,
+                                hop_ns,
+                            },
+                        );
+                    }
+                }
                 self.admit(now, phase);
             }
             EventKind::Completion {
@@ -574,7 +652,7 @@ impl<'a> Run<'a> {
                     self.replicas[replica as usize].state = ReplicaState::Idle { since: now };
                     self.idle += 1;
                     self.idle_bits[replica as usize >> 6] |= 1 << (replica as usize & 63);
-                    emit(
+                    self.record(
                         now.as_nanos(),
                         TraceEventKind::ReplicaReady {
                             replica: self.rep_base + replica,
@@ -591,7 +669,7 @@ impl<'a> Run<'a> {
             }
             EventKind::Heartbeat => self.on_heartbeat(now),
             EventKind::NodeKill { node } => {
-                emit(
+                self.record(
                     now.as_nanos(),
                     TraceEventKind::NodeKill {
                         node: self.node_base + node.0,
@@ -615,18 +693,55 @@ impl<'a> Run<'a> {
         self.records.reserve(expected.saturating_sub(len));
     }
 
+    /// Closes the construction capture and banks its events. Only
+    /// `Run::new` opens one (the platform probe and the context events
+    /// emit through the thread-local sink before the struct exists);
+    /// every post-construction event [`Run::record`]s straight into
+    /// `trace_events`, so a cluster's events survive work-stealing
+    /// across worker threads with no per-epoch capture windows, banking
+    /// copies, or thread-local hops.
+    fn capture_close(&mut self) {
+        if self.trace && self.fleet.is_some() {
+            let part = chiron_obs::end_capture();
+            self.trace_events.extend_from_slice(&part.events);
+            chiron_obs::recycle(part);
+        }
+    }
+
+    /// Records one trace event: fleet clusters append straight to their
+    /// own banked buffer, standalone runs emit into the caller-owned
+    /// thread-local capture. Handlers run in event-time order, so
+    /// `trace_events` stays internally sorted and the final
+    /// [`Trace::chain`] stitch needs no per-cluster re-sort.
+    #[inline]
+    fn record(&mut self, time_ns: u64, kind: TraceEventKind) {
+        if !self.trace {
+            return;
+        }
+        record_into(&mut self.trace_events, self.fleet.is_some(), time_ns, kind);
+    }
+
     pub(crate) fn advance_until(&mut self, until: SimTime) {
         while let Some(event) = self.events.pop_before(until) {
             self.handle(event);
         }
     }
 
-    /// Drains every remaining event and produces the cluster's report.
-    pub(crate) fn finish(mut self) -> ServeReport {
+    /// Drains every remaining event and produces the cluster's report
+    /// plus its trace (empty unless this is a traced fleet run).
+    pub(crate) fn finish(mut self) -> (ServeReport, Trace) {
         while let Some(event) = self.events.pop() {
             self.handle(event);
         }
-        self.into_report()
+        let events = std::mem::take(&mut self.trace_events);
+        // Handlers run in event-time order and coordinator records land
+        // at the barrier they were computed for, so the banked stream is
+        // already sorted — no normalisation pass on the timed path.
+        debug_assert!(
+            events.is_sorted_by_key(|e| e.time_ns),
+            "banked cluster trace out of time order"
+        );
+        (self.into_report(), Trace { events })
     }
 
     /// Gossips the next epoch's admission rate to this cluster, re-arming
@@ -644,9 +759,12 @@ impl<'a> Run<'a> {
         }
     }
 
-    /// Stamps subsequent arrivals with the fleet workload phase.
-    pub(crate) fn set_phase(&mut self, phase: u16) {
-        self.fleet.as_mut().expect("fleet mode").phase = phase;
+    /// Stamps subsequent arrivals with the fleet workload phase and
+    /// applies its service-time multiplier (regime-shift injection).
+    pub(crate) fn set_phase(&mut self, phase: u16, service_mult: f64) {
+        let f = self.fleet.as_mut().expect("fleet mode");
+        f.phase = phase;
+        f.service_mult = service_mult;
     }
 
     /// The fleet workload ended: stop admitting; pre-drawn arrivals are
@@ -665,8 +783,10 @@ impl<'a> Run<'a> {
 
     /// Sheds the newest queued requests down to `threshold`, handing them
     /// to the federation router. Shed records are marked `forwarded` and
-    /// leave this cluster's loss accounting.
-    pub(crate) fn spill_excess(&mut self, threshold: usize) -> u64 {
+    /// leave this cluster's loss accounting; their local ids are appended
+    /// to `shed_ids` so the coordinator can pair each with a forwarding
+    /// hop for the causal trace.
+    pub(crate) fn spill_excess(&mut self, threshold: usize, shed_ids: &mut Vec<u64>) -> u64 {
         let mut shed = 0u64;
         while self.router.queued() > threshold {
             let Some(req) = self.router.pop_newest() else {
@@ -674,19 +794,45 @@ impl<'a> Run<'a> {
             };
             self.records[req as usize].forwarded = true;
             self.forwarded_out += 1;
+            shed_ids.push(req);
             shed += 1;
         }
         shed
     }
 
-    /// Delivers `count` requests spilled by peer clusters at `at`
-    /// (barrier + forwarding latency). Re-arms the autoscaler tick train
-    /// if the cluster had gone quiet.
-    pub(crate) fn inject_forwarded(&mut self, at: SimTime, count: u64) {
-        for _ in 0..count {
+    /// Records the origin half of one spilled request's forwarding hop.
+    /// The coordinator calls this between capture windows, so the event
+    /// goes straight into the banked per-cluster trace; `hop` pairs it
+    /// with the destination's `RemoteAdmit`.
+    pub(crate) fn note_forward(&mut self, at: SimTime, request: u64, hop: u32, to_cluster: u16) {
+        if !self.trace {
+            return;
+        }
+        self.trace_events.push(TraceEvent {
+            time_ns: at.as_nanos(),
+            kind: TraceEventKind::Forward {
+                request: self.req_base + request,
+                hop,
+                from_cluster: (self.req_base >> 40) as u16,
+                to_cluster,
+            },
+        });
+    }
+
+    /// Delivers requests spilled by peer clusters at `at` (barrier +
+    /// forwarding latency), one per `(hop id, origin cluster)` pair.
+    /// Re-arms the autoscaler tick train if the cluster had gone quiet.
+    pub(crate) fn inject_forwarded(&mut self, at: SimTime, hops: &[(u32, u16)], hop_ns: u32) {
+        for _ in hops {
             self.events.push(at, EventKind::Forwarded);
         }
-        if count > 0 && !self.tick_armed {
+        if self.trace {
+            let f = self.fleet.as_mut().expect("fleet mode");
+            for &(hop, from_cluster) in hops {
+                f.pending_remote.push_back((hop, from_cluster, hop_ns));
+            }
+        }
+        if !hops.is_empty() && !self.tick_armed {
             self.tick_armed = true;
             self.events.push(
                 at + self.sim.config.autoscaler.tick,
@@ -738,7 +884,7 @@ impl<'a> Run<'a> {
             forwarded: false,
         });
         if self.trace {
-            emit(
+            self.record(
                 now.as_nanos(),
                 TraceEventKind::Arrival {
                     request: self.req_base + id,
@@ -752,7 +898,7 @@ impl<'a> Run<'a> {
         let shard = self.router.choose_shard(&self.hosts_scratch);
         self.router.push_back(shard, id);
         if self.trace {
-            emit(
+            self.record(
                 now.as_nanos(),
                 TraceEventKind::Enqueue {
                     request: self.req_base + id,
@@ -787,8 +933,10 @@ impl<'a> Run<'a> {
         rec.completed_ns = Some(now.as_nanos());
         let sojourn = SimDuration::from_nanos(now.as_nanos() - rec.arrival_ns);
         let dispatched_ns = rec.dispatched_ns;
+        let phase = rec.phase as usize;
+        let cold = rec.cold_start;
         if self.trace {
-            emit(
+            self.record(
                 now.as_nanos(),
                 TraceEventKind::Complete {
                     request: self.req_base + request,
@@ -796,8 +944,6 @@ impl<'a> Run<'a> {
                 },
             );
         }
-        let phase = rec.phase as usize;
-        let cold = rec.cold_start;
         self.phase_hists[phase].record(sojourn);
         self.phase_completed[phase] += 1;
         if cold {
@@ -808,7 +954,7 @@ impl<'a> Run<'a> {
         if let Some(monitor) = &mut self.slo {
             if let Some(t) = monitor.observe(now.as_nanos(), sojourn) {
                 let (short_burn_centi, long_burn_centi) = t.burns_centi();
-                emit(
+                self.record(
                     now.as_nanos(),
                     TraceEventKind::SloAlert {
                         fired: t.fired,
@@ -816,6 +962,13 @@ impl<'a> Run<'a> {
                         long_burn_centi,
                     },
                 );
+            }
+        }
+        if let Some(detector) = &mut self.regime {
+            if let Some(change) =
+                detector.observe(now.as_nanos(), chiron_obs::E2E_STAGE, sojourn.as_nanos())
+            {
+                self.record(now.as_nanos(), change.to_event_kind());
             }
         }
         self.completed += 1;
@@ -907,7 +1060,7 @@ impl<'a> Run<'a> {
     }
 
     fn handle_node_death(&mut self, node: NodeId, now: SimTime) {
-        emit(
+        self.record(
             now.as_nanos(),
             TraceEventKind::NodeDeath {
                 node: self.node_base + node.0,
@@ -979,7 +1132,7 @@ impl<'a> Run<'a> {
         requeue.sort_unstable();
         for &req in requeue.iter().rev() {
             self.records[req as usize].requeues += 1;
-            emit(
+            self.record(
                 now.as_nanos(),
                 TraceEventKind::Requeue {
                     request: self.req_base + req,
@@ -1038,7 +1191,7 @@ impl<'a> Run<'a> {
                 self.push_replica(placement, now, tier, latency);
                 let id = (self.replicas.len() - 1) as u32;
                 self.starts_by_tier[tier.code() as usize] += 1;
-                emit(
+                self.record(
                     now.as_nanos(),
                     TraceEventKind::ReplicaSpawn {
                         replica: self.rep_base + id,
@@ -1103,7 +1256,10 @@ impl<'a> Run<'a> {
         self.dispatch_seq += 1;
         let seq = self.dispatch_seq;
         let u = self.rng.next_f64();
-        let mult = 1.0 + self.sim.config.service_jitter * (2.0 * u - 1.0);
+        let mut mult = 1.0 + self.sim.config.service_jitter * (2.0 * u - 1.0);
+        if let Some(f) = &self.fleet {
+            mult *= f.service_mult;
+        }
         let rep = &mut self.replicas[replica as usize];
         let cold = rep.start_latency > SimDuration::ZERO && rep.served == 0;
         rep.state = ReplicaState::Busy {
@@ -1121,7 +1277,7 @@ impl<'a> Run<'a> {
         rec.cold_start = cold;
         rec.tier = tier.code();
         if self.trace {
-            emit(
+            self.record(
                 now.as_nanos(),
                 TraceEventKind::Dispatch {
                     request: self.req_base + request,
@@ -1190,8 +1346,12 @@ impl<'a> Run<'a> {
             node_replicas,
             node_usable,
             hosts_dirty,
+            trace,
+            trace_events,
+            fleet,
             ..
         } = self;
+        let fleet = fleet.is_some();
         for (id, rep) in replicas.iter_mut().enumerate() {
             if *usable <= min {
                 break;
@@ -1210,12 +1370,16 @@ impl<'a> Run<'a> {
             }
             rep.state = ReplicaState::Retired;
             rep.ended_at = Some(now);
-            emit(
-                now.as_nanos(),
-                TraceEventKind::ReplicaRetired {
-                    replica: rep_base + id as u32,
-                },
-            );
+            if *trace {
+                record_into(
+                    trace_events,
+                    fleet,
+                    now.as_nanos(),
+                    TraceEventKind::ReplicaRetired {
+                        replica: rep_base + id as u32,
+                    },
+                );
+            }
             cluster.remove_replica(&sim.plan, &sim.workflow, &rep.placement);
             *scale_downs += 1;
             *usable -= 1;
@@ -1373,6 +1537,10 @@ impl<'a> Run<'a> {
             pool_rent_usd,
             replica_timeline: self.timeline,
             slo: self.slo.map(BurnRateMonitor::into_summary),
+            regime_changes: self
+                .regime
+                .as_ref()
+                .map_or(0, RegimeDetector::changes_fired),
             records: self.records,
         }
     }
